@@ -1,0 +1,66 @@
+"""Ablation: how much does the REINFORCE controller contribute?
+
+Compares the LSTM controller (paper), the tabular REINFORCE policy,
+and a uniform random policy on the same FNAS setup (MNIST, TS=5 ms).
+The learned controllers should (a) propose fewer violating children
+over the run and (b) find an at-least-as-accurate valid child.
+"""
+
+import numpy as np
+
+from repro.core.controller import (
+    LstmController,
+    RandomController,
+    TabularController,
+)
+from repro.core.evaluator import SurrogateAccuracyEvaluator
+from repro.core.search import FnasSearch
+from repro.core.search_space import SearchSpace
+from repro.configs import MNIST_CONFIG
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+SPEC_MS = 5.0
+TRIALS = 60
+
+
+def run_variants():
+    space = SearchSpace.from_config(MNIST_CONFIG)
+    evaluator = SurrogateAccuracyEvaluator(space)
+    estimator = LatencyEstimator(Platform.single(PYNQ_Z1))
+    outcomes = {}
+    for name, controller in (
+        ("lstm", LstmController(space, seed=0)),
+        ("tabular", TabularController(space)),
+        ("random", RandomController(space)),
+    ):
+        search = FnasSearch(
+            space, evaluator, estimator, SPEC_MS, controller=controller,
+            min_latency_fallback=True,
+        )
+        outcomes[name] = search.run(TRIALS, np.random.default_rng(0))
+    return outcomes
+
+
+def test_controller_ablation(once, emit):
+    outcomes = once(run_variants)
+
+    emit("\n=== Controller ablation (MNIST, TS=5ms, 60 trials) ===")
+    for name, result in outcomes.items():
+        best = result.best_valid(SPEC_MS)
+        late_violations = sum(
+            1 for t in result.trials[-20:] if t.pruned)
+        emit(f"  {name:<8} best acc {100 * best.accuracy:.2f}% "
+              f"@ {best.latency_ms:.2f}ms, trained "
+              f"{result.trained_count}/60, violations in last 20: "
+              f"{late_violations}")
+
+    lstm, random_ = outcomes["lstm"], outcomes["random"]
+    # Learning should not be worse than random on final quality...
+    assert (lstm.best_valid(SPEC_MS).accuracy
+            >= random_.best_valid(SPEC_MS).accuracy - 0.002)
+    # ...and should violate the spec less often once trained.
+    lstm_late = sum(1 for t in lstm.trials[-20:] if t.pruned)
+    random_late = sum(1 for t in random_.trials[-20:] if t.pruned)
+    assert lstm_late <= random_late + 2

@@ -1,0 +1,22 @@
+"""Ablation: how much of FNAS's speedup is early pruning alone.
+
+The paper attributes the search-time reduction to (1) not training
+spec-violating children and (2) the surviving children being simpler.
+This bench isolates (1) by replaying an FNAS ledger with the
+counterfactual cost of training every pruned child.
+"""
+
+from repro.experiments.ablation import run_pruning_ablation
+
+
+def test_pruning_ablation(once, emit):
+    result = once(run_pruning_ablation, dataset="mnist",
+                  required_latency_ms=2.0, seed=0)
+
+    emit("\n=== Early-pruning ablation (MNIST, TS=2ms) ===")
+    emit(result.format())
+
+    assert result.search.pruned_count > 0, (
+        "a tight spec must prune some children")
+    assert result.pruning_speedup > 1.0, (
+        "training violators anyway must cost more")

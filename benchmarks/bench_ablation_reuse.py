@@ -1,0 +1,35 @@
+"""Ablation: reuse alternation x stall policy (Section 3.5, Step 3).
+
+The paper justifies alternating OFM/IFM reuse across consecutive layers
+by observing that a uniform strategy stalls the pipeline.  This bench
+crosses the three ordering strategies with the two runtime policies
+over the Figure 8 architecture set, isolating two mechanisms:
+
+* under strict **in-order** execution, alternation avoids the stalls a
+  uniform strategy incurs (the paper's observation);
+* the **ready-to-run queue** (principle P3) independently hides those
+  stalls, so with the queue enabled the strategies converge.
+"""
+
+from repro.experiments.ablation import run_reuse_ablation
+
+
+def test_reuse_ablation(once, emit):
+    result = once(run_reuse_ablation)
+
+    emit("\n=== Reuse-strategy x policy ablation (cycles) ===")
+    emit(result.format())
+    emit(f"in-order: alternating <= uniform-OFM on "
+          f"{result.win_or_tie_rate('alt/inorder', 'ofm/inorder'):.0%}; "
+          f"<= uniform-IFM on "
+          f"{result.win_or_tie_rate('alt/inorder', 'ifm/inorder'):.0%}")
+    emit(f"queue rescues uniform-OFM: mean ofm/queue vs ofm/inorder = "
+          f"{result.mean_ratio('ofm/queue', 'ofm/inorder'):.2f}")
+
+    # Paper's observation: in-order + uniform stalls; alternation avoids it.
+    assert result.win_or_tie_rate("alt/inorder", "ofm/inorder") >= 0.9
+    assert result.win_or_tie_rate("alt/inorder", "ifm/inorder") >= 0.9
+    # The ready queue on its own removes most of the uniform-OFM stalls.
+    assert result.mean_ratio("ofm/queue", "ofm/inorder") < 0.95
+    # With the queue, alternating and uniform-OFM are nearly equivalent.
+    assert 0.9 <= result.mean_ratio("alt/queue", "ofm/queue") <= 1.15

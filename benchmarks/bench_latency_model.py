@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the FNAS tool itself.
+
+The paper's efficiency argument rests on the analytical model being
+orders of magnitude cheaper than simulation (let alone HLS/RTL flows).
+These benches measure both paths on a MNIST-space architecture and
+check the accuracy relationship (analyzer = tight lower bound).
+"""
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+@pytest.fixture
+def arch():
+    return Architecture.from_choices(
+        [7, 7, 7, 7], [36, 36, 36, 36], input_size=28, input_channels=1
+    )
+
+
+def test_analytical_estimate_speed(benchmark, arch):
+    platform = Platform.single(PYNQ_Z1)
+
+    def estimate():
+        estimator = LatencyEstimator(platform)  # fresh: no cache hits
+        return estimator.estimate(arch)
+
+    result = benchmark(estimate)
+    assert result.cycles > 0
+
+
+def test_simulated_estimate_speed(benchmark, arch):
+    platform = Platform.single(PYNQ_Z1)
+
+    def estimate():
+        estimator = LatencyEstimator(platform, method="simulate")
+        return estimator.estimate(arch)
+
+    result = benchmark(estimate)
+    assert result.cycles > 0
+
+
+def test_analyzer_is_tight_lower_bound(benchmark, arch):
+    platform = Platform.single(PYNQ_Z1)
+    analytical = LatencyEstimator(platform).estimate(arch)
+    simulated = LatencyEstimator(platform, method="simulate").estimate(arch)
+
+    def compare():
+        return simulated.cycles - analytical.cycles
+
+    gap = benchmark(compare)
+    assert gap >= 0
+    # Tightness: within 5% on this stall-free pipeline.
+    assert gap <= 0.05 * simulated.cycles

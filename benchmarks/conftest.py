@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at
+full scale (Table 2's 60 trials), asserts the paper's qualitative
+shape, and prints the reproduced rows/series so the tee'd benchmark log
+doubles as the reproduction record.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(request):
+    """Print through pytest's capture: each bench emits the table/figure
+    it regenerates, and that output *is* the reproduction record (the
+    benchmark log is tee'd to bench_output.txt)."""
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _emit(*parts):
+        text = "\n".join(str(p) for p in parts)
+        if capman is None:
+            print(text)
+        else:
+            with capman.global_and_fixture_disabled():
+                print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (searches are expensive
+    and deterministic; statistical repetition adds nothing)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works on environments whose setuptools
+lacks the ``bdist_wheel``/PEP-660 editable path (e.g. offline boxes
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

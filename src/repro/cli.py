@@ -1,0 +1,152 @@
+"""Command-line interface: regenerate any table/figure from the shell.
+
+::
+
+    python -m repro table1                 # Table 1 (MNIST on PYNQ)
+    python -m repro figure6               # Figure 6 (two FPGAs)
+    python -m repro figure7               # Figure 7 (three datasets)
+    python -m repro figure8               # Figure 8 (scheduler study)
+    python -m repro ablations             # reuse + pruning ablations
+    python -m repro estimate 5,7,5,7 9,18,18,36 --device pynq-z1
+
+Every experiment accepts ``--seed`` and ``--trials`` so reruns and
+sensitivity checks are one flag away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.architecture import Architecture
+from repro.experiments.ablation import run_pruning_ablation, run_reuse_ablation
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.table1 import run_table1
+from repro.fpga.device import get_device
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+def _add_search_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the searches (default 0)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="children per search (default: Table 2's 60)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FNAS (DAC 2019) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("table1", "Table 1: NAS vs FNAS on MNIST targeting PYNQ"),
+        ("figure6", "Figure 6: search time/latency/accuracy on two FPGAs"),
+        ("figure7", "Figure 7: accuracy loss & speedup vs TS, 3 datasets"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_search_flags(p)
+
+    sub.add_parser("figure8", help="Figure 8: FNAS-Sched vs fixed "
+                                   "scheduling over 16 architectures")
+
+    p = sub.add_parser("ablations", help="reuse-strategy and early-pruning "
+                                         "ablations")
+    _add_search_flags(p)
+
+    p = sub.add_parser("report", help="run every experiment and write a "
+                                      "markdown reproduction report")
+    _add_search_flags(p)
+    p.add_argument("--output", default="reproduction_report.md",
+                   help="output path (default reproduction_report.md)")
+
+    p = sub.add_parser(
+        "estimate",
+        help="estimate one architecture's latency on a device",
+    )
+    p.add_argument("filter_sizes", help="comma-separated kernel sizes, "
+                                        "e.g. 5,7,5,7")
+    p.add_argument("filter_counts", help="comma-separated filter counts, "
+                                         "e.g. 9,18,18,36")
+    p.add_argument("--device", default="pynq-z1",
+                   help="catalog device name (default pynq-z1)")
+    p.add_argument("--boards", type=int, default=1,
+                   help="replicate the device this many times")
+    p.add_argument("--input-size", type=int, default=28)
+    p.add_argument("--input-channels", type=int, default=1)
+    p.add_argument("--simulate", action="store_true",
+                   help="use the cycle simulator instead of the "
+                        "closed-form analyzer")
+    p.add_argument("--energy", action="store_true",
+                   help="also report the analytical energy estimate")
+    return parser
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    sizes = [int(x) for x in args.filter_sizes.split(",")]
+    counts = [int(x) for x in args.filter_counts.split(",")]
+    arch = Architecture.from_choices(
+        sizes, counts, input_size=args.input_size,
+        input_channels=args.input_channels,
+    )
+    device = get_device(args.device)
+    platform = Platform.replicated(device, args.boards)
+    method = "simulate" if args.simulate else "analytical"
+    estimate = LatencyEstimator(platform, method=method).estimate(arch)
+    print(f"architecture: {arch.describe()}")
+    print(f"platform:     {args.boards} x {device.name}")
+    print(f"latency:      {estimate.ms:.3f} ms "
+          f"({estimate.cycles} cycles, {method})")
+    for layer in estimate.design.layers:
+        t = layer.tiling
+        print(f"  layer {layer.layer_index}: <Tm={t.tm}, Tn={t.tn}, "
+              f"Tr={t.tr}, Tc={t.tc}>  PT={layer.processing_time}")
+    if args.energy:
+        from repro.fpga.energy import EnergyModel
+
+        report = EnergyModel().estimate(estimate.design, estimate.cycles)
+        print(f"energy:       {report.total_mj:.2f} mJ "
+              f"(compute {report.compute_mj:.2f}, "
+              f"memory {report.memory_mj:.2f}, "
+              f"static {report.static_mj:.2f})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(run_table1(trials=args.trials, seed=args.seed).format())
+    elif args.command == "figure6":
+        print(run_figure6(trials=args.trials, seed=args.seed).format())
+    elif args.command == "figure7":
+        print(run_figure7(trials=args.trials, seed=args.seed).format())
+    elif args.command == "figure8":
+        result = run_figure8()
+        print(result.format())
+        print(f"mean improvement: {result.mean_improvement_percent:.2f}%")
+    elif args.command == "ablations":
+        reuse = run_reuse_ablation()
+        print(reuse.format())
+        pruning = run_pruning_ablation(trials=args.trials, seed=args.seed)
+        print(pruning.format())
+    elif args.command == "report":
+        from pathlib import Path
+
+        from repro.experiments.report import generate_report
+
+        text = generate_report(trials=args.trials, seed=args.seed)
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    elif args.command == "estimate":
+        return _cmd_estimate(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

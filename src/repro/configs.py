@@ -1,0 +1,147 @@
+"""Table 2: data sets and parameter settings of the FNAS experiments.
+
+Every value here is copied from the paper's Table 2:
+
+=========  ======  =====  ==  ==  ===========  =============  ===  =================
+Data set   Train   Val.   E   L   FS           FN             T    [TS4,TS3,TS2,TS1]
+=========  ======  =====  ==  ==  ===========  =============  ===  =================
+MNIST      60,000  10,000 25  4   [5,7,14]     [9,18,36]      60   high [2,5,10,20]
+                                                                    low  [1,4,10,20]
+CIFAR-10   45,000  5,000  25  10  [1,3,5,7]    [24,36,48,64]  60   [1.5,2,2.5,10]
+ImageNet   4,500   500    25  15  [1,3,5,7]    [16,32,64,128] 60   [2.5,5,7.5,10]
+=========  ======  =====  ==  ==  ===========  =============  ===  =================
+
+(E: training epochs, L: layers, FS: filter sizes, FN: filter counts,
+T: trials/child networks searched, TS: timing specifications in ms,
+indexed loosest = TS1 to tightest = TS4.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimingSpecs:
+    """The four timing specifications TS1 (loosest) .. TS4 (tightest)."""
+
+    ts1: float
+    ts2: float
+    ts3: float
+    ts4: float
+
+    def __post_init__(self) -> None:
+        values = (self.ts4, self.ts3, self.ts2, self.ts1)
+        if any(v <= 0 for v in values):
+            raise ValueError(f"timing specs must be positive: {values}")
+        if not (self.ts4 <= self.ts3 <= self.ts2 <= self.ts1):
+            raise ValueError(
+                "timing specs must tighten from TS1 to TS4, got "
+                f"TS1={self.ts1} TS2={self.ts2} TS3={self.ts3} TS4={self.ts4}"
+            )
+
+    def by_name(self, name: str) -> float:
+        """Look up a spec by ``"TS1"`` .. ``"TS4"``."""
+        table = {"TS1": self.ts1, "TS2": self.ts2, "TS3": self.ts3,
+                 "TS4": self.ts4}
+        try:
+            return table[name.upper()]
+        except KeyError:
+            raise KeyError(f"unknown timing spec {name!r}; expected TS1..TS4")
+
+    def as_list(self) -> list[tuple[str, float]]:
+        """``[("TS1", ms), ..., ("TS4", ms)]`` loosest-first."""
+        return [("TS1", self.ts1), ("TS2", self.ts2), ("TS3", self.ts3),
+                ("TS4", self.ts4)]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One dataset row of Table 2 plus the derived search-space facts."""
+
+    dataset: str
+    train_size: int
+    val_size: int
+    epochs: int
+    num_layers: int
+    filter_sizes: tuple[int, ...]
+    filter_counts: tuple[int, ...]
+    trials: int
+    input_size: int
+    input_channels: int
+    num_classes: int
+    timing_specs: TimingSpecs
+    timing_specs_low: TimingSpecs | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.trials <= 0 or self.epochs <= 0:
+            raise ValueError("num_layers, trials and epochs must be positive")
+        if not self.filter_sizes or not self.filter_counts:
+            raise ValueError("filter size/count choice lists cannot be empty")
+
+    @property
+    def space_size(self) -> int:
+        """Number of distinct architectures in the search space."""
+        return (len(self.filter_sizes) * len(self.filter_counts)) ** self.num_layers
+
+
+MNIST_CONFIG = ExperimentConfig(
+    dataset="mnist",
+    train_size=60_000,
+    val_size=10_000,
+    epochs=25,
+    num_layers=4,
+    filter_sizes=(5, 7, 14),
+    filter_counts=(9, 18, 36),
+    trials=60,
+    input_size=28,
+    input_channels=1,
+    num_classes=10,
+    timing_specs=TimingSpecs(ts1=20.0, ts2=10.0, ts3=5.0, ts4=2.0),
+    timing_specs_low=TimingSpecs(ts1=20.0, ts2=10.0, ts3=4.0, ts4=1.0),
+)
+
+CIFAR_CONFIG = ExperimentConfig(
+    dataset="cifar10",
+    train_size=45_000,
+    val_size=5_000,
+    epochs=25,
+    num_layers=10,
+    filter_sizes=(1, 3, 5, 7),
+    filter_counts=(24, 36, 48, 64),
+    trials=60,
+    input_size=32,
+    input_channels=3,
+    num_classes=10,
+    timing_specs=TimingSpecs(ts1=10.0, ts2=2.5, ts3=2.0, ts4=1.5),
+)
+
+IMAGENET_CONFIG = ExperimentConfig(
+    dataset="imagenet",
+    train_size=4_500,
+    val_size=500,
+    epochs=25,
+    num_layers=15,
+    filter_sizes=(1, 3, 5, 7),
+    filter_counts=(16, 32, 64, 128),
+    trials=60,
+    input_size=32,
+    input_channels=3,
+    num_classes=20,
+    timing_specs=TimingSpecs(ts1=10.0, ts2=7.5, ts3=5.0, ts4=2.5),
+)
+
+CONFIGS: dict[str, ExperimentConfig] = {
+    "mnist": MNIST_CONFIG,
+    "cifar10": CIFAR_CONFIG,
+    "imagenet": IMAGENET_CONFIG,
+}
+
+
+def get_config(dataset: str) -> ExperimentConfig:
+    """Table 2 row for ``dataset``."""
+    try:
+        return CONFIGS[dataset]
+    except KeyError:
+        known = ", ".join(sorted(CONFIGS))
+        raise KeyError(f"unknown dataset {dataset!r}; known: {known}")

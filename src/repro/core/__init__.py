@@ -1,0 +1,55 @@
+"""Core FNAS machinery: architectures, search space, controller, search."""
+
+from repro.core.architecture import Architecture, ConvLayerSpec
+from repro.core.controller import (
+    Controller,
+    ControllerSample,
+    LstmController,
+    RandomController,
+    TabularController,
+)
+from repro.core.serialization import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_architecture,
+    save_architecture,
+    save_search_result,
+    search_result_to_dict,
+)
+from repro.core.evaluator import (
+    AccuracyEvaluator,
+    EvaluationOutcome,
+    SurrogateAccuracyEvaluator,
+    TrainedAccuracyEvaluator,
+)
+from repro.core.reward import AccuracyBaseline, FnasReward, RewardSignal
+from repro.core.search import FnasSearch, NasSearch, SearchResult, TrialRecord
+from repro.core.search_space import SearchSpace
+
+__all__ = [
+    "Architecture",
+    "ConvLayerSpec",
+    "Controller",
+    "ControllerSample",
+    "LstmController",
+    "RandomController",
+    "TabularController",
+    "architecture_from_dict",
+    "architecture_to_dict",
+    "load_architecture",
+    "save_architecture",
+    "save_search_result",
+    "search_result_to_dict",
+    "AccuracyEvaluator",
+    "EvaluationOutcome",
+    "SurrogateAccuracyEvaluator",
+    "TrainedAccuracyEvaluator",
+    "AccuracyBaseline",
+    "FnasReward",
+    "RewardSignal",
+    "FnasSearch",
+    "NasSearch",
+    "SearchResult",
+    "TrialRecord",
+    "SearchSpace",
+]

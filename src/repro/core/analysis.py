@@ -1,0 +1,110 @@
+"""Search-ledger diagnostics.
+
+Post-hoc analysis of :class:`~repro.core.search.SearchResult` ledgers:
+learning curves, violation rates, and exploration statistics.  These
+back the controller ablation and give users the plots-worth-of-numbers
+the paper summarises qualitatively ("the controller will be guided to
+avoid searching architectures that have insufficient performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.search import SearchResult
+
+
+def violation_rate_curve(
+    result: SearchResult, window: int = 10
+) -> list[float]:
+    """Moving fraction of spec-violating (pruned) trials.
+
+    A learning FNAS controller should drive this toward zero.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    flags = [1.0 if t.pruned else 0.0 for t in result.trials]
+    curve = []
+    for i in range(len(flags)):
+        lo = max(0, i - window + 1)
+        curve.append(float(np.mean(flags[lo:i + 1])))
+    return curve
+
+
+def reward_curve(result: SearchResult, window: int = 10) -> list[float]:
+    """Moving average of the reward signal."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    rewards = [t.reward for t in result.trials]
+    curve = []
+    for i in range(len(rewards)):
+        lo = max(0, i - window + 1)
+        curve.append(float(np.mean(rewards[lo:i + 1])))
+    return curve
+
+
+def best_accuracy_curve(result: SearchResult) -> list[float]:
+    """Running best trained accuracy (NaN until the first training)."""
+    best = float("nan")
+    curve = []
+    for trial in result.trials:
+        if trial.accuracy is not None:
+            if np.isnan(best) or trial.accuracy > best:
+                best = trial.accuracy
+        curve.append(best)
+    return curve
+
+
+def unique_architecture_count(result: SearchResult) -> int:
+    """Distinct architectures sampled (exploration diagnostic)."""
+    return len({t.architecture.fingerprint() for t in result.trials})
+
+
+@dataclass(frozen=True)
+class SearchSummary:
+    """One-glance numbers for a finished search."""
+
+    name: str
+    trials: int
+    trained: int
+    pruned: int
+    unique_architectures: int
+    best_accuracy: float | None
+    best_latency_ms: float | None
+    final_violation_rate: float
+    simulated_seconds: float
+
+    def format(self) -> str:
+        """Multi-line human-readable summary."""
+        acc = ("-" if self.best_accuracy is None
+               else f"{100 * self.best_accuracy:.2f}%")
+        lat = ("-" if self.best_latency_ms is None
+               else f"{self.best_latency_ms:.2f}ms")
+        return (
+            f"search {self.name}: {self.trials} trials "
+            f"({self.trained} trained / {self.pruned} pruned, "
+            f"{self.unique_architectures} unique)\n"
+            f"  best accuracy {acc} @ {lat}; "
+            f"final violation rate {100 * self.final_violation_rate:.0f}%; "
+            f"simulated cost {self.simulated_seconds:.0f}s"
+        )
+
+
+def summarize(result: SearchResult, window: int = 10) -> SearchSummary:
+    """Build a :class:`SearchSummary` from a ledger."""
+    trained = [t for t in result.trials if t.accuracy is not None]
+    best = max(trained, key=lambda t: t.accuracy) if trained else None
+    violation_curve = violation_rate_curve(result, window)
+    return SearchSummary(
+        name=result.name,
+        trials=len(result.trials),
+        trained=result.trained_count,
+        pruned=result.pruned_count,
+        unique_architectures=unique_architecture_count(result),
+        best_accuracy=best.accuracy if best else None,
+        best_latency_ms=best.latency_ms if best else None,
+        final_violation_rate=violation_curve[-1] if violation_curve else 0.0,
+        simulated_seconds=result.simulated_seconds,
+    )

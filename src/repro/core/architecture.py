@@ -1,0 +1,220 @@
+"""Convolutional architecture model.
+
+The NAS controller emits a sequence of hyperparameters -- per layer a
+filter size and a filter count (Table 2 of the paper) -- which this
+module turns into a concrete, shape-checked convolutional network
+description.  The description is deliberately framework-neutral: the
+same :class:`Architecture` feeds
+
+* the FPGA path (``repro.fpga`` tiling, ``repro.taskgraph``,
+  ``repro.latency``) for latency estimation, and
+* the training path (``repro.nn.builder``) for accuracy evaluation.
+
+Shapes follow the paper's accelerator convention: convolutions use
+"same" padding at stride 1 unless a stride is specified, so the spatial
+dims of layer ``i``'s output feature map are ``ceil(R_in / stride)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolutional layer as seen by both the FPGA and NN paths.
+
+    Attributes:
+        in_channels:  number of input feature-map channels (paper's ``N``).
+        out_channels: number of output feature-map channels (paper's ``M``).
+        kernel:       square filter height/width (``Kh = Kw``).
+        in_rows/in_cols:   input feature-map spatial size.
+        out_rows/out_cols: output feature-map spatial size (``R`` x ``C``).
+        stride:       convolution stride.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    in_rows: int
+    in_cols: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("in_channels", "out_channels", "kernel", "in_rows",
+                     "in_cols", "stride"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+        if self.kernel > self.in_rows or self.kernel > self.in_cols:
+            raise ValueError(
+                f"kernel {self.kernel} exceeds input size "
+                f"{self.in_rows}x{self.in_cols}"
+            )
+
+    @property
+    def out_rows(self) -> int:
+        """Output feature-map rows (same padding)."""
+        return math.ceil(self.in_rows / self.stride)
+
+    @property
+    def out_cols(self) -> int:
+        """Output feature-map columns (same padding)."""
+        return math.ceil(self.in_cols / self.stride)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference of this layer."""
+        return (self.kernel * self.kernel * self.in_channels
+                * self.out_channels * self.out_rows * self.out_cols)
+
+    @property
+    def weight_count(self) -> int:
+        """Number of convolution weights (no bias)."""
+        return self.kernel * self.kernel * self.in_channels * self.out_channels
+
+    @property
+    def ofm_size(self) -> int:
+        """Number of output feature-map elements."""
+        return self.out_channels * self.out_rows * self.out_cols
+
+    @property
+    def ifm_size(self) -> int:
+        """Number of input feature-map elements."""
+        return self.in_channels * self.in_rows * self.in_cols
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A complete child network: a chain of conv layers plus a classifier.
+
+    The classifier (global average pool + dense) is implied and not part
+    of the FPGA pipeline model, matching the paper's focus on the
+    convolutional pipeline.
+
+    Build instances with :meth:`from_choices`, which derives the
+    layer-to-layer shape plumbing from the raw hyperparameter choices.
+    """
+
+    layers: tuple[ConvLayerSpec, ...]
+    num_classes: int
+    input_channels: int
+    input_size: int
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("an Architecture needs at least one conv layer")
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        prev_channels = self.input_channels
+        prev_rows, prev_cols = self.input_size, self.input_size
+        for idx, layer in enumerate(self.layers):
+            if layer.in_channels != prev_channels:
+                raise ValueError(
+                    f"layer {idx}: in_channels {layer.in_channels} does not "
+                    f"match previous layer's out_channels {prev_channels}"
+                )
+            if (layer.in_rows, layer.in_cols) != (prev_rows, prev_cols):
+                raise ValueError(
+                    f"layer {idx}: input size {layer.in_rows}x{layer.in_cols} "
+                    f"does not match previous output {prev_rows}x{prev_cols}"
+                )
+            prev_channels = layer.out_channels
+            prev_rows, prev_cols = layer.out_rows, layer.out_cols
+
+    @classmethod
+    def from_choices(
+        cls,
+        filter_sizes: list[int] | tuple[int, ...],
+        filter_counts: list[int] | tuple[int, ...],
+        input_size: int,
+        input_channels: int = 1,
+        num_classes: int = 10,
+        strides: list[int] | tuple[int, ...] | None = None,
+    ) -> "Architecture":
+        """Build an architecture from per-layer hyperparameter choices.
+
+        ``filter_sizes[i]`` and ``filter_counts[i]`` are layer ``i``'s
+        kernel size and output channel count.  Kernels larger than the
+        current feature map are clamped down to it (the paper's MNIST
+        space includes 14x14 kernels which stop fitting after strided
+        layers; clamping keeps every controller sample valid).
+        """
+        if len(filter_sizes) != len(filter_counts):
+            raise ValueError(
+                f"filter_sizes ({len(filter_sizes)}) and filter_counts "
+                f"({len(filter_counts)}) must have the same length"
+            )
+        if strides is None:
+            strides = [1] * len(filter_sizes)
+        if len(strides) != len(filter_sizes):
+            raise ValueError(
+                f"strides ({len(strides)}) must match layer count "
+                f"({len(filter_sizes)})"
+            )
+        layers = []
+        channels = input_channels
+        rows = cols = input_size
+        for kernel, count, stride in zip(filter_sizes, filter_counts, strides):
+            kernel = min(kernel, rows, cols)
+            layer = ConvLayerSpec(
+                in_channels=channels,
+                out_channels=count,
+                kernel=kernel,
+                in_rows=rows,
+                in_cols=cols,
+                stride=stride,
+            )
+            layers.append(layer)
+            channels = layer.out_channels
+            rows, cols = layer.out_rows, layer.out_cols
+        return cls(
+            layers=tuple(layers),
+            num_classes=num_classes,
+            input_channels=input_channels,
+            input_size=input_size,
+        )
+
+    @property
+    def depth(self) -> int:
+        """Number of convolutional layers."""
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total conv MACs for one inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Total conv weights."""
+        return sum(layer.weight_count for layer in self.layers)
+
+    @property
+    def filter_sizes(self) -> tuple[int, ...]:
+        """Per-layer kernel sizes (after any clamping)."""
+        return tuple(layer.kernel for layer in self.layers)
+
+    @property
+    def filter_counts(self) -> tuple[int, ...]:
+        """Per-layer output channel counts."""
+        return tuple(layer.out_channels for layer in self.layers)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary, e.g. ``5x5/18 -> 7x7/36``."""
+        parts = [f"{l.kernel}x{l.kernel}/{l.out_channels}" for l in self.layers]
+        return " -> ".join(parts)
+
+    def fingerprint(self) -> str:
+        """Stable hash key identifying the architecture.
+
+        Used by caches and by the accuracy surrogate to derive
+        architecture-specific (but reproducible) noise.
+        """
+        fields: list[str] = [str(self.input_size), str(self.input_channels),
+                             str(self.num_classes)]
+        fields += [
+            f"{l.kernel}.{l.out_channels}.{l.stride}" for l in self.layers
+        ]
+        return "|".join(fields)

@@ -1,0 +1,345 @@
+"""RNN controller with REINFORCE (paper Figure 1 / Zoph's NAS).
+
+The controller emits the child network's hyperparameters one decision at
+a time: for each layer, a filter-size token then a filter-count token
+(Table 2 choice lists).  Two implementations:
+
+* :class:`LstmController` -- the paper-faithful one: a single-layer LSTM
+  whose input at step ``t`` is the embedding of the previous decision,
+  with one softmax head per decision kind.  Trained by REINFORCE
+  (policy gradient ascent on ``advantage * log pi``) with Adam, full
+  backpropagation-through-time implemented by hand in NumPy.
+* :class:`TabularController` -- independent per-step softmax logits,
+  same REINFORCE update.  No recurrence, so it cannot model
+  inter-decision correlations, but it is fast, has few knobs, and makes
+  convergence behaviour easy to verify in tests.
+
+Both share the :class:`Controller` protocol used by the search loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.search_space import SearchSpace
+
+
+@dataclass
+class ControllerSample:
+    """One sampled token sequence plus what the update step needs."""
+
+    tokens: list[int]
+    log_prob: float
+    cache: object | None = None
+
+
+class Controller(Protocol):
+    """Policy over token sequences, updatable from (sample, advantage)."""
+
+    def sample(self, rng: np.random.Generator) -> ControllerSample:
+        """Draw one token sequence from the current policy."""
+        ...
+
+    def update(self, sample: ControllerSample, advantage: float) -> float:
+        """One REINFORCE step; returns the policy-gradient loss."""
+        ...
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+class _AdamState:
+    """Adam over a flat list of arrays (controller-sized, batch 1)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float):
+        self.params = params
+        self.lr = lr
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self.t += 1
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        bias1 = 1 - b1**self.t
+        bias2 = 1 - b2**self.t
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+
+
+class LstmController:
+    """Single-layer LSTM policy with per-decision-kind heads."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        hidden_size: int = 32,
+        embed_size: int = 16,
+        lr: float = 0.01,
+        entropy_weight: float = 0.0,
+        seed: int = 0,
+    ):
+        if hidden_size <= 0 or embed_size <= 0:
+            raise ValueError("hidden_size and embed_size must be positive")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if entropy_weight < 0:
+            raise ValueError(
+                f"entropy_weight must be >= 0, got {entropy_weight}"
+            )
+        self.space = space
+        self.hidden_size = hidden_size
+        self.embed_size = embed_size
+        self.entropy_weight = entropy_weight
+        rng = np.random.default_rng(seed)
+        h, e = hidden_size, embed_size
+        scale = 0.1
+        # Embedding tables: one per decision kind, plus the start token.
+        self.embeddings = {
+            kind: rng.normal(0, scale, size=(len(choices), e))
+            for kind, choices in self._kind_choices().items()
+        }
+        self.start_embedding = rng.normal(0, scale, size=(e,))
+        # LSTM: z = [h_prev, x] @ W + b; gates i, f, g, o.
+        self.w_lstm = rng.normal(0, scale, size=(h + e, 4 * h))
+        self.b_lstm = np.zeros(4 * h)
+        # Output heads per decision kind.
+        self.heads = {
+            kind: (
+                rng.normal(0, scale, size=(h, len(choices))),
+                np.zeros(len(choices)),
+            )
+            for kind, choices in self._kind_choices().items()
+        }
+        self._adam = _AdamState(self._param_list(), lr)
+
+    def _kind_choices(self) -> dict[str, tuple[int, ...]]:
+        return {
+            "filter_size": self.space.filter_sizes,
+            "filter_count": self.space.filter_counts,
+        }
+
+    def _param_list(self) -> list[np.ndarray]:
+        params = [self.start_embedding, self.w_lstm, self.b_lstm]
+        for kind in sorted(self.embeddings):
+            params.append(self.embeddings[kind])
+        for kind in sorted(self.heads):
+            params.extend(self.heads[kind])
+        return params
+
+    # -- forward -------------------------------------------------------------
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        force_tokens: list[int] | None = None,
+    ) -> ControllerSample:
+        """Sample a token sequence, caching activations for BPTT.
+
+        ``force_tokens`` scores a fixed sequence under the current
+        policy instead of sampling (used for off-policy analysis and
+        exact log-probability queries).
+        """
+        if force_tokens is not None and len(force_tokens) != self.space.num_decisions:
+            raise ValueError(
+                f"force_tokens must have {self.space.num_decisions} entries"
+            )
+        h = np.zeros(self.hidden_size)
+        c = np.zeros(self.hidden_size)
+        tokens: list[int] = []
+        log_prob = 0.0
+        steps: list[dict] = []
+        x = self.start_embedding
+        prev_kind: str | None = None
+        for step in range(self.space.num_decisions):
+            kind = self.space.decision_kind(step)
+            h_prev, c_prev = h, c
+            concat = np.concatenate([h_prev, x])
+            z = concat @ self.w_lstm + self.b_lstm
+            hs = self.hidden_size
+            i = _sigmoid(z[:hs])
+            f = _sigmoid(z[hs:2 * hs])
+            g = np.tanh(z[2 * hs:3 * hs])
+            o = _sigmoid(z[3 * hs:])
+            c = f * c_prev + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            w_head, b_head = self.heads[kind]
+            logits = h @ w_head + b_head
+            probs = _softmax(logits)
+            if force_tokens is not None:
+                token = force_tokens[step]
+            else:
+                token = int(rng.choice(len(probs), p=probs))
+            log_prob += float(np.log(probs[token] + 1e-12))
+            steps.append(
+                dict(
+                    kind=kind, prev_kind=prev_kind, x=x, concat=concat,
+                    i=i, f=f, g=g, o=o, c=c, c_prev=c_prev, tanh_c=tanh_c,
+                    h=h, probs=probs, token=token,
+                    prev_token=tokens[-1] if tokens else None,
+                )
+            )
+            tokens.append(token)
+            x = self.embeddings[kind][token]
+            prev_kind = kind
+        return ControllerSample(tokens=tokens, log_prob=log_prob, cache=steps)
+
+    # -- backward ------------------------------------------------------------
+
+    def update(self, sample: ControllerSample, advantage: float) -> float:
+        """REINFORCE step: ascend ``advantage * log pi`` (+ entropy bonus)."""
+        steps = sample.cache
+        if steps is None:
+            raise ValueError("sample has no cached activations; was it "
+                             "produced by this controller's sample()?")
+        grads = {id(p): np.zeros_like(p) for p in self._param_list()}
+
+        def grad_of(param: np.ndarray) -> np.ndarray:
+            return grads[id(param)]
+
+        hs = self.hidden_size
+        dh_next = np.zeros(hs)
+        dc_next = np.zeros(hs)
+        dx_next: np.ndarray | None = None
+        loss = 0.0
+        for t in range(len(steps) - 1, -1, -1):
+            s = steps[t]
+            probs, token = s["probs"], s["token"]
+            # Loss = -A * log pi - w_H * H; dlogits accordingly.
+            one_hot = np.zeros_like(probs)
+            one_hot[token] = 1.0
+            d_logits = advantage * (probs - one_hot)
+            loss += -advantage * float(np.log(probs[token] + 1e-12))
+            if self.entropy_weight:
+                log_p = np.log(probs + 1e-12)
+                entropy = -float((probs * log_p).sum())
+                d_logits += self.entropy_weight * probs * (log_p + entropy)
+                loss += -self.entropy_weight * entropy
+            w_head, b_head = self.heads[s["kind"]]
+            grad_of(w_head)[...] += np.outer(s["h"], d_logits)
+            grad_of(b_head)[...] += d_logits
+            dh = d_logits @ w_head.T + dh_next
+            # The *next* step's input embedding was this step's token.
+            if dx_next is not None:
+                grad_of(self.embeddings[s["kind"]])[token] += dx_next
+            # LSTM cell backward.
+            do = dh * s["tanh_c"]
+            dc = dh * s["o"] * (1 - s["tanh_c"] ** 2) + dc_next
+            di = dc * s["g"]
+            df = dc * s["c_prev"]
+            dg = dc * s["i"]
+            dc_next = dc * s["f"]
+            dz = np.concatenate([
+                di * s["i"] * (1 - s["i"]),
+                df * s["f"] * (1 - s["f"]),
+                dg * (1 - s["g"] ** 2),
+                do * s["o"] * (1 - s["o"]),
+            ])
+            grad_of(self.w_lstm)[...] += np.outer(s["concat"], dz)
+            grad_of(self.b_lstm)[...] += dz
+            d_concat = dz @ self.w_lstm.T
+            dh_next = d_concat[:hs]
+            dx_next = d_concat[hs:]
+        if dx_next is not None:
+            grad_of(self.start_embedding)[...] += dx_next
+        params = self._param_list()
+        self._adam.step([grads[id(p)] for p in params])
+        return loss
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class RandomController:
+    """Uniform random policy -- the no-learning baseline.
+
+    ``update`` is a no-op; useful for isolating how much of a search
+    outcome the REINFORCE learning actually contributes (controller
+    ablation) and as a worst-case in tests.
+    """
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        force_tokens: list[int] | None = None,
+    ) -> ControllerSample:
+        """Uniform token sequence (or score a fixed one)."""
+        if force_tokens is not None:
+            tokens = list(force_tokens)
+        else:
+            tokens = self.space.random_tokens(rng)
+        log_prob = -sum(
+            float(np.log(len(self.space.choices_at(s))))
+            for s in range(self.space.num_decisions)
+        )
+        return ControllerSample(tokens=tokens, log_prob=log_prob, cache=None)
+
+    def update(self, sample: ControllerSample, advantage: float) -> float:
+        """No learning: always returns 0."""
+        del sample, advantage
+        return 0.0
+
+
+class TabularController:
+    """Independent softmax logits per decision step (REINFORCE)."""
+
+    def __init__(self, space: SearchSpace, lr: float = 0.15, seed: int = 0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.space = space
+        self.logits = [
+            np.zeros(len(space.choices_at(step)))
+            for step in range(space.num_decisions)
+        ]
+        self._adam = _AdamState(self.logits, lr)
+        del seed  # deterministic init; kept for interface symmetry
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        force_tokens: list[int] | None = None,
+    ) -> ControllerSample:
+        """Sample each step independently (or score ``force_tokens``)."""
+        if force_tokens is not None and len(force_tokens) != len(self.logits):
+            raise ValueError(
+                f"force_tokens must have {len(self.logits)} entries"
+            )
+        tokens: list[int] = []
+        log_prob = 0.0
+        for step, step_logits in enumerate(self.logits):
+            probs = _softmax(step_logits)
+            if force_tokens is not None:
+                token = force_tokens[step]
+            else:
+                token = int(rng.choice(len(probs), p=probs))
+            log_prob += float(np.log(probs[token] + 1e-12))
+            tokens.append(token)
+        return ControllerSample(tokens=tokens, log_prob=log_prob, cache=None)
+
+    def update(self, sample: ControllerSample, advantage: float) -> float:
+        """REINFORCE on the per-step categorical distributions."""
+        grads = []
+        loss = 0.0
+        for step_logits, token in zip(self.logits, sample.tokens):
+            probs = _softmax(step_logits)
+            one_hot = np.zeros_like(probs)
+            one_hot[token] = 1.0
+            grads.append(advantage * (probs - one_hot))
+            loss += -advantage * float(np.log(probs[token] + 1e-12))
+        self._adam.step(grads)
+        return loss

@@ -1,0 +1,131 @@
+"""Accuracy evaluators: how a child network's accuracy ``A`` is obtained.
+
+Two interchangeable implementations behind one protocol:
+
+* :class:`TrainedAccuracyEvaluator` -- actually trains the child with
+  the NumPy substrate on a (synthetic) dataset; the honest path, used
+  in examples and integration tests.
+* :class:`SurrogateAccuracyEvaluator` -- the calibrated landscape of
+  ``repro.surrogate``; the paper-scale path used by the benchmark
+  harness, with simulated search-time costs anchored on Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.architecture import Architecture
+from repro.core.search_space import SearchSpace
+from repro.datasets.base import Dataset
+from repro.configs import ExperimentConfig, get_config
+from repro.nn.builder import build_network
+from repro.nn.trainer import Trainer
+from repro.surrogate.accuracy_model import (
+    SurrogateAccuracyModel,
+    SurrogateCalibration,
+)
+from repro.surrogate.cost_model import SearchCostModel
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """Accuracy of one trained child plus what the training cost."""
+
+    accuracy: float
+    train_seconds: float
+
+
+class AccuracyEvaluator(Protocol):
+    """Anything that can score a child network."""
+
+    def evaluate(self, architecture: Architecture) -> EvaluationOutcome:
+        """Train (or simulate training) and return the reward accuracy."""
+        ...
+
+    def latency_eval_seconds(self) -> float:
+        """Cost charged for one FNAS-tool latency estimate."""
+        ...
+
+
+class SurrogateAccuracyEvaluator:
+    """Surrogate landscape + Table 1-anchored cost model."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        config: ExperimentConfig | None = None,
+        calibration: SurrogateCalibration | None = None,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.config = config if config is not None else get_config(space.name)
+        self.model = SurrogateAccuracyModel(
+            space, calibration=calibration, seed=seed
+        )
+        self.cost_model = SearchCostModel(self.config)
+
+    def evaluate(self, architecture: Architecture) -> EvaluationOutcome:
+        """Simulated accuracy + simulated training cost."""
+        return EvaluationOutcome(
+            accuracy=self.model.accuracy(architecture),
+            train_seconds=self.cost_model.train_seconds(architecture),
+        )
+
+    def latency_eval_seconds(self) -> float:
+        """Simulated FNAS-tool cost per estimate."""
+        return self.cost_model.latency_eval_seconds()
+
+
+class TrainedAccuracyEvaluator:
+    """Real NumPy training on a dataset; costs are measured wall time."""
+
+    #: Wall cost of one analytical latency estimate (measured, tiny).
+    LATENCY_EVAL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        trainer: Trainer | None = None,
+        init_seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.trainer = trainer if trainer is not None else Trainer(
+            epochs=5, lr=0.02
+        )
+        self.init_seed = init_seed
+
+    def evaluate(self, architecture: Architecture) -> EvaluationOutcome:
+        """Build, train, and score one child network."""
+        if architecture.input_size != self.dataset.input_size:
+            raise ValueError(
+                f"architecture expects {architecture.input_size}px inputs, "
+                f"dataset provides {self.dataset.input_size}px"
+            )
+        if architecture.input_channels != self.dataset.input_channels:
+            raise ValueError(
+                f"architecture expects {architecture.input_channels} "
+                f"channels, dataset provides {self.dataset.input_channels}"
+            )
+        started = time.perf_counter()
+        network = build_network(
+            architecture, rng=np.random.default_rng(self.init_seed)
+        )
+        result = self.trainer.train(
+            network,
+            self.dataset.train_x,
+            self.dataset.train_y,
+            self.dataset.val_x,
+            self.dataset.val_y,
+        )
+        return EvaluationOutcome(
+            accuracy=result.best_accuracy,
+            train_seconds=time.perf_counter() - started,
+        )
+
+    def latency_eval_seconds(self) -> float:
+        """Nominal analytical-model cost."""
+        return self.LATENCY_EVAL_SECONDS

@@ -1,0 +1,108 @@
+"""The FNAS reward function (paper equation (1)).
+
+::
+
+    R = (rL - L) / rL - 1                 if L > rL   (violation)
+    R = (A - b) + L / rL                  if L <= rL  (satisfaction)
+
+where ``A`` is the child's validation accuracy, ``L`` its estimated
+latency, ``rL`` the required latency, and ``b`` an exponential moving
+average of previous accuracies (the REINFORCE baseline of Zoph's NAS).
+
+Two properties worth noting:
+
+* the violation branch never needs the accuracy -- this is what lets
+  FNAS skip training for violating children entirely;
+* in the satisfaction branch, ``L / rL`` grows as the latency
+  *approaches* the spec: among valid networks, the reward nudges the
+  controller toward the biggest (most accurate) ones that still fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RewardSignal:
+    """A computed reward plus the facts it was derived from."""
+
+    value: float
+    violated: bool
+    latency_ms: float
+    accuracy: float | None
+
+
+class FnasReward:
+    """Equation (1), bound to one timing specification."""
+
+    def __init__(self, required_latency_ms: float):
+        if required_latency_ms <= 0:
+            raise ValueError(
+                f"required_latency_ms must be positive, got {required_latency_ms}"
+            )
+        self.required_latency_ms = required_latency_ms
+
+    def violates(self, latency_ms: float) -> bool:
+        """Whether a latency breaks the spec (strict inequality, per eq. 1)."""
+        return latency_ms > self.required_latency_ms
+
+    def violation(self, latency_ms: float) -> RewardSignal:
+        """First branch: negative reward, no training required."""
+        if not self.violates(latency_ms):
+            raise ValueError(
+                f"latency {latency_ms}ms satisfies the spec "
+                f"{self.required_latency_ms}ms; use satisfaction()"
+            )
+        rl = self.required_latency_ms
+        value = (rl - latency_ms) / rl - 1.0
+        return RewardSignal(
+            value=value, violated=True, latency_ms=latency_ms, accuracy=None
+        )
+
+    def satisfaction(
+        self, accuracy: float, latency_ms: float, baseline: float
+    ) -> RewardSignal:
+        """Second branch: accuracy advantage plus the latency-utilisation term."""
+        if self.violates(latency_ms):
+            raise ValueError(
+                f"latency {latency_ms}ms violates the spec "
+                f"{self.required_latency_ms}ms; use violation()"
+            )
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        value = (accuracy - baseline) + latency_ms / self.required_latency_ms
+        return RewardSignal(
+            value=value, violated=False, latency_ms=latency_ms,
+            accuracy=accuracy,
+        )
+
+
+class AccuracyBaseline:
+    """Exponential moving average of child accuracies (the paper's ``b``)."""
+
+    def __init__(self, decay: float = 0.9):
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.decay = decay
+        self._value: float | None = None
+
+    @property
+    def value(self) -> float:
+        """Current baseline (0 until the first observation)."""
+        return self._value if self._value is not None else 0.0
+
+    @property
+    def initialized(self) -> bool:
+        """Whether any accuracy has been observed."""
+        return self._value is not None
+
+    def update(self, accuracy: float) -> float:
+        """Fold one accuracy into the EMA and return the new baseline."""
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        if self._value is None:
+            self._value = accuracy
+        else:
+            self._value = self.decay * self._value + (1 - self.decay) * accuracy
+        return self._value

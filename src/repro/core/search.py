@@ -1,0 +1,259 @@
+"""The search loops: plain NAS (baseline) and FNAS.
+
+Both drive the same controller/evaluator machinery; they differ exactly
+where the paper says they do (Figure 1 vs Figure 2):
+
+* :class:`NasSearch` -- Zoph-style accuracy-only search: every sampled
+  child is trained, reward is the accuracy, the advantage is
+  ``A - b`` with ``b`` the EMA baseline.
+* :class:`FnasSearch` -- FNAS: every sampled child first goes through
+  the FNAS tool (latency estimate).  Spec violators get the negative
+  reward of eq. (1) *without being trained*; the rest are trained and
+  rewarded with ``(A - b) + L/rL``.
+
+Each trial is logged to a :class:`SearchResult` ledger that records both
+the simulated search cost (what Table 1's "Elapsed" column measures)
+and the outcome quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.architecture import Architecture
+from repro.core.controller import Controller, LstmController
+from repro.core.evaluator import AccuracyEvaluator
+from repro.core.reward import AccuracyBaseline, FnasReward
+from repro.core.search_space import SearchSpace
+from repro.latency.estimator import LatencyEstimator
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One controller sample and everything that happened to it."""
+
+    index: int
+    tokens: tuple[int, ...]
+    architecture: Architecture
+    latency_ms: float | None
+    accuracy: float | None
+    reward: float
+    trained: bool
+    sim_seconds: float
+
+    @property
+    def pruned(self) -> bool:
+        """True when the FNAS tool rejected the child before training."""
+        return not self.trained
+
+
+@dataclass
+class SearchResult:
+    """Full ledger of one search run."""
+
+    name: str
+    trials: list[TrialRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated search time (the Table 1 'Elapsed' analogue)."""
+        return sum(t.sim_seconds for t in self.trials)
+
+    @property
+    def trained_count(self) -> int:
+        """Children that were actually trained."""
+        return sum(1 for t in self.trials if t.trained)
+
+    @property
+    def pruned_count(self) -> int:
+        """Children rejected by the latency check before training."""
+        return sum(1 for t in self.trials if t.pruned)
+
+    def best(self) -> TrialRecord:
+        """Highest-accuracy trained trial."""
+        trained = [t for t in self.trials if t.accuracy is not None]
+        if not trained:
+            raise ValueError(f"search {self.name!r} trained no children")
+        return max(trained, key=lambda t: t.accuracy)
+
+    def best_valid(self, required_latency_ms: float) -> TrialRecord:
+        """Highest-accuracy trial whose latency meets ``required_latency_ms``."""
+        valid = [
+            t for t in self.trials
+            if t.accuracy is not None
+            and t.latency_ms is not None
+            and t.latency_ms <= required_latency_ms
+        ]
+        if not valid:
+            raise ValueError(
+                f"search {self.name!r} found no child meeting "
+                f"{required_latency_ms}ms"
+            )
+        return max(valid, key=lambda t: t.accuracy)
+
+
+class NasSearch:
+    """Accuracy-only architecture search (the paper's baseline [16])."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluator: AccuracyEvaluator,
+        controller: Controller | None = None,
+        latency_estimator: LatencyEstimator | None = None,
+        baseline_decay: float = 0.9,
+    ):
+        self.space = space
+        self.evaluator = evaluator
+        self.controller = (
+            controller if controller is not None else LstmController(space)
+        )
+        # NAS ignores latency during search, but the experiments report
+        # the latency of its final architecture; an estimator here lets
+        # the ledger carry it without affecting the reward.
+        self.latency_estimator = latency_estimator
+        self.baseline = AccuracyBaseline(decay=baseline_decay)
+
+    def run(self, trials: int, rng: np.random.Generator) -> SearchResult:
+        """Sample, train and update for ``trials`` children."""
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        result = SearchResult(name="nas")
+        started = time.perf_counter()
+        for index in range(trials):
+            sample = self.controller.sample(rng)
+            architecture = self.space.decode(sample.tokens)
+            outcome = self.evaluator.evaluate(architecture)
+            advantage = outcome.accuracy - self.baseline.value
+            if not self.baseline.initialized:
+                advantage = 0.0
+            self.baseline.update(outcome.accuracy)
+            self.controller.update(sample, advantage)
+            latency_ms = None
+            if self.latency_estimator is not None:
+                latency_ms = self.latency_estimator.estimate(architecture).ms
+            result.trials.append(
+                TrialRecord(
+                    index=index,
+                    tokens=tuple(sample.tokens),
+                    architecture=architecture,
+                    latency_ms=latency_ms,
+                    accuracy=outcome.accuracy,
+                    reward=outcome.accuracy,
+                    trained=True,
+                    sim_seconds=outcome.train_seconds,
+                )
+            )
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+
+class FnasSearch:
+    """FPGA-implementation aware search (the paper's Figure 2 loop)."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluator: AccuracyEvaluator,
+        latency_estimator: LatencyEstimator,
+        required_latency_ms: float,
+        controller: Controller | None = None,
+        baseline_decay: float = 0.9,
+        min_latency_fallback: bool = False,
+    ):
+        """``min_latency_fallback``: if the trial budget ends with no
+        spec-meeting child trained, evaluate the space's smallest
+        (minimum-capacity, hence fastest) architecture as one extra
+        ledger entry, so a valid design is returned whenever the spec is
+        satisfiable at all."""
+        self.space = space
+        self.evaluator = evaluator
+        self.latency_estimator = latency_estimator
+        self.reward_fn = FnasReward(required_latency_ms)
+        self.controller = (
+            controller if controller is not None else LstmController(space)
+        )
+        self.baseline = AccuracyBaseline(decay=baseline_decay)
+        self.min_latency_fallback = min_latency_fallback
+
+    @property
+    def required_latency_ms(self) -> float:
+        """The timing specification ``rL``."""
+        return self.reward_fn.required_latency_ms
+
+    def run(self, trials: int, rng: np.random.Generator) -> SearchResult:
+        """Run the FNAS loop for ``trials`` children."""
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        result = SearchResult(name=f"fnas-{self.required_latency_ms:g}ms")
+        started = time.perf_counter()
+        for index in range(trials):
+            sample = self.controller.sample(rng)
+            architecture = self.space.decode(sample.tokens)
+            latency_ms = self.latency_estimator.estimate(architecture).ms
+            sim_seconds = self.evaluator.latency_eval_seconds()
+            if self.reward_fn.violates(latency_ms):
+                signal = self.reward_fn.violation(latency_ms)
+                accuracy = None
+                trained = False
+                advantage = signal.value
+            else:
+                outcome = self.evaluator.evaluate(architecture)
+                accuracy = outcome.accuracy
+                sim_seconds += outcome.train_seconds
+                signal = self.reward_fn.satisfaction(
+                    accuracy, latency_ms, self.baseline.value
+                )
+                trained = True
+                advantage = signal.value
+                self.baseline.update(accuracy)
+            self.controller.update(sample, advantage)
+            result.trials.append(
+                TrialRecord(
+                    index=index,
+                    tokens=tuple(sample.tokens),
+                    architecture=architecture,
+                    latency_ms=latency_ms,
+                    accuracy=accuracy,
+                    reward=signal.value,
+                    trained=trained,
+                    sim_seconds=sim_seconds,
+                )
+            )
+        if self.min_latency_fallback and not any(
+            t.trained and t.latency_ms is not None
+            and t.latency_ms <= self.required_latency_ms
+            for t in result.trials
+        ):
+            self._append_fallback_trial(result)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _append_fallback_trial(self, result: SearchResult) -> None:
+        """Train the smallest architecture if it meets the spec."""
+        tokens = [0] * self.space.num_decisions
+        architecture = self.space.decode(tokens)
+        latency_ms = self.latency_estimator.estimate(architecture).ms
+        if self.reward_fn.violates(latency_ms):
+            return  # the spec is unsatisfiable even by the smallest child
+        outcome = self.evaluator.evaluate(architecture)
+        signal = self.reward_fn.satisfaction(
+            outcome.accuracy, latency_ms, self.baseline.value
+        )
+        result.trials.append(
+            TrialRecord(
+                index=len(result.trials),
+                tokens=tuple(tokens),
+                architecture=architecture,
+                latency_ms=latency_ms,
+                accuracy=outcome.accuracy,
+                reward=signal.value,
+                trained=True,
+                sim_seconds=(self.evaluator.latency_eval_seconds()
+                             + outcome.train_seconds),
+            )
+        )

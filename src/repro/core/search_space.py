@@ -1,0 +1,168 @@
+"""The NAS search space: per-layer hyperparameter choice lists.
+
+Following the paper (and Zoph's NAS it builds on), the controller makes
+two decisions per layer -- the filter size and the number of filters --
+from fixed choice lists (Table 2).  A :class:`SearchSpace` owns those
+lists and converts between controller *token sequences* (one choice
+index per decision) and concrete
+:class:`~repro.core.architecture.Architecture` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.architecture import Architecture
+from repro.configs import ExperimentConfig
+
+#: Decision kinds, in per-layer order.
+FILTER_SIZE = "filter_size"
+FILTER_COUNT = "filter_count"
+DECISIONS_PER_LAYER = 2
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A layered CNN search space with per-layer (FS, FN) choices."""
+
+    name: str
+    num_layers: int
+    filter_sizes: tuple[int, ...]
+    filter_counts: tuple[int, ...]
+    input_size: int
+    input_channels: int
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if not self.filter_sizes or not self.filter_counts:
+            raise ValueError("choice lists cannot be empty")
+        if len(set(self.filter_sizes)) != len(self.filter_sizes):
+            raise ValueError("filter_sizes contains duplicates")
+        if len(set(self.filter_counts)) != len(self.filter_counts):
+            raise ValueError("filter_counts contains duplicates")
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "SearchSpace":
+        """Build the space described by a Table 2 row."""
+        return cls(
+            name=config.dataset,
+            num_layers=config.num_layers,
+            filter_sizes=tuple(config.filter_sizes),
+            filter_counts=tuple(config.filter_counts),
+            input_size=config.input_size,
+            input_channels=config.input_channels,
+            num_classes=config.num_classes,
+        )
+
+    # -- token geometry -----------------------------------------------------
+
+    @property
+    def num_decisions(self) -> int:
+        """Length of a full token sequence (2 per layer)."""
+        return self.num_layers * DECISIONS_PER_LAYER
+
+    def decision_kind(self, step: int) -> str:
+        """Which hyperparameter the ``step``-th token selects."""
+        if not 0 <= step < self.num_decisions:
+            raise ValueError(f"step {step} out of range [0, {self.num_decisions})")
+        return FILTER_SIZE if step % DECISIONS_PER_LAYER == 0 else FILTER_COUNT
+
+    def choices_at(self, step: int) -> tuple[int, ...]:
+        """The choice list the ``step``-th token indexes into."""
+        if self.decision_kind(step) == FILTER_SIZE:
+            return self.filter_sizes
+        return self.filter_counts
+
+    @property
+    def size(self) -> int:
+        """Number of distinct token sequences."""
+        return (len(self.filter_sizes) * len(self.filter_counts)) ** self.num_layers
+
+    # -- encode / decode ------------------------------------------------------
+
+    def decode(self, tokens: list[int] | tuple[int, ...]) -> Architecture:
+        """Token sequence -> architecture.
+
+        ``tokens[2i]`` indexes ``filter_sizes`` and ``tokens[2i+1]``
+        indexes ``filter_counts`` for layer ``i``.
+        """
+        if len(tokens) != self.num_decisions:
+            raise ValueError(
+                f"expected {self.num_decisions} tokens, got {len(tokens)}"
+            )
+        sizes, counts = [], []
+        for step, token in enumerate(tokens):
+            choices = self.choices_at(step)
+            if not 0 <= token < len(choices):
+                raise ValueError(
+                    f"token {token} at step {step} out of range for "
+                    f"{len(choices)} choices"
+                )
+            if self.decision_kind(step) == FILTER_SIZE:
+                sizes.append(choices[token])
+            else:
+                counts.append(choices[token])
+        return Architecture.from_choices(
+            filter_sizes=sizes,
+            filter_counts=counts,
+            input_size=self.input_size,
+            input_channels=self.input_channels,
+            num_classes=self.num_classes,
+        )
+
+    def encode(self, architecture: Architecture) -> list[int]:
+        """Architecture -> token sequence (inverse of :meth:`decode`).
+
+        Kernel sizes clamped by :meth:`Architecture.from_choices` are
+        mapped back to the smallest choice >= the clamped kernel.
+        """
+        if architecture.depth != self.num_layers:
+            raise ValueError(
+                f"architecture depth {architecture.depth} != space layers "
+                f"{self.num_layers}"
+            )
+        tokens: list[int] = []
+        for layer in architecture.layers:
+            kernel = layer.kernel
+            if kernel in self.filter_sizes:
+                fs_idx = self.filter_sizes.index(kernel)
+            else:
+                bigger = [s for s in self.filter_sizes if s >= kernel]
+                if not bigger:
+                    raise ValueError(
+                        f"kernel {kernel} not representable in {self.filter_sizes}"
+                    )
+                fs_idx = self.filter_sizes.index(min(bigger))
+            if layer.out_channels not in self.filter_counts:
+                raise ValueError(
+                    f"filter count {layer.out_channels} not in "
+                    f"{self.filter_counts}"
+                )
+            tokens.append(fs_idx)
+            tokens.append(self.filter_counts.index(layer.out_channels))
+        return tokens
+
+    # -- sampling / enumeration ----------------------------------------------
+
+    def random_tokens(self, rng: np.random.Generator) -> list[int]:
+        """A uniformly random token sequence."""
+        return [
+            int(rng.integers(0, len(self.choices_at(step))))
+            for step in range(self.num_decisions)
+        ]
+
+    def random_architecture(self, rng: np.random.Generator) -> Architecture:
+        """A uniformly random architecture."""
+        return self.decode(self.random_tokens(rng))
+
+    def enumerate_architectures(self) -> Iterator[Architecture]:
+        """Yield every architecture in the space (use only for small spaces)."""
+        per_step = [range(len(self.choices_at(s))) for s in range(self.num_decisions)]
+        for tokens in itertools.product(*per_step):
+            yield self.decode(list(tokens))

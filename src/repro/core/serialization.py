@@ -1,0 +1,107 @@
+"""JSON serialization for architectures and search ledgers.
+
+Search runs are expensive; these helpers let users persist ledgers and
+reload the winning architectures without keeping Python objects alive:
+
+* :func:`architecture_to_dict` / :func:`architecture_from_dict`
+* :func:`trial_to_dict`
+* :func:`search_result_to_dict` / :func:`save_search_result`
+
+Round-tripping preserves everything needed to rebuild the network
+(builder input) and the FPGA design (estimator input); controller state
+is deliberately not serialized (re-searching beats resuming a policy
+whose reward landscape may have changed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.architecture import Architecture, ConvLayerSpec
+from repro.core.search import SearchResult, TrialRecord
+
+#: Schema tag written into every file for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+def architecture_to_dict(architecture: Architecture) -> dict[str, Any]:
+    """Architecture -> plain JSON-compatible dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "input_size": architecture.input_size,
+        "input_channels": architecture.input_channels,
+        "num_classes": architecture.num_classes,
+        "layers": [
+            {
+                "kernel": layer.kernel,
+                "out_channels": layer.out_channels,
+                "stride": layer.stride,
+            }
+            for layer in architecture.layers
+        ],
+    }
+
+
+def architecture_from_dict(data: dict[str, Any]) -> Architecture:
+    """Inverse of :func:`architecture_to_dict`."""
+    schema = data.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {schema}")
+    try:
+        layers = data["layers"]
+        return Architecture.from_choices(
+            filter_sizes=[l["kernel"] for l in layers],
+            filter_counts=[l["out_channels"] for l in layers],
+            strides=[l.get("stride", 1) for l in layers],
+            input_size=data["input_size"],
+            input_channels=data["input_channels"],
+            num_classes=data["num_classes"],
+        )
+    except KeyError as missing:
+        raise ValueError(f"architecture dict missing field {missing}")
+
+
+def trial_to_dict(trial: TrialRecord) -> dict[str, Any]:
+    """TrialRecord -> plain dict (architecture embedded)."""
+    return {
+        "index": trial.index,
+        "tokens": list(trial.tokens),
+        "architecture": architecture_to_dict(trial.architecture),
+        "latency_ms": trial.latency_ms,
+        "accuracy": trial.accuracy,
+        "reward": trial.reward,
+        "trained": trial.trained,
+        "sim_seconds": trial.sim_seconds,
+    }
+
+
+def search_result_to_dict(result: SearchResult) -> dict[str, Any]:
+    """SearchResult -> plain dict with summary fields."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": result.name,
+        "wall_seconds": result.wall_seconds,
+        "simulated_seconds": result.simulated_seconds,
+        "trained_count": result.trained_count,
+        "pruned_count": result.pruned_count,
+        "trials": [trial_to_dict(t) for t in result.trials],
+    }
+
+
+def save_search_result(result: SearchResult, path: str | Path) -> None:
+    """Write a search ledger to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(search_result_to_dict(result), indent=2))
+
+
+def load_architecture(path: str | Path) -> Architecture:
+    """Load an architecture saved via :func:`save_architecture`."""
+    return architecture_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_architecture(architecture: Architecture, path: str | Path) -> None:
+    """Write one architecture to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(architecture_to_dict(architecture), indent=2))

@@ -1,0 +1,78 @@
+"""Dataset container shared by all synthetic generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """An image-classification dataset split into train and validation.
+
+    Images are NCHW ``float32`` in ``[0, 1]``; labels are integer class
+    ids.  Mirrors the paper's Table 2 structure (train set + held-out
+    validation set used for the reward accuracy).
+    """
+
+    name: str
+    train_x: np.ndarray
+    train_y: np.ndarray
+    val_x: np.ndarray
+    val_y: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.train_x.ndim != 4 or self.val_x.ndim != 4:
+            raise ValueError("images must be NCHW 4-D arrays")
+        if self.train_x.shape[0] != self.train_y.shape[0]:
+            raise ValueError("train image/label counts differ")
+        if self.val_x.shape[0] != self.val_y.shape[0]:
+            raise ValueError("val image/label counts differ")
+        if self.train_x.shape[1:] != self.val_x.shape[1:]:
+            raise ValueError("train/val image shapes differ")
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        for labels in (self.train_y, self.val_y):
+            if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+                raise ValueError("labels out of range")
+
+    @property
+    def input_channels(self) -> int:
+        """Image channels (1 for MNIST-like, 3 for CIFAR-like)."""
+        return self.train_x.shape[1]
+
+    @property
+    def input_size(self) -> int:
+        """Image height (== width; all generators emit square images)."""
+        return self.train_x.shape[2]
+
+    @property
+    def train_size(self) -> int:
+        """Training example count."""
+        return self.train_x.shape[0]
+
+    @property
+    def val_size(self) -> int:
+        """Validation example count."""
+        return self.val_x.shape[0]
+
+    def subsample(self, train: int, val: int, seed: int = 0) -> "Dataset":
+        """A smaller dataset drawn without replacement from this one."""
+        if train > self.train_size or val > self.val_size:
+            raise ValueError(
+                f"requested {train}/{val} but have "
+                f"{self.train_size}/{self.val_size}"
+            )
+        rng = np.random.default_rng(seed)
+        t_idx = rng.choice(self.train_size, size=train, replace=False)
+        v_idx = rng.choice(self.val_size, size=val, replace=False)
+        return Dataset(
+            name=f"{self.name}-sub{train}",
+            train_x=self.train_x[t_idx],
+            train_y=self.train_y[t_idx],
+            val_x=self.val_x[v_idx],
+            val_y=self.val_y[v_idx],
+            num_classes=self.num_classes,
+        )

@@ -1,0 +1,38 @@
+"""Dataset registry: name -> generator."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic_cifar import make_cifar
+from repro.datasets.synthetic_imagenet import make_imagenet
+from repro.datasets.synthetic_mnist import make_mnist
+
+_GENERATORS: dict[str, Callable[..., Dataset]] = {
+    "mnist": make_mnist,
+    "cifar10": make_cifar,
+    "imagenet": make_imagenet,
+}
+
+
+def dataset_names() -> list[str]:
+    """Registered dataset names."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(
+    name: str, train_size: int = 2000, val_size: int = 500, seed: int = 0
+) -> Dataset:
+    """Generate a dataset by name.
+
+    ``name`` is one of :func:`dataset_names`.  Sizes default to a
+    laptop-friendly scale; pass the Table 2 sizes (see
+    ``repro.experiments.configs``) for paper-scale runs.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        known = ", ".join(dataset_names())
+        raise KeyError(f"unknown dataset {name!r}; known: {known}")
+    return generator(train_size=train_size, val_size=val_size, seed=seed)

@@ -1,0 +1,90 @@
+"""Synthetic CIFAR-10: class-conditional colored textures.
+
+Each class is a fixed (per seed) combination of a sinusoidal grating
+orientation/frequency and an RGB color palette; samples add random
+phase, per-image contrast and noise.  A convolutional network must learn
+oriented-frequency filters and color statistics to separate the classes,
+which is the same *kind* of discrimination real CIFAR requires, at a
+difficulty small NumPy-trained CNNs can make visible progress on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+IMAGE_SIZE = 32
+NUM_CLASSES = 10
+
+
+def _class_parameters(
+    num_classes: int, rng: np.random.Generator
+) -> list[dict]:
+    """Fixed texture parameters per class."""
+    params = []
+    for c in range(num_classes):
+        params.append(
+            {
+                "theta": np.pi * c / num_classes + rng.uniform(-0.1, 0.1),
+                "freq": 0.25 + 0.9 * rng.uniform() + 0.15 * c / num_classes,
+                "color": rng.uniform(0.2, 0.9, size=3),
+                "secondary": rng.uniform(0.1, 0.6, size=3),
+            }
+        )
+    return params
+
+
+def _render(params: dict, rng: np.random.Generator, size: int) -> np.ndarray:
+    """One (3, size, size) texture sample for a class."""
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float32)
+    theta = params["theta"] + rng.normal(0.0, 0.05)
+    freq = params["freq"] * rng.uniform(0.9, 1.1)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    wave = np.sin(freq * (np.cos(theta) * xs + np.sin(theta) * ys) + phase)
+    wave = 0.5 * (wave + 1.0)  # -> [0, 1]
+    contrast = rng.uniform(0.6, 1.0)
+    image = np.empty((3, size, size), dtype=np.float32)
+    for ch in range(3):
+        base = params["color"][ch] * wave + params["secondary"][ch] * (1 - wave)
+        image[ch] = contrast * base
+    image += rng.normal(0.0, 0.06, size=image.shape).astype(np.float32)
+    return np.clip(image, 0.0, 1.0)
+
+
+def _generate(
+    count: int,
+    params: list[dict],
+    rng: np.random.Generator,
+    size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``count`` labelled texture images."""
+    num_classes = len(params)
+    labels = rng.integers(0, num_classes, size=count)
+    images = np.empty((count, 3, size, size), dtype=np.float32)
+    for i, label in enumerate(labels):
+        images[i] = _render(params[int(label)], rng, size)
+    return images, labels.astype(np.int64)
+
+
+def make_cifar(
+    train_size: int = 2000, val_size: int = 500, seed: int = 0
+) -> Dataset:
+    """Build a synthetic CIFAR-10-like dataset (32x32x3, 10 classes).
+
+    Paper-scale splits are 45,000 / 5,000 (Table 2).
+    """
+    if train_size <= 0 or val_size <= 0:
+        raise ValueError("split sizes must be positive")
+    rng = np.random.default_rng(seed)
+    params = _class_parameters(NUM_CLASSES, rng)
+    train_x, train_y = _generate(train_size, params, rng, IMAGE_SIZE)
+    val_x, val_y = _generate(val_size, params, rng, IMAGE_SIZE)
+    return Dataset(
+        name="synthetic-cifar10",
+        train_x=train_x,
+        train_y=train_y,
+        val_x=val_x,
+        val_y=val_y,
+        num_classes=NUM_CLASSES,
+    )

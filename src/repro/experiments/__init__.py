@@ -1,0 +1,68 @@
+"""Experiment runners: one per table/figure of the paper's evaluation."""
+
+from repro.experiments.configs import (
+    CIFAR_CONFIG,
+    CONFIGS,
+    IMAGENET_CONFIG,
+    MNIST_CONFIG,
+    ExperimentConfig,
+    TimingSpecs,
+    get_config,
+)
+from repro.experiments.ablation import (
+    PruningAblationResult,
+    ReuseAblationResult,
+    run_pruning_ablation,
+    run_reuse_ablation,
+)
+from repro.experiments.figure6 import Figure6Bar, Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Point, Figure7Result, run_figure7
+from repro.experiments.figure8 import (
+    Figure8Point,
+    Figure8Result,
+    figure8_architectures,
+    run_figure8,
+)
+from repro.experiments.pareto import (
+    ParetoFront,
+    ParetoPoint,
+    compute_pareto_front,
+)
+from repro.experiments.reporting import format_minutes, format_table, improvement
+from repro.experiments.runner import PairedSearchOutcome, run_paired_search
+from repro.experiments.table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "PruningAblationResult",
+    "ReuseAblationResult",
+    "run_pruning_ablation",
+    "run_reuse_ablation",
+    "ParetoFront",
+    "ParetoPoint",
+    "compute_pareto_front",
+    "CIFAR_CONFIG",
+    "CONFIGS",
+    "IMAGENET_CONFIG",
+    "MNIST_CONFIG",
+    "ExperimentConfig",
+    "TimingSpecs",
+    "get_config",
+    "Figure6Bar",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Point",
+    "Figure7Result",
+    "run_figure7",
+    "Figure8Point",
+    "Figure8Result",
+    "figure8_architectures",
+    "run_figure8",
+    "format_minutes",
+    "format_table",
+    "improvement",
+    "PairedSearchOutcome",
+    "run_paired_search",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+]

@@ -1,0 +1,27 @@
+"""Table 2 configs -- re-exported from :mod:`repro.configs`.
+
+The canonical definitions live in ``repro.configs`` (a leaf module) so
+that core modules can import them without pulling in the experiment
+runners; this shim keeps the natural ``repro.experiments.configs`` path
+working.
+"""
+
+from repro.configs import (
+    CIFAR_CONFIG,
+    CONFIGS,
+    IMAGENET_CONFIG,
+    MNIST_CONFIG,
+    ExperimentConfig,
+    TimingSpecs,
+    get_config,
+)
+
+__all__ = [
+    "CIFAR_CONFIG",
+    "CONFIGS",
+    "IMAGENET_CONFIG",
+    "MNIST_CONFIG",
+    "ExperimentConfig",
+    "TimingSpecs",
+    "get_config",
+]

@@ -1,0 +1,138 @@
+"""Energy-aware FNAS (extension: the paper's motivating metric).
+
+The paper motivates FPGAs with "high performance *and energy
+efficiency*" but only constrains latency.  This extension adds an
+energy budget to the search: a child is pruned when *either* its
+latency or its estimated inference energy violates its budget, and the
+satisfaction reward gains a normalised energy-utilisation term, mirror-
+symmetric to equation (1)'s latency term::
+
+    R = (rL - L)/rL - 1                        latency violation
+    R = (rE - E)/rE - 1                        energy violation
+    R = (A - b) + 0.5 * (L/rL + E/rE)          both satisfied
+
+The energy estimate reuses the analytical design: compute energy from
+DSP-cycles, traffic energy from the schedule-free worst case (an upper
+bound, so the guarantee direction is conservative).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controller import Controller, LstmController
+from repro.core.evaluator import AccuracyEvaluator
+from repro.core.reward import AccuracyBaseline
+from repro.core.search import SearchResult, TrialRecord
+from repro.core.search_space import SearchSpace
+from repro.fpga.energy import EnergyModel
+from repro.latency.estimator import LatencyEstimator
+
+
+@dataclass(frozen=True)
+class EnergyAwareTrial:
+    """Extra per-trial facts recorded by the energy-aware search."""
+
+    index: int
+    energy_mj: float
+    energy_violated: bool
+    latency_violated: bool
+
+
+class EnergyAwareFnasSearch:
+    """FNAS with a joint latency + energy specification."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluator: AccuracyEvaluator,
+        latency_estimator: LatencyEstimator,
+        required_latency_ms: float,
+        required_energy_mj: float,
+        controller: Controller | None = None,
+        energy_model: EnergyModel | None = None,
+        baseline_decay: float = 0.9,
+    ):
+        if required_latency_ms <= 0 or required_energy_mj <= 0:
+            raise ValueError("latency and energy budgets must be positive")
+        self.space = space
+        self.evaluator = evaluator
+        self.latency_estimator = latency_estimator
+        self.required_latency_ms = required_latency_ms
+        self.required_energy_mj = required_energy_mj
+        self.controller = (
+            controller if controller is not None else LstmController(space)
+        )
+        self.energy_model = (
+            energy_model if energy_model is not None else EnergyModel()
+        )
+        self.baseline = AccuracyBaseline(decay=baseline_decay)
+
+    def energy_of(self, estimate) -> float:
+        """Analytical inference energy (mJ) of one latency estimate."""
+        return self.energy_model.estimate(
+            estimate.design, estimate.cycles).total_mj
+
+    def run(
+        self, trials: int, rng: np.random.Generator
+    ) -> tuple[SearchResult, list[EnergyAwareTrial]]:
+        """Run the joint-budget search; returns (ledger, energy facts)."""
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        result = SearchResult(
+            name=f"fnas-e-{self.required_latency_ms:g}ms-"
+                 f"{self.required_energy_mj:g}mJ")
+        energy_facts: list[EnergyAwareTrial] = []
+        started = time.perf_counter()
+        rl, re = self.required_latency_ms, self.required_energy_mj
+        for index in range(trials):
+            sample = self.controller.sample(rng)
+            architecture = self.space.decode(sample.tokens)
+            estimate = self.latency_estimator.estimate(architecture)
+            latency = estimate.ms
+            energy = self.energy_of(estimate)
+            sim_seconds = self.evaluator.latency_eval_seconds()
+            latency_bad = latency > rl
+            energy_bad = energy > re
+            if latency_bad:
+                reward = (rl - latency) / rl - 1.0
+                accuracy = None
+                trained = False
+            elif energy_bad:
+                reward = (re - energy) / re - 1.0
+                accuracy = None
+                trained = False
+            else:
+                outcome = self.evaluator.evaluate(architecture)
+                accuracy = outcome.accuracy
+                sim_seconds += outcome.train_seconds
+                reward = (accuracy - self.baseline.value
+                          + 0.5 * (latency / rl + energy / re))
+                self.baseline.update(accuracy)
+                trained = True
+            self.controller.update(sample, reward)
+            result.trials.append(
+                TrialRecord(
+                    index=index,
+                    tokens=tuple(sample.tokens),
+                    architecture=architecture,
+                    latency_ms=latency,
+                    accuracy=accuracy,
+                    reward=reward,
+                    trained=trained,
+                    sim_seconds=sim_seconds,
+                )
+            )
+            energy_facts.append(
+                EnergyAwareTrial(
+                    index=index,
+                    energy_mj=energy,
+                    energy_violated=energy_bad,
+                    latency_violated=latency_bad,
+                )
+            )
+        result.wall_seconds = time.perf_counter() - started
+        return result, energy_facts

@@ -1,0 +1,132 @@
+"""Figure 6: search time / latency / accuracy on two FPGAs (MNIST).
+
+The paper compares NAS against FNAS-loose (TS2), FNAS-med (TS3) and
+FNAS-tight (TS4) on a high-end FPGA (XC7Z020) and a low-end one
+(XC7A50T).  The TS values differ per device class (Table 2's TS-High
+vs TS-Low rows) because the low-end part is slower.
+
+Expected shape: FNAS search time shrinks as the spec tightens; FNAS
+latency always meets the spec while NAS's single architecture exceeds
+the tight specs by several x; FNAS accuracy trails NAS by under a
+point, more so for tighter specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluator import AccuracyEvaluator
+from repro.experiments.configs import MNIST_CONFIG
+from repro.experiments.reporting import format_minutes, format_table
+from repro.experiments.runner import PairedSearchOutcome, run_paired_search
+from repro.fpga.device import XC7A50T, XC7Z020, FpgaDevice
+from repro.fpga.platform import Platform
+
+#: Figure 6 bar labels, loosest to tightest.
+VARIANTS = ("FNAS-loose", "FNAS-med", "FNAS-tight")
+
+
+@dataclass(frozen=True)
+class Figure6Bar:
+    """One bar of the three grouped charts."""
+
+    device: str
+    method: str
+    spec_ms: float | None
+    search_seconds: float
+    latency_ms: float
+    accuracy: float
+    meets_spec: bool | None
+
+
+@dataclass
+class Figure6Result:
+    """All bars plus raw outcomes per device."""
+
+    bars: list[Figure6Bar]
+    outcomes: dict[str, PairedSearchOutcome]
+
+    def bars_for(self, device: str) -> list[Figure6Bar]:
+        """The four bars of one device's chart group."""
+        return [b for b in self.bars if b.device == device]
+
+    def format(self) -> str:
+        """Render all three panels as one table."""
+        headers = ["Device", "Method", "TS(ms)", "SearchTime", "Lat(ms)",
+                   "Acc.", "MeetsSpec"]
+        rows = []
+        for bar in self.bars:
+            rows.append([
+                bar.device,
+                bar.method,
+                "-" if bar.spec_ms is None else f"{bar.spec_ms:g}",
+                format_minutes(bar.search_seconds),
+                f"{bar.latency_ms:.2f}",
+                f"{100 * bar.accuracy:.2f}%",
+                "-" if bar.meets_spec is None else str(bar.meets_spec),
+            ])
+        return format_table(headers, rows)
+
+
+def _device_specs(device: FpgaDevice) -> list[tuple[str, float]]:
+    """(variant name, TS ms) for one device class: TS2/TS3/TS4."""
+    if device.name == XC7A50T.name:
+        specs = MNIST_CONFIG.timing_specs_low
+    else:
+        specs = MNIST_CONFIG.timing_specs
+    assert specs is not None
+    return [
+        ("FNAS-loose", specs.ts2),
+        ("FNAS-med", specs.ts3),
+        ("FNAS-tight", specs.ts4),
+    ]
+
+
+def run_figure6(
+    trials: int | None = None,
+    seed: int = 0,
+    devices: tuple[FpgaDevice, ...] = (XC7Z020, XC7A50T),
+    evaluator: AccuracyEvaluator | None = None,
+) -> Figure6Result:
+    """Regenerate Figure 6 (both FPGAs, four bars each)."""
+    bars: list[Figure6Bar] = []
+    outcomes: dict[str, PairedSearchOutcome] = {}
+    for device in devices:
+        named_specs = _device_specs(device)
+        outcome = run_paired_search(
+            dataset="mnist",
+            platform=Platform.single(device),
+            specs_ms=[ms for _, ms in named_specs],
+            trials=trials,
+            seed=seed,
+            evaluator=evaluator,
+        )
+        outcomes[device.name] = outcome
+        nas_best = outcome.nas.best()
+        bars.append(
+            Figure6Bar(
+                device=device.name,
+                method="NAS",
+                spec_ms=None,
+                search_seconds=outcome.nas.simulated_seconds,
+                latency_ms=outcome.nas_best_latency_ms,
+                accuracy=nas_best.accuracy,
+                meets_spec=None,
+            )
+        )
+        for name, spec in named_specs:
+            result = outcome.fnas[spec]
+            best = result.best_valid(spec)
+            assert best.latency_ms is not None
+            bars.append(
+                Figure6Bar(
+                    device=device.name,
+                    method=name,
+                    spec_ms=spec,
+                    search_seconds=result.simulated_seconds,
+                    latency_ms=best.latency_ms,
+                    accuracy=best.accuracy,
+                    meets_spec=best.latency_ms <= spec,
+                )
+            )
+    return Figure6Result(bars=bars, outcomes=outcomes)

@@ -1,0 +1,124 @@
+"""Figure 8: FNAS-Sched vs fixed scheduling over 16 architectures.
+
+The paper's scheduler study: 4-convolution-layer networks with 3x3
+filters and 64 or 128 filters per layer (2^4 = 16 architectures) on the
+PYNQ board with four accelerators (one PE per layer).  For each
+architecture, both schedulers run through the cycle-accurate simulator;
+the figure reports clock cycles and the percentage improvement of
+FNAS-Sched, which the paper shows winning on all 16.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.architecture import Architecture
+from repro.experiments.reporting import format_table
+from repro.fpga.device import PYNQ_Z1, FpgaDevice
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.scheduling.fixed_sched import FixedScheduler
+from repro.scheduling.fnas_sched import FnasScheduler
+from repro.scheduling.simulator import PipelineSimulator
+from repro.taskgraph.graph import TaskGraphGenerator
+
+#: Paper setup: 4 layers, 3x3 filters, 64 or 128 filters each.
+FIGURE8_LAYERS = 4
+FIGURE8_KERNEL = 3
+FIGURE8_FILTER_CHOICES = (64, 128)
+FIGURE8_INPUT_SIZE = 28  # MNIST-sized feature maps on the PYNQ board
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    """One architecture's scheduler comparison."""
+
+    index: int
+    filter_counts: tuple[int, ...]
+    fnas_cycles: int
+    fixed_cycles: int
+
+    @property
+    def improvement_percent(self) -> float:
+        """Cycle reduction of FNAS-Sched relative to fixed scheduling."""
+        return 100.0 * (self.fixed_cycles - self.fnas_cycles) / self.fixed_cycles
+
+
+@dataclass
+class Figure8Result:
+    """All 16 points."""
+
+    points: list[Figure8Point]
+
+    @property
+    def mean_improvement_percent(self) -> float:
+        """Average cycle reduction across the architectures."""
+        return sum(p.improvement_percent for p in self.points) / len(self.points)
+
+    @property
+    def all_improved(self) -> bool:
+        """Whether FNAS-Sched won on every architecture (paper: yes)."""
+        return all(p.fnas_cycles < p.fixed_cycles for p in self.points)
+
+    def format(self) -> str:
+        """Render as the figure's bar data."""
+        headers = ["#", "Filters", "FNAS-Sched", "Fixed", "Imp."]
+        rows = []
+        for p in self.points:
+            rows.append([
+                str(p.index + 1),
+                "-".join(str(f) for f in p.filter_counts),
+                str(p.fnas_cycles),
+                str(p.fixed_cycles),
+                f"{p.improvement_percent:.2f}%",
+            ])
+        return format_table(headers, rows)
+
+
+def figure8_architectures(
+    input_size: int = FIGURE8_INPUT_SIZE,
+    input_channels: int = 1,
+) -> list[Architecture]:
+    """The 16 architectures of the study, in lexicographic filter order."""
+    archs = []
+    for counts in itertools.product(
+        FIGURE8_FILTER_CHOICES, repeat=FIGURE8_LAYERS
+    ):
+        archs.append(
+            Architecture.from_choices(
+                filter_sizes=[FIGURE8_KERNEL] * FIGURE8_LAYERS,
+                filter_counts=list(counts),
+                input_size=input_size,
+                input_channels=input_channels,
+            )
+        )
+    return archs
+
+
+def run_figure8(
+    device: FpgaDevice = PYNQ_Z1,
+    input_size: int = FIGURE8_INPUT_SIZE,
+) -> Figure8Result:
+    """Regenerate Figure 8: simulate both schedulers on all 16 networks."""
+    platform = Platform.single(device)
+    designer = TilingDesigner()
+    generator = TaskGraphGenerator()
+    simulator = PipelineSimulator()
+    fnas_sched = FnasScheduler()
+    fixed_sched = FixedScheduler()
+    points: list[Figure8Point] = []
+    for index, arch in enumerate(figure8_architectures(input_size)):
+        design = designer.design(arch, platform)
+        graph = generator.generate(design)
+        fnas_cycles = simulator.run(fnas_sched.schedule(graph)).makespan
+        fixed_cycles = simulator.run(fixed_sched.schedule(graph)).makespan
+        points.append(
+            Figure8Point(
+                index=index,
+                filter_counts=arch.filter_counts,
+                fnas_cycles=fnas_cycles,
+                fixed_cycles=fixed_cycles,
+            )
+        )
+    return Figure8Result(points=points)

@@ -1,0 +1,115 @@
+"""Accuracy-latency Pareto exploration (extension).
+
+The paper notes that "the flexibility of FNAS provides more choices for
+designers": one search per timing spec yields one point each.  This
+module computes the whole accuracy-latency trade-off curve of a search
+space directly — exhaustively for enumerable spaces (MNIST: 6561
+architectures), sampled otherwise — using the same estimator/surrogate
+pair the searches use.  Each FNAS result can then be judged against the
+true frontier: how much accuracy was left on the table at its spec?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.architecture import Architecture
+from repro.core.evaluator import AccuracyEvaluator, SurrogateAccuracyEvaluator
+from repro.core.search_space import SearchSpace
+from repro.experiments.reporting import format_table
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+#: Spaces up to this size are enumerated exactly.
+ENUMERATION_LIMIT = 10_000
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated (latency, accuracy) architecture."""
+
+    architecture: Architecture
+    latency_ms: float
+    accuracy: float
+
+
+@dataclass
+class ParetoFront:
+    """The non-dominated set, sorted by latency ascending."""
+
+    points: list[ParetoPoint]
+    evaluated_count: int
+    exhaustive: bool
+
+    def best_accuracy_within(self, latency_ms: float) -> float:
+        """Frontier accuracy at a latency budget.
+
+        Raises ``ValueError`` when no point meets the budget.
+        """
+        feasible = [p for p in self.points if p.latency_ms <= latency_ms]
+        if not feasible:
+            raise ValueError(
+                f"no architecture on the frontier meets {latency_ms}ms"
+            )
+        return max(p.accuracy for p in feasible)
+
+    def regret(self, accuracy: float, latency_ms: float) -> float:
+        """Accuracy gap between a search result and the frontier."""
+        return self.best_accuracy_within(latency_ms) - accuracy
+
+    def format(self, max_rows: int = 20) -> str:
+        """Render the frontier (down-sampled if long)."""
+        points = self.points
+        if len(points) > max_rows:
+            idx = np.linspace(0, len(points) - 1, max_rows).astype(int)
+            points = [points[i] for i in idx]
+        headers = ["Lat(ms)", "Acc", "Architecture"]
+        rows = [
+            [f"{p.latency_ms:.2f}", f"{100 * p.accuracy:.2f}%",
+             p.architecture.describe()]
+            for p in points
+        ]
+        return format_table(headers, rows)
+
+
+def compute_pareto_front(
+    space: SearchSpace,
+    platform: Platform,
+    evaluator: AccuracyEvaluator | None = None,
+    samples: int = 2000,
+    seed: int = 0,
+) -> ParetoFront:
+    """Compute the accuracy-latency frontier of ``space`` on ``platform``."""
+    if evaluator is None:
+        evaluator = SurrogateAccuracyEvaluator(space, seed=seed)
+    estimator = LatencyEstimator(platform)
+    if space.size <= ENUMERATION_LIMIT:
+        candidates = list(space.enumerate_architectures())
+        exhaustive = True
+    else:
+        rng = np.random.default_rng(seed)
+        seen: dict[str, Architecture] = {}
+        for _ in range(samples):
+            arch = space.random_architecture(rng)
+            seen.setdefault(arch.fingerprint(), arch)
+        candidates = list(seen.values())
+        exhaustive = False
+    scored = [
+        (estimator.estimate(arch).ms, evaluator.evaluate(arch).accuracy, arch)
+        for arch in candidates
+    ]
+    scored.sort(key=lambda t: (t[0], -t[1]))
+    frontier: list[ParetoPoint] = []
+    best_acc = -1.0
+    for latency, accuracy, arch in scored:
+        if accuracy > best_acc:
+            frontier.append(ParetoPoint(
+                architecture=arch, latency_ms=latency, accuracy=accuracy))
+            best_acc = accuracy
+    return ParetoFront(
+        points=frontier,
+        evaluated_count=len(candidates),
+        exhaustive=exhaustive,
+    )

@@ -1,0 +1,61 @@
+"""One-shot reproduction report generator.
+
+``generate_report()`` runs every experiment (Table 1, Figures 6-8, the
+ablations) and renders a single markdown document mirroring
+EXPERIMENTS.md's structure -- useful for refreshing the committed
+results after model changes, or via ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.experiments.ablation import run_pruning_ablation, run_reuse_ablation
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.table1 import run_table1
+
+
+def generate_report(trials: int | None = None, seed: int = 0) -> str:
+    """Run everything and return the markdown report text."""
+    out = io.StringIO()
+    write = out.write
+    write("# FNAS reproduction report\n\n")
+    write(f"seed={seed}, trials={'Table 2 default' if trials is None else trials}\n\n")
+
+    started = time.perf_counter()
+    table1 = run_table1(trials=trials, seed=seed)
+    write("## Table 1 — MNIST on PYNQ\n\n```\n")
+    write(table1.format())
+    write("\n```\n\n")
+
+    figure6 = run_figure6(trials=trials, seed=seed)
+    write("## Figure 6 — two FPGAs\n\n```\n")
+    write(figure6.format())
+    write("\n```\n\n")
+
+    figure7 = run_figure7(trials=trials, seed=seed)
+    write("## Figure 7 — three datasets\n\n```\n")
+    write(figure7.format())
+    write("\n```\n\n")
+
+    figure8 = run_figure8()
+    write("## Figure 8 — scheduler comparison\n\n```\n")
+    write(figure8.format())
+    write(f"\nmean improvement: {figure8.mean_improvement_percent:.2f}%\n")
+    write("```\n\n")
+
+    reuse = run_reuse_ablation()
+    write("## Ablation — reuse strategy x stall policy\n\n```\n")
+    write(reuse.format())
+    write("\n```\n\n")
+
+    pruning = run_pruning_ablation(trials=trials, seed=seed)
+    write("## Ablation — early pruning\n\n```\n")
+    write(pruning.format())
+    write("\n```\n\n")
+
+    write(f"_generated in {time.perf_counter() - started:.1f}s_\n")
+    return out.getvalue()

@@ -1,0 +1,40 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned monospace table.
+
+    All cells are strings; callers format numbers themselves so each
+    experiment controls its own precision.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def improvement(baseline: float, value: float) -> float:
+    """``baseline / value`` -- the paper's "Imp." columns (x factors)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return baseline / value
+
+
+def format_minutes(seconds: float) -> str:
+    """``4473s -> '74m33s'`` (the paper's Elapsed column format)."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    minutes = int(seconds // 60)
+    rem = int(round(seconds - minutes * 60))
+    if rem == 60:
+        minutes, rem = minutes + 1, 0
+    return f"{minutes}m{rem:02d}s"

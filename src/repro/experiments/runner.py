@@ -1,0 +1,93 @@
+"""Shared experiment plumbing: paired NAS / FNAS runs on one setup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controller import Controller, LstmController
+from repro.core.evaluator import AccuracyEvaluator, SurrogateAccuracyEvaluator
+from repro.core.search import FnasSearch, NasSearch, SearchResult
+from repro.core.search_space import SearchSpace
+from repro.experiments.configs import ExperimentConfig, get_config
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+@dataclass
+class PairedSearchOutcome:
+    """One NAS baseline run plus FNAS runs at several timing specs."""
+
+    config: ExperimentConfig
+    platform: Platform
+    nas: SearchResult
+    fnas: dict[float, SearchResult]  # keyed by required latency (ms)
+
+    @property
+    def nas_best_accuracy(self) -> float:
+        """Accuracy of the NAS baseline's best child."""
+        return self.nas.best().accuracy
+
+    @property
+    def nas_best_latency_ms(self) -> float:
+        """Latency of the NAS baseline's best child."""
+        latency = self.nas.best().latency_ms
+        assert latency is not None  # runner always attaches an estimator
+        return latency
+
+
+def make_controller(space: SearchSpace, seed: int) -> Controller:
+    """The default controller used across experiments."""
+    return LstmController(space, seed=seed)
+
+
+def run_paired_search(
+    dataset: str,
+    platform: Platform,
+    specs_ms: list[float],
+    trials: int | None = None,
+    seed: int = 0,
+    evaluator: AccuracyEvaluator | None = None,
+) -> PairedSearchOutcome:
+    """Run NAS once and FNAS once per timing spec on one dataset/platform.
+
+    Each search gets its own controller and RNG stream (all derived from
+    ``seed``) so runs are independent, reproducible, and comparable --
+    the protocol behind Table 1 and Figures 6/7.
+
+    ``trials`` defaults to the dataset's Table 2 trial count;
+    ``evaluator`` defaults to the calibrated surrogate (pass a
+    :class:`~repro.core.evaluator.TrainedAccuracyEvaluator` for real
+    NumPy training).
+    """
+    config = get_config(dataset)
+    space = SearchSpace.from_config(config)
+    n_trials = trials if trials is not None else config.trials
+    if evaluator is None:
+        evaluator = SurrogateAccuracyEvaluator(space, config=config, seed=seed)
+    estimator = LatencyEstimator(platform)
+
+    nas = NasSearch(
+        space,
+        evaluator,
+        controller=make_controller(space, seed),
+        latency_estimator=estimator,
+    ).run(n_trials, np.random.default_rng(seed))
+
+    fnas_results: dict[float, SearchResult] = {}
+    for offset, spec in enumerate(specs_ms, start=1):
+        search = FnasSearch(
+            space,
+            evaluator,
+            estimator,
+            required_latency_ms=spec,
+            controller=make_controller(space, seed + offset),
+            min_latency_fallback=True,
+        )
+        fnas_results[spec] = search.run(
+            n_trials, np.random.default_rng(seed + offset)
+        )
+    return PairedSearchOutcome(
+        config=config, platform=platform, nas=nas, fnas=fnas_results
+    )

@@ -1,0 +1,161 @@
+"""FPGA device resource models.
+
+The paper evaluates FNAS against four Xilinx parts: the PYNQ-Z1 board
+(a Zynq XC7Z020 SoC), a low-end Artix-7 XC7A50T, the Zynq XC7Z020
+itself, and the high-end Zynq UltraScale+ XCZU9EG.  FNAS never measures
+on silicon during the search -- all latency estimation goes through the
+analytical model -- so a device here is exactly the resource vector that
+model needs:
+
+* ``dsp_slices``     -- number of DSP48 slices; a processing element (PE)
+  built from ``Tm x Tn`` DSPs executes that many 16-bit MACs per cycle
+  (Zhang et al., FPGA'15).
+* ``bram_kbytes``    -- on-chip block RAM capacity, which bounds the
+  spatial tile sizes ``Tr x Tc`` (input/output tile buffers and the
+  weight buffer must fit, double-buffered).
+* ``bandwidth_gbps`` -- off-chip memory bandwidth available to the
+  accelerator, used by the communication model.
+* ``clock_mhz``      -- accelerator clock, converting cycles to seconds.
+
+Resource numbers come from the public Xilinx datasheets (DS180, DS190,
+DS891); the board-level bandwidth figures are the usual DDR3/DDR4
+configurations of the respective dev boards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource model of a single FPGA (or the PL side of an SoC).
+
+    Instances are immutable; derive variants with :meth:`scaled`.
+    """
+
+    name: str
+    dsp_slices: int
+    bram_kbytes: int
+    bandwidth_gbps: float
+    clock_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.dsp_slices <= 0:
+            raise ValueError(f"dsp_slices must be positive, got {self.dsp_slices}")
+        if self.bram_kbytes <= 0:
+            raise ValueError(f"bram_kbytes must be positive, got {self.bram_kbytes}")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(
+                f"bandwidth_gbps must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {self.clock_mhz}")
+
+    @property
+    def cycle_time_us(self) -> float:
+        """Duration of one clock cycle in microseconds."""
+        return 1.0 / self.clock_mhz
+
+    @property
+    def bram_bytes(self) -> int:
+        """On-chip buffer capacity in bytes."""
+        return self.bram_kbytes * 1024
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Off-chip bytes transferable per accelerator clock cycle."""
+        bytes_per_us = self.bandwidth_gbps * 1e9 / 8.0 / 1e6
+        return bytes_per_us * self.cycle_time_us
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count at this device's clock into milliseconds."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / (self.clock_mhz * 1e3)
+
+    def ms_to_cycles(self, ms: float) -> float:
+        """Convert a millisecond budget into a cycle budget at this clock."""
+        if ms < 0:
+            raise ValueError(f"ms must be non-negative, got {ms}")
+        return ms * self.clock_mhz * 1e3
+
+    def scaled(self, factor: float, name: str | None = None) -> "FpgaDevice":
+        """Return a copy with DSP/BRAM/bandwidth scaled by ``factor``.
+
+        Useful for what-if exploration ("would half a ZU9EG still meet
+        the spec?") and for synthesizing device families in tests.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return dataclasses.replace(
+            self,
+            name=name if name is not None else f"{self.name}x{factor:g}",
+            dsp_slices=max(1, int(self.dsp_slices * factor)),
+            bram_kbytes=max(1, int(self.bram_kbytes * factor)),
+            bandwidth_gbps=self.bandwidth_gbps * factor,
+        )
+
+
+# --- Device catalog -------------------------------------------------------
+#
+# DSP and BRAM capacities from the Xilinx 7-series / UltraScale+ product
+# tables.  BRAM is quoted in KB of block RAM (36Kb blocks x count / 8).
+
+XC7A50T = FpgaDevice(
+    name="xc7a50t",
+    dsp_slices=120,
+    bram_kbytes=300,  # 75 x 36Kb blocks
+    bandwidth_gbps=3.2,
+    clock_mhz=100.0,
+)
+"""Low-end Artix-7 used for the Figure 6 low-end comparison."""
+
+XC7Z020 = FpgaDevice(
+    name="xc7z020",
+    dsp_slices=220,
+    bram_kbytes=630,  # 140 x 36Kb blocks
+    bandwidth_gbps=4.2,
+    clock_mhz=100.0,
+)
+"""Zynq-7020 PL fabric -- the high-end device of the MNIST experiments."""
+
+PYNQ_Z1 = FpgaDevice(
+    name="pynq-z1",
+    dsp_slices=220,
+    bram_kbytes=630,
+    bandwidth_gbps=4.2,
+    clock_mhz=100.0,
+)
+"""PYNQ-Z1 board (XC7Z020 SoC) -- the Table 1 / Figure 8 target."""
+
+XCZU9EG = FpgaDevice(
+    name="xczu9eg",
+    dsp_slices=2520,
+    bram_kbytes=4075,  # 912 x 36Kb blocks, rounded per DS891
+    bandwidth_gbps=19.2,
+    # Same conservative pipeline clock as the 7-series parts: DAC-era
+    # HLS accelerator designs commonly closed timing around 100 MHz,
+    # and a uniform clock keeps the cross-device comparisons of
+    # Figure 6 resource-driven rather than clock-driven.
+    clock_mhz=100.0,
+)
+"""Zynq UltraScale+ ZU9EG used for the CIFAR-10 / ImageNet experiments."""
+
+
+DEVICE_CATALOG: dict[str, FpgaDevice] = {
+    d.name: d for d in (XC7A50T, XC7Z020, PYNQ_Z1, XCZU9EG)
+}
+
+
+def get_device(name: str) -> FpgaDevice:
+    """Look up a device by catalog name.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_CATALOG))
+        raise KeyError(f"unknown FPGA device {name!r}; known devices: {known}")

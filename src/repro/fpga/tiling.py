@@ -1,0 +1,365 @@
+"""FNAS-Design: tiling parameter selection (paper Section 3.3).
+
+An FPGA cannot hold a whole convolutional layer, so each layer is split
+into tiles along four dimensions, giving the design vector
+``<Tm, Tn, Tr, Tc>``:
+
+* ``Tn`` -- input feature-map (IFM) channels per tile; the IFM is cut
+  into ``ceil(N / Tn)`` channel tiles,
+* ``Tm`` -- output feature-map (OFM) channels per tile, ``ceil(M / Tm)``
+  channel tiles,
+* ``Tr``, ``Tc`` -- OFM rows/columns per tile, ``ceil(R/Tr) * ceil(C/Tc)``
+  row/col tiles.
+
+A processing element built from ``Tm x Tn`` DSP slices executes one
+*task* -- one (IFM-channel-tile, OFM-channel-tile, row/col-tile) triple --
+in ``Kh * Kw * Tr * Tc`` cycles (Zhang et al., FPGA'15 unrolling).
+
+This module selects the vector per layer given a PE's DSP and BRAM
+budget.  Channel tiling is chosen to minimise the layer's total compute
+cycles (equivalently the ceil-division waste) under the DSP constraint;
+spatial tiling maximises the tile area that still fits the double-
+buffered on-chip buffers, which maximises data reuse (design principle
+P2) at the cost of a slightly later downstream start -- the
+:class:`~repro.latency.explorer.DesignExplorer` can revisit that
+trade-off with the full analytical model in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import Architecture, ConvLayerSpec
+from repro.fpga.platform import PeAllocation, Platform
+
+#: bytes per fixed-point feature/weight word (the paper uses 16-bit).
+WORD_BYTES = 2
+
+#: double-buffering factor: compute on one buffer while loading the next.
+DOUBLE_BUFFER = 2
+
+
+@dataclass(frozen=True)
+class TilingVector:
+    """The raw ``<Tm, Tn, Tr, Tc>`` design parameters for one layer."""
+
+    tm: int
+    tn: int
+    tr: int
+    tc: int
+
+    def __post_init__(self) -> None:
+        for attr in ("tm", "tn", "tr", "tc"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+
+    @property
+    def dsps(self) -> int:
+        """DSP slices consumed: the PE unrolls ``Tm x Tn`` MACs."""
+        return self.tm * self.tn
+
+
+@dataclass(frozen=True)
+class LayerDesign:
+    """A layer bound to a PE with a concrete tiling vector.
+
+    All tile-count and timing quantities used by FNAS-GG, FNAS-Sched and
+    FNAS-Analyzer are derived here once.
+    """
+
+    layer_index: int
+    spec: ConvLayerSpec
+    tiling: TilingVector
+
+    def __post_init__(self) -> None:
+        if self.tiling.tm > self.spec.out_channels:
+            raise ValueError(
+                f"layer {self.layer_index}: Tm {self.tiling.tm} exceeds "
+                f"out_channels {self.spec.out_channels}"
+            )
+        if self.tiling.tn > self.spec.in_channels:
+            raise ValueError(
+                f"layer {self.layer_index}: Tn {self.tiling.tn} exceeds "
+                f"in_channels {self.spec.in_channels}"
+            )
+        if self.tiling.tr > self.spec.out_rows:
+            raise ValueError(
+                f"layer {self.layer_index}: Tr {self.tiling.tr} exceeds "
+                f"out_rows {self.spec.out_rows}"
+            )
+        if self.tiling.tc > self.spec.out_cols:
+            raise ValueError(
+                f"layer {self.layer_index}: Tc {self.tiling.tc} exceeds "
+                f"out_cols {self.spec.out_cols}"
+            )
+
+    # -- tile counts (paper's |CH_ifm|, |CH_ofm|, |RC|) ---------------------
+
+    @property
+    def n_ifm_channel_tiles(self) -> int:
+        """``ceil(N / Tn)`` -- IFM channel tiles."""
+        return -(-self.spec.in_channels // self.tiling.tn)
+
+    @property
+    def n_ofm_channel_tiles(self) -> int:
+        """``ceil(M / Tm)`` -- OFM channel tiles."""
+        return -(-self.spec.out_channels // self.tiling.tm)
+
+    @property
+    def n_row_tiles(self) -> int:
+        """``ceil(R / Tr)``."""
+        return -(-self.spec.out_rows // self.tiling.tr)
+
+    @property
+    def n_col_tiles(self) -> int:
+        """``ceil(C / Tc)``."""
+        return -(-self.spec.out_cols // self.tiling.tc)
+
+    @property
+    def n_rc_tiles(self) -> int:
+        """``ceil(R/Tr) * ceil(C/Tc)`` -- row/col tiles (paper's ``|RC|``)."""
+        return self.n_row_tiles * self.n_col_tiles
+
+    @property
+    def task_count(self) -> int:
+        """Tasks executed by this PE per inference."""
+        return (self.n_ifm_channel_tiles * self.n_ofm_channel_tiles
+                * self.n_rc_tiles)
+
+    # -- timing -------------------------------------------------------------
+
+    @property
+    def execution_time(self) -> int:
+        """Cycles for one task: ``Kh * Kw * Tr * Tc`` (paper's ``ET_i``)."""
+        return (self.spec.kernel * self.spec.kernel
+                * self.tiling.tr * self.tiling.tc)
+
+    @property
+    def processing_time(self) -> int:
+        """Cycles to process the whole layer (paper's ``PT_i``).
+
+        Equation (2) of the paper writes ``ET x |CH_ifm| x |CH_ofm|``;
+        the row/col tile count is required for the totals to equal the
+        layer's MAC workload divided by the PE's MAC throughput (as the
+        example graph in Figure 3(e) shows), so it is included here.
+        """
+        return self.execution_time * self.task_count
+
+    # -- memory -------------------------------------------------------------
+
+    @property
+    def ifm_buffer_bytes(self) -> int:
+        """On-chip IFM tile buffer: ``Tn`` channels of the input window."""
+        window_rows = self.tiling.tr * self.spec.stride + self.spec.kernel - 1
+        window_cols = self.tiling.tc * self.spec.stride + self.spec.kernel - 1
+        return self.tiling.tn * window_rows * window_cols * WORD_BYTES
+
+    @property
+    def ofm_buffer_bytes(self) -> int:
+        """On-chip OFM tile buffer."""
+        return self.tiling.tm * self.tiling.tr * self.tiling.tc * WORD_BYTES
+
+    @property
+    def weight_buffer_bytes(self) -> int:
+        """On-chip weight buffer for one task's ``Tm x Tn`` filter block."""
+        return (self.tiling.tm * self.tiling.tn
+                * self.spec.kernel * self.spec.kernel * WORD_BYTES)
+
+    @property
+    def bram_bytes(self) -> int:
+        """Total double-buffered on-chip storage for this PE."""
+        return DOUBLE_BUFFER * (
+            self.ifm_buffer_bytes + self.ofm_buffer_bytes
+            + self.weight_buffer_bytes
+        )
+
+    @property
+    def task_data_bytes(self) -> int:
+        """Off-chip bytes moved per task with no reuse (worst case)."""
+        return (self.ifm_buffer_bytes + self.ofm_buffer_bytes
+                + self.weight_buffer_bytes)
+
+
+@dataclass(frozen=True)
+class PipelineDesign:
+    """A full per-layer-PE design for an architecture on a platform."""
+
+    architecture: Architecture
+    platform: Platform
+    layers: tuple[LayerDesign, ...]
+    allocations: tuple[PeAllocation, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layers) != self.architecture.depth:
+            raise ValueError(
+                f"{len(self.layers)} layer designs for a depth-"
+                f"{self.architecture.depth} architecture"
+            )
+
+    @property
+    def total_dsps_used(self) -> int:
+        """DSPs consumed by all PEs."""
+        return sum(d.tiling.dsps for d in self.layers)
+
+    def layer(self, index: int) -> LayerDesign:
+        """The design of layer ``index``."""
+        return self.layers[index]
+
+
+class TilingDesigner:
+    """Selects ``<Tm, Tn, Tr, Tc>`` per layer (the FNAS-Design component).
+
+    Parameters:
+        spatial_strategy: ``"max-reuse"`` picks the largest BRAM-fitting
+            spatial tile (paper default); ``"min-start"`` picks the
+            smallest useful tile, which shortens downstream start times
+            at the cost of more ceil waste.  Both are exact w.r.t. the
+            constraints; the latency analyzer arbitrates between them in
+            :class:`~repro.latency.explorer.DesignExplorer`.
+    """
+
+    def __init__(self, spatial_strategy: str = "max-reuse"):
+        if spatial_strategy not in ("max-reuse", "min-start"):
+            raise ValueError(
+                f"unknown spatial_strategy {spatial_strategy!r}; expected "
+                "'max-reuse' or 'min-start'"
+            )
+        self.spatial_strategy = spatial_strategy
+
+    def design(
+        self, architecture: Architecture, platform: Platform
+    ) -> PipelineDesign:
+        """Produce a full pipeline design for ``architecture`` on ``platform``."""
+        allocations = platform.allocate(architecture)
+        layer_designs = []
+        for allocation, spec in zip(allocations, architecture.layers):
+            tiling = self.design_layer(spec, allocation.dsp_budget,
+                                       allocation.bram_budget_bytes)
+            layer_designs.append(
+                LayerDesign(
+                    layer_index=allocation.layer_index,
+                    spec=spec,
+                    tiling=tiling,
+                )
+            )
+        return PipelineDesign(
+            architecture=architecture,
+            platform=platform,
+            layers=tuple(layer_designs),
+            allocations=tuple(allocations),
+        )
+
+    def design_layer(
+        self, spec: ConvLayerSpec, dsp_budget: int, bram_budget_bytes: int
+    ) -> TilingVector:
+        """Choose one layer's tiling under its PE's resource budget."""
+        tm, tn = self._choose_channel_tiling(spec, dsp_budget, bram_budget_bytes)
+        tr, tc = self._choose_spatial_tiling(spec, tm, tn, bram_budget_bytes)
+        return TilingVector(tm=tm, tn=tn, tr=tr, tc=tc)
+
+    def _choose_channel_tiling(
+        self, spec: ConvLayerSpec, dsp_budget: int, bram_budget_bytes: int
+    ) -> tuple[int, int]:
+        """Minimise ``ceil(M/Tm) * ceil(N/Tn)`` under DSP *and* BRAM limits.
+
+        The layer's cycle count is proportional to the channel-tile
+        product, so that is the primary objective.  A candidate is only
+        feasible if its buffers fit BRAM at the smallest spatial tile
+        (1x1) -- the weight buffer ``Tm*Tn*K*K`` alone can dominate for
+        large kernels.  Ties prefer fewer DSPs, then a larger ``Tm``
+        (OFM parallelism keeps partial sums local, reducing output
+        traffic).
+        """
+        if dsp_budget < 1:
+            raise ValueError(f"dsp_budget must be >= 1, got {dsp_budget}")
+        m, n = spec.out_channels, spec.in_channels
+        best: tuple[int, int, int, int] | None = None  # (waste, dsps, -tm, tm)
+        best_tn = 1
+        for tm in range(1, min(m, dsp_budget) + 1):
+            tn = min(n, dsp_budget // tm)
+            while tn >= 1 and self._bram_usage(
+                spec, tm, tn, 1, 1
+            ) > bram_budget_bytes:
+                tn -= 1
+            if tn < 1:
+                continue
+            tiles = (-(-m // tm)) * (-(-n // tn))
+            key = (tiles, tm * tn, -tm, tm)
+            if best is None or key < (best[0], best[1], best[2], best[3]):
+                best = key
+                best_tn = tn
+        if best is None:
+            raise ValueError(
+                f"no channel tiling fits BRAM budget {bram_budget_bytes}B for "
+                f"layer {spec.kernel}x{spec.kernel}/{spec.out_channels} "
+                "(even Tm=Tn=1 overflows)"
+            )
+        return best[3], best_tn
+
+    def _choose_spatial_tiling(
+        self, spec: ConvLayerSpec, tm: int, tn: int, bram_budget_bytes: int
+    ) -> tuple[int, int]:
+        """Choose ``Tr, Tc`` under the BRAM budget.
+
+        Candidates are all (Tr, Tc) pairs over the divisor-friendly
+        values of R and C; feasibility is checked with the exact buffer
+        model of :class:`LayerDesign`.  Falls back to 1x1 tiles, which
+        always fit a sane budget.
+        """
+        r, c = spec.out_rows, spec.out_cols
+        candidates_r = _tile_size_candidates(r)
+        candidates_c = _tile_size_candidates(c)
+        feasible: list[tuple[int, int]] = []
+        for tr in candidates_r:
+            for tc in candidates_c:
+                if self._bram_usage(spec, tm, tn, tr, tc) <= bram_budget_bytes:
+                    feasible.append((tr, tc))
+        if not feasible:
+            raise ValueError(
+                f"no spatial tiling fits BRAM budget {bram_budget_bytes}B for "
+                f"layer {spec.kernel}x{spec.kernel}/{spec.out_channels} "
+                f"(even 1x1 tiles overflow)"
+            )
+        if self.spatial_strategy == "max-reuse":
+            # Largest area; ties prefer fewer total tiles (less ceil waste),
+            # then squarer tiles.
+            def score(rc: tuple[int, int]) -> tuple[int, int, int]:
+                tr, tc = rc
+                tiles = (-(-r // tr)) * (-(-c // tc))
+                return (-(tr * tc), tiles, abs(tr - tc))
+        else:  # min-start
+            # Smallest tile that still divides the map without extra waste.
+            def score(rc: tuple[int, int]) -> tuple[int, int, int]:
+                tr, tc = rc
+                tiles = (-(-r // tr)) * (-(-c // tc))
+                waste = tiles * tr * tc - r * c
+                return (waste, tr * tc, abs(tr - tc))
+        return min(feasible, key=score)
+
+    @staticmethod
+    def _bram_usage(
+        spec: ConvLayerSpec, tm: int, tn: int, tr: int, tc: int
+    ) -> int:
+        """Double-buffered bytes for a candidate tiling (mirrors LayerDesign)."""
+        window_rows = tr * spec.stride + spec.kernel - 1
+        window_cols = tc * spec.stride + spec.kernel - 1
+        ifm = tn * window_rows * window_cols * WORD_BYTES
+        ofm = tm * tr * tc * WORD_BYTES
+        wei = tm * tn * spec.kernel * spec.kernel * WORD_BYTES
+        return DOUBLE_BUFFER * (ifm + ofm + wei)
+
+
+def _tile_size_candidates(extent: int) -> list[int]:
+    """Useful tile sizes for a spatial extent: divisors plus the extent itself.
+
+    Divisors avoid ragged edge tiles; a handful of near-divisor sizes are
+    added for prime extents so the search is never starved of choices.
+    """
+    if extent <= 0:
+        raise ValueError(f"extent must be positive, got {extent}")
+    sizes = {d for d in range(1, extent + 1) if extent % d == 0}
+    # Ensure some mid-range options exist even when extent is prime.
+    for frac in (2, 3, 4):
+        sizes.add(max(1, -(-extent // frac)))
+    return sorted(sizes)

@@ -1,0 +1,27 @@
+"""Analytical latency model (FNAS-Analyzer) and estimation facades."""
+
+from repro.latency.analyzer import FnasAnalyzer, LatencyReport, LayerLatency
+from repro.latency.estimator import (
+    ANALYTICAL,
+    SIMULATE,
+    LatencyEstimate,
+    LatencyEstimator,
+)
+from repro.latency.explorer import (
+    DesignExplorer,
+    ExplorationChoice,
+    ExplorationResult,
+)
+
+__all__ = [
+    "FnasAnalyzer",
+    "LatencyReport",
+    "LayerLatency",
+    "ANALYTICAL",
+    "SIMULATE",
+    "LatencyEstimate",
+    "LatencyEstimator",
+    "DesignExplorer",
+    "ExplorationChoice",
+    "ExplorationResult",
+]

@@ -1,0 +1,139 @@
+"""End-to-end latency estimation: architecture -> milliseconds.
+
+:class:`LatencyEstimator` is the "FNAS tool" of Figure 2 as one call: it
+runs FNAS-Design (tiling), optionally FNAS-GG + FNAS-Sched + the cycle
+simulator, or the closed-form FNAS-Analyzer, and returns the inference
+latency of an architecture on a platform.  Results are cached by
+architecture fingerprint -- the NAS controller revisits architectures
+often and the reward evaluation sits on the search hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import Architecture
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import PipelineDesign, TilingDesigner
+from repro.latency.analyzer import FnasAnalyzer, LatencyReport
+from repro.scheduling.fnas_sched import FnasScheduler
+from repro.scheduling.simulator import PipelineSimulator
+from repro.taskgraph.graph import TaskGraphGenerator
+
+#: Estimation back-ends.
+ANALYTICAL = "analytical"
+SIMULATE = "simulate"
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Latency of one architecture on one platform."""
+
+    architecture: Architecture
+    cycles: int
+    ms: float
+    method: str
+    design: PipelineDesign
+    report: LatencyReport | None = None
+
+    def meets(self, required_ms: float) -> bool:
+        """Whether this latency satisfies a timing specification."""
+        if required_ms <= 0:
+            raise ValueError(f"required_ms must be positive, got {required_ms}")
+        return self.ms <= required_ms
+
+
+class LatencyEstimator:
+    """Estimates FPGA inference latency for candidate architectures.
+
+    Parameters:
+        platform: the target (multi-)FPGA platform.
+        method: ``"analytical"`` (closed-form eqs. (2)-(5); fast, used
+            inside the search loop) or ``"simulate"`` (tile-graph +
+            FNAS-Sched + event simulation; exact, used for validation
+            and for Figure 8-style studies).
+        designer: tiling designer; defaults to the paper's max-reuse
+            FNAS-Design.
+        rc_mapping: row/col tile mapping passed to FNAS-GG (only used by
+            the simulate path).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        method: str = ANALYTICAL,
+        designer: TilingDesigner | None = None,
+        rc_mapping: str = "auto",
+        explore_designs: bool = True,
+    ):
+        if method not in (ANALYTICAL, SIMULATE):
+            raise ValueError(
+                f"unknown method {method!r}; expected "
+                f"{ANALYTICAL!r} or {SIMULATE!r}"
+            )
+        self.platform = platform
+        self.method = method
+        self.designer = designer
+        self.rc_mapping = rc_mapping
+        # With no explicit designer, FNAS-Design explores its policy
+        # space per architecture (paper: "the best parameters ... can be
+        # obtained") instead of committing to one heuristic.
+        self.explore_designs = explore_designs and designer is None
+        self._cache: dict[str, LatencyEstimate] = {}
+
+    @property
+    def cache_size(self) -> int:
+        """Number of cached estimates."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all cached estimates."""
+        self._cache.clear()
+
+    def estimate(self, architecture: Architecture) -> LatencyEstimate:
+        """Latency of ``architecture`` on the estimator's platform."""
+        key = architecture.fingerprint()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        first_reuse = None
+        if self.explore_designs:
+            from repro.latency.explorer import DesignExplorer
+
+            best = DesignExplorer().explore(architecture, self.platform).best
+            design = best.design
+            analytical_report = best.report
+            first_reuse = best.first_reuse
+        else:
+            designer = self.designer if self.designer is not None else TilingDesigner()
+            design = designer.design(architecture, self.platform)
+            analytical_report = FnasAnalyzer().analyze(design)
+        if self.method == ANALYTICAL:
+            estimate = LatencyEstimate(
+                architecture=architecture,
+                cycles=analytical_report.total_cycles,
+                ms=analytical_report.total_ms,
+                method=self.method,
+                design=design,
+                report=analytical_report,
+            )
+        else:
+            graph = TaskGraphGenerator(rc_mapping=self.rc_mapping).generate(design)
+            scheduler = (
+                FnasScheduler(first_reuse=first_reuse)
+                if first_reuse is not None
+                else FnasScheduler()
+            )
+            schedule = scheduler.schedule(graph)
+            result = PipelineSimulator().run(schedule)
+            cycles = result.makespan
+            estimate = LatencyEstimate(
+                architecture=architecture,
+                cycles=cycles,
+                ms=self.platform.cycles_to_ms(cycles),
+                method=self.method,
+                design=design,
+                report=analytical_report,
+            )
+        self._cache[key] = estimate
+        return estimate

@@ -1,0 +1,80 @@
+"""Design-space exploration over FNAS-Design variants.
+
+The paper's FNAS-Design picks one tiling per layer; this explorer puts
+the analyzer in the loop and compares the candidate design policies
+(spatial strategy x first-layer reuse choice), returning the design and
+reuse assignment with the lowest analytical latency.  It implements the
+"best parameters can be obtained according to [8, 13]" step as an
+explicit, testable search instead of a fixed heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import Architecture
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import PipelineDesign, TilingDesigner
+from repro.latency.analyzer import FnasAnalyzer, LatencyReport
+from repro.scheduling.base import IFM_REUSE, OFM_REUSE
+from repro.scheduling.fnas_sched import alternating_strategies
+
+
+@dataclass(frozen=True)
+class ExplorationChoice:
+    """One evaluated point of the design space."""
+
+    spatial_strategy: str
+    first_reuse: str
+    design: PipelineDesign
+    report: LatencyReport
+
+    @property
+    def total_cycles(self) -> int:
+        """Analytical latency of this choice."""
+        return self.report.total_cycles
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Best design plus every evaluated alternative."""
+
+    best: ExplorationChoice
+    evaluated: tuple[ExplorationChoice, ...]
+
+    @property
+    def improvement_over_worst(self) -> float:
+        """Cycles(worst) / cycles(best) across the evaluated designs."""
+        worst = max(c.total_cycles for c in self.evaluated)
+        return worst / self.best.total_cycles
+
+
+class DesignExplorer:
+    """Exhaustive search over the small FNAS-Design policy space."""
+
+    SPATIAL_STRATEGIES = ("max-reuse", "min-start")
+    FIRST_REUSE_CHOICES = (OFM_REUSE, IFM_REUSE)
+
+    def explore(
+        self, architecture: Architecture, platform: Platform
+    ) -> ExplorationResult:
+        """Evaluate every policy combination and return the best design."""
+        choices: list[ExplorationChoice] = []
+        for spatial in self.SPATIAL_STRATEGIES:
+            designer = TilingDesigner(spatial_strategy=spatial)
+            design = designer.design(architecture, platform)
+            for first in self.FIRST_REUSE_CHOICES:
+                strategies = alternating_strategies(
+                    architecture.depth, first=first
+                )
+                report = FnasAnalyzer(strategies=strategies).analyze(design)
+                choices.append(
+                    ExplorationChoice(
+                        spatial_strategy=spatial,
+                        first_reuse=first,
+                        design=design,
+                        report=report,
+                    )
+                )
+        best = min(choices, key=lambda c: c.total_cycles)
+        return ExplorationResult(best=best, evaluated=tuple(choices))

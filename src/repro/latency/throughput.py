@@ -1,0 +1,59 @@
+"""Steady-state throughput analysis of PE pipelines (extension).
+
+The paper evaluates single-inference latency (the right metric for
+low-batch real-time service); with a PE-per-layer pipeline, consecutive
+inferences overlap and the steady-state rate is set by the *bottleneck*
+PE.  These helpers extend FNAS-Analyzer to batched operation:
+
+* latency of a batch of ``B`` inferences:
+  ``Latsys + (B - 1) * max_i PT_i``  (fill the pipe once, then one
+  result per bottleneck period);
+* sustained throughput: ``clock / max_i PT_i`` inferences per second.
+
+Both reuse the same design/report objects the latency path produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.tiling import PipelineDesign
+from repro.latency.analyzer import FnasAnalyzer, LatencyReport
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Batched-operation characteristics of one pipeline design."""
+
+    single_latency_cycles: int
+    bottleneck_cycles: int
+    bottleneck_layer: int
+    throughput_fps: float
+
+    def batch_latency_cycles(self, batch: int) -> int:
+        """Cycles to finish a batch of ``batch`` inferences."""
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return (self.single_latency_cycles
+                + (batch - 1) * self.bottleneck_cycles)
+
+    def effective_fps(self, batch: int) -> float:
+        """Achieved rate for a finite batch (approaches throughput_fps)."""
+        cycles = self.batch_latency_cycles(batch)
+        return batch * self.throughput_fps * self.bottleneck_cycles / cycles
+
+
+def analyze_throughput(
+    design: PipelineDesign, report: LatencyReport | None = None
+) -> ThroughputReport:
+    """Throughput analysis of ``design`` (reusing ``report`` if given)."""
+    if report is None:
+        report = FnasAnalyzer().analyze(design)
+    bottleneck = max(report.layers, key=lambda l: l.processing_time)
+    clock_hz = design.platform.clock_mhz * 1e6
+    return ThroughputReport(
+        single_latency_cycles=report.total_cycles,
+        bottleneck_cycles=bottleneck.processing_time,
+        bottleneck_layer=bottleneck.layer_index,
+        throughput_fps=clock_hz / bottleneck.processing_time,
+    )

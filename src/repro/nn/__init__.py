@@ -1,0 +1,35 @@
+"""From-scratch NumPy CNN substrate (layers, losses, optimizers, trainer)."""
+
+from repro.nn.builder import build_network
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.losses import cross_entropy, softmax
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.trainer import Trainer, TrainingResult
+
+__all__ = [
+    "build_network",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "cross_entropy",
+    "softmax",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "Trainer",
+    "TrainingResult",
+]

@@ -1,0 +1,79 @@
+"""Architecture -> trainable network.
+
+Bridges the search side (:class:`~repro.core.architecture.Architecture`)
+and the training side (:class:`~repro.nn.network.Sequential`): each conv
+layer of the architecture becomes Conv2D + ReLU, and a global-average-
+pool + dense head produces the class logits.  The conv geometry (same
+padding, ``ceil(in/stride)`` outputs) matches the FPGA model exactly, so
+latency and accuracy are measured on the same computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.architecture import Architecture
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    ReLU,
+)
+from repro.nn.network import Sequential
+
+
+def build_network(
+    architecture: Architecture,
+    rng: np.random.Generator | None = None,
+    head: str = "flatten",
+    batch_norm: bool = False,
+    dropout: float = 0.0,
+) -> Sequential:
+    """Instantiate a trainable network for ``architecture``.
+
+    ``rng`` seeds the weight init; pass a seeded generator for
+    reproducible training runs.  ``head`` selects the classifier:
+
+    * ``"flatten"`` -- flatten + dense over all final activations
+      (default; learns quickly at the small training budgets the paper's
+      25-epoch protocol implies);
+    * ``"gap"``     -- global average pool + dense (fewer parameters,
+      closer to modern conv-net heads).
+
+    ``batch_norm`` inserts a :class:`BatchNorm2D` after every conv
+    (helps the deeper CIFAR/ImageNet spaces converge); ``dropout``
+    adds inverted dropout before the classifier.
+    """
+    if head not in ("flatten", "gap"):
+        raise ValueError(f"unknown head {head!r}; expected 'flatten' or 'gap'")
+    if not 0.0 <= dropout < 1.0:
+        raise ValueError(f"dropout must be in [0, 1), got {dropout}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers: list = []
+    for spec in architecture.layers:
+        layers.append(
+            Conv2D(
+                in_channels=spec.in_channels,
+                out_channels=spec.out_channels,
+                kernel=spec.kernel,
+                stride=spec.stride,
+                rng=rng,
+            )
+        )
+        if batch_norm:
+            layers.append(BatchNorm2D(spec.out_channels))
+        layers.append(ReLU())
+    last = architecture.layers[-1]
+    if head == "gap":
+        layers.append(GlobalAvgPool())
+        features = last.out_channels
+    else:
+        layers.append(Flatten())
+        features = last.out_channels * last.out_rows * last.out_cols
+    if dropout > 0.0:
+        layers.append(Dropout(rate=dropout))
+    layers.append(Dense(features, architecture.num_classes, rng=rng))
+    return Sequential(layers)

@@ -1,0 +1,30 @@
+"""Weight initializers for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...],
+              fan_in: int) -> np.ndarray:
+    """He (Kaiming) normal init -- the right scale for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                   fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot uniform init for linear/softmax layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(
+            f"fan_in/fan_out must be positive, got {fan_in}/{fan_out}"
+        )
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,470 @@
+"""Layers of the NumPy CNN substrate.
+
+Everything the FNAS child networks need, implemented with explicit
+forward/backward passes over NCHW tensors:
+
+* :class:`Conv2D` -- same-padding convolution via im2col (the layout the
+  FPGA tiling model assumes);
+* :class:`MaxPool2D` / :class:`GlobalAvgPool` -- spatial reduction;
+* :class:`ReLU`, :class:`Flatten`, :class:`Dense` -- the classifier head.
+
+Each layer exposes ``forward(x)``, ``backward(grad)`` (returning the
+gradient w.r.t. the input and stashing parameter gradients), and
+``params()`` / ``grads()`` pairs consumed by the optimizers.  Layers
+cache what they need between forward and backward; callers must pair the
+two calls (the :class:`~repro.nn.network.Sequential` driver does).
+
+Compute dtype is ``float32`` by default (the training hot path);
+gradient-check tests pass ``dtype=np.float64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, xavier_uniform, zeros
+
+
+class Layer:
+    """Base class: a differentiable, possibly parameterised module."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad`` (dL/d output), return dL/d input."""
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable arrays, updated in place by the optimizer."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`params`."""
+        return []
+
+
+def _im2col(
+    xp: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Extract convolution patches: (N, C, H, W) -> (N, C*K*K, out_h*out_w).
+
+    One strided slice per kernel offset (K*K slices total) -- each is a
+    plain vectorised copy, which beats fancy-index gathers by a wide
+    margin on CPython/NumPy.
+    """
+    n, c = xp.shape[0], xp.shape[1]
+    patches = np.empty(
+        (n, c, kernel * kernel, out_h * out_w), dtype=xp.dtype
+    )
+    for ki in range(kernel):
+        for kj in range(kernel):
+            block = xp[
+                :, :,
+                ki:ki + stride * out_h:stride,
+                kj:kj + stride * out_w:stride,
+            ]
+            patches[:, :, ki * kernel + kj, :] = block.reshape(n, c, -1)
+    return patches.reshape(n, c * kernel * kernel, -1)
+
+
+def _col2im(
+    d_patches: np.ndarray,
+    xp_shape: tuple[int, ...],
+    kernel: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back onto the padded input.
+
+    Inverse of :func:`_im2col`: one strided slice-add per kernel offset.
+    """
+    n, c = d_patches.shape[0], d_patches.shape[1]
+    d_xp = np.zeros(xp_shape, dtype=d_patches.dtype)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            d_xp[
+                :, :,
+                ki:ki + stride * out_h:stride,
+                kj:kj + stride * out_w:stride,
+            ] += d_patches[:, :, ki * kernel + kj, :].reshape(
+                n, c, out_h, out_w
+            )
+    return d_xp
+
+
+#: im2col buffer budget in elements (~128 MB float32).  Larger batches
+#: are processed in sub-batches, recomputing the column matrix in the
+#: backward pass instead of caching it -- large-kernel layers (e.g. the
+#: MNIST space's 14x14 option) would otherwise allocate gigabytes.
+MAX_COL_ELEMENTS = 32 * 1024 * 1024
+
+
+class Conv2D(Layer):
+    """Same-padding 2-D convolution (NCHW), im2col implementation.
+
+    Output spatial size is ``ceil(in / stride)``, matching
+    :class:`~repro.core.architecture.ConvLayerSpec` so that the trained
+    network and the FPGA latency model describe the same computation.
+
+    Memory: the column matrix is capped at :data:`MAX_COL_ELEMENTS`;
+    bigger workloads fall back to sub-batch processing with
+    recompute-in-backward (slower by one extra im2col, bounded memory).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        dtype: np.dtype = np.float32,
+    ):
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel <= 0 or stride <= 0:
+            raise ValueError("kernel and stride must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.dtype = np.dtype(dtype)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.weight = he_normal(
+            rng, (out_channels, in_channels, kernel, kernel), fan_in
+        ).astype(self.dtype)
+        self.bias = zeros((out_channels,)).astype(self.dtype)
+        self.d_weight = np.zeros_like(self.weight)
+        self.d_bias = np.zeros_like(self.bias)
+        self._cache: tuple | None = None
+
+    def _padding(self, in_h: int, in_w: int) -> tuple[int, int, int, int]:
+        """TensorFlow-style SAME padding amounts (top, bottom, left, right)."""
+        out_h = -(-in_h // self.stride)
+        out_w = -(-in_w // self.stride)
+        pad_h = max(0, (out_h - 1) * self.stride + self.kernel - in_h)
+        pad_w = max(0, (out_w - 1) * self.stride + self.kernel - in_w)
+        return pad_h // 2, pad_h - pad_h // 2, pad_w // 2, pad_w - pad_w // 2
+
+    def _chunk_size(self, out_h: int, out_w: int) -> int:
+        """Largest sub-batch whose column matrix fits the buffer budget."""
+        per_example = (self.in_channels * self.kernel * self.kernel
+                       * out_h * out_w)
+        return max(1, MAX_COL_ELEMENTS // max(per_example, 1))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        x = x.astype(self.dtype, copy=False)
+        top, bottom, left, right = self._padding(h, w)
+        xp = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+        out_h = -(-h // self.stride)
+        out_w = -(-w // self.stride)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        chunk = self._chunk_size(out_h, out_w)
+        if chunk >= n:
+            col = _im2col(xp, self.kernel, self.stride, out_h, out_w)
+            out = np.matmul(w_mat, col) + self.bias[None, :, None]
+            cache_col: np.ndarray | None = col
+        else:
+            out = np.empty((n, self.out_channels, out_h * out_w),
+                           dtype=self.dtype)
+            for start in range(0, n, chunk):
+                col = _im2col(xp[start:start + chunk], self.kernel,
+                              self.stride, out_h, out_w)
+                out[start:start + chunk] = (
+                    np.matmul(w_mat, col) + self.bias[None, :, None]
+                )
+            cache_col = None  # recomputed per chunk in backward
+        self._cache = (x.shape, xp, (top, left), (out_h, out_w), cache_col)
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, xp, (top, left), (out_h, out_w), col = self._cache
+        n = grad.shape[0]
+        grad = grad.astype(self.dtype, copy=False)
+        grad_mat = grad.reshape(n, self.out_channels, -1)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        self.d_bias[...] = grad_mat.sum(axis=(0, 2))
+        if col is not None:
+            # dW: sum over batch of grad @ col^T (one BLAS call via reshape).
+            gm = grad_mat.transpose(1, 0, 2).reshape(self.out_channels, -1)
+            cm = col.transpose(1, 0, 2).reshape(col.shape[1], -1)
+            self.d_weight[...] = (gm @ cm.T).reshape(self.weight.shape)
+            d_col = np.matmul(w_mat.T, grad_mat)  # (N, C*K*K, P)
+            d_xp = _col2im(
+                d_col.reshape(n, self.in_channels,
+                              self.kernel * self.kernel, -1),
+                xp.shape, self.kernel, self.stride, out_h, out_w,
+            )
+        else:
+            # Sub-batch path: recompute each chunk's columns.
+            chunk = self._chunk_size(out_h, out_w)
+            self.d_weight[...] = 0.0
+            d_xp = np.zeros(xp.shape, dtype=self.dtype)
+            for start in range(0, n, chunk):
+                sl = slice(start, start + chunk)
+                col_chunk = _im2col(xp[sl], self.kernel, self.stride,
+                                    out_h, out_w)
+                gm = grad_mat[sl].transpose(1, 0, 2).reshape(
+                    self.out_channels, -1)
+                cm = col_chunk.transpose(1, 0, 2).reshape(
+                    col_chunk.shape[1], -1)
+                self.d_weight += (gm @ cm.T).reshape(self.weight.shape)
+                d_col = np.matmul(w_mat.T, grad_mat[sl])
+                d_xp[sl] = _col2im(
+                    d_col.reshape(d_col.shape[0], self.in_channels,
+                                  self.kernel * self.kernel, -1),
+                    (d_col.shape[0],) + xp.shape[1:], self.kernel,
+                    self.stride, out_h, out_w,
+                )
+        h, w = x_shape[2], x_shape[3]
+        return d_xp[:, :, top:top + h, left:left + w]
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.d_weight, self.d_bias]
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, x.dtype.type(0))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._mask
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling (NCHW); pads with -inf if ragged."""
+
+    def __init__(self, pool: int = 2):
+        if pool <= 0:
+            raise ValueError(f"pool must be positive, got {pool}")
+        self.pool = pool
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.pool
+        out_h, out_w = -(-h // p), -(-w // p)
+        pad_h, pad_w = out_h * p - h, out_w * p - w
+        xp = np.pad(
+            x, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)),
+            constant_values=-np.inf,
+        )
+        windows = xp.reshape(n, c, out_h, p, out_w, p)
+        out = windows.max(axis=(3, 5))
+        mask = windows == out[:, :, :, None, :, None]
+        self._cache = (x.shape, xp.shape, mask)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, xp_shape, mask = self._cache
+        # Route gradient to (all) argmax positions; ties split the credit.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        d_windows = mask * (grad[:, :, :, None, :, None] / counts)
+        d_xp = d_windows.reshape(xp_shape)
+        return d_xp[:, :, : x_shape[2], : x_shape[3]]
+
+
+class GlobalAvgPool(Layer):
+    """Average over the spatial dims: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._shape
+        return np.broadcast_to(
+            grad[:, :, None, None] / (h * w), self._shape
+        ).astype(grad.dtype, copy=True)
+
+
+class Flatten(Layer):
+    """(N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalisation over NCHW tensors.
+
+    Standard training-mode statistics with running-mean/var tracking
+    for inference.  Child networks in the paper's spaces are shallow
+    enough to train bare, but deeper spaces (CIFAR's 10 / ImageNet's 15
+    layers) converge noticeably better with normalisation -- exposed as
+    an opt-in through ``build_network(..., batch_norm=True)``.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9,
+                 eps: float = 1e-5, dtype: np.dtype = np.float32):
+        if channels <= 0:
+            raise ValueError(f"channels must be positive, got {channels}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.dtype = np.dtype(dtype)
+        self.gamma = np.ones(channels, dtype=self.dtype)
+        self.beta = np.zeros(channels, dtype=self.dtype)
+        self.d_gamma = np.zeros_like(self.gamma)
+        self.d_beta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(channels, dtype=self.dtype)
+        self.running_var = np.ones(channels, dtype=self.dtype)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"expected (N, {self.channels}, H, W) input, got {x.shape}"
+            )
+        x = x.astype(self.dtype, copy=False)
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean *= self.momentum
+            self.running_mean += (1 - self.momentum) * mean
+            self.running_var *= self.momentum
+            self.running_var += (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (self.gamma[None, :, None, None] * x_hat
+               + self.beta[None, :, None, None])
+        self._cache = (x_hat, inv_std, training, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, training, shape = self._cache
+        grad = grad.astype(self.dtype, copy=False)
+        self.d_gamma[...] = (grad * x_hat).sum(axis=(0, 2, 3))
+        self.d_beta[...] = grad.sum(axis=(0, 2, 3))
+        g = self.gamma[None, :, None, None]
+        if not training:
+            return grad * g * inv_std[None, :, None, None]
+        n = shape[0] * shape[2] * shape[3]
+        d_xhat = grad * g
+        mean_d = d_xhat.mean(axis=(0, 2, 3), keepdims=True)
+        mean_dx = (d_xhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        del n  # folded into the means above
+        return (d_xhat - mean_d - x_hat * mean_dx) * inv_std[None, :, None, None]
+
+    def params(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.d_gamma, self.d_beta]
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self._rng.random(x.shape) < keep
+        ).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Dense(Layer):
+    """Fully connected layer: (N, F_in) -> (N, F_out)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        dtype: np.dtype = np.float32,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.dtype = np.dtype(dtype)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = xavier_uniform(
+            rng, (in_features, out_features), in_features, out_features
+        ).astype(self.dtype)
+        self.bias = zeros((out_features,)).astype(self.dtype)
+        self.d_weight = np.zeros_like(self.weight)
+        self.d_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (N, {self.in_features}) input, got {x.shape}"
+            )
+        self._x = x.astype(self.dtype, copy=False)
+        return self._x @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad.astype(self.dtype, copy=False)
+        self.d_weight[...] = self._x.T @ grad
+        self.d_bias[...] = grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.d_weight, self.d_bias]

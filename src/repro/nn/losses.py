@@ -1,0 +1,36 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. the logits.
+
+    Args:
+        logits: (N, K) raw scores.
+        labels: (N,) integer class ids.
+
+    Returns:
+        (loss, d_logits) where ``d_logits`` already includes the 1/N
+        factor, ready to feed ``Sequential.backward``.
+    """
+    n, k = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} != ({n},)")
+    if labels.min() < 0 or labels.max() >= k:
+        raise ValueError(f"labels out of range [0, {k})")
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

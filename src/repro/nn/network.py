@@ -1,0 +1,70 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import cross_entropy
+
+
+class Sequential:
+    """A plain feed-forward stack of :class:`~repro.nn.layers.Layer`."""
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the stack; returns the final activations (logits)."""
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the stack (after a paired forward)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> list[np.ndarray]:
+        """All trainable arrays in layer order."""
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        """All gradients aligned with :meth:`params`."""
+        return [g for layer in self.layers for g in layer.grads()]
+
+    @property
+    def parameter_count(self) -> int:
+        """Total trainable scalars."""
+        return sum(p.size for p in self.params())
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Forward + loss + backward; returns the batch loss.
+
+        Leaves fresh gradients in :meth:`grads` for the optimizer.
+        """
+        logits = self.forward(x, training=True)
+        loss, d_logits = cross_entropy(logits, labels)
+        self.backward(d_logits)
+        return loss
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class ids, evaluated in batches."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start:start + batch_size], training=False)
+            outputs.append(np.argmax(logits, axis=1))
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=int)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Top-1 accuracy on ``(x, labels)``."""
+        if x.shape[0] == 0:
+            raise ValueError("cannot evaluate accuracy on an empty set")
+        preds = self.predict(x, batch_size=batch_size)
+        return float((preds == labels).mean())

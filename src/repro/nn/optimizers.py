@@ -1,0 +1,96 @@
+"""Optimizers for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Updates a fixed set of parameter arrays in place."""
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray]):
+        if len(params) != len(grads):
+            raise ValueError(
+                f"{len(params)} params but {len(grads)} grads"
+            )
+        for p, g in zip(params, grads):
+            if p.shape != g.shape:
+                raise ValueError(
+                    f"param/grad shape mismatch: {p.shape} vs {g.shape}"
+                )
+        self.params = params
+        self.grads = grads
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, grads)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self.velocity):
+            update = g + self.weight_decay * p
+            v *= self.momentum
+            v += update
+            p -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, grads)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        for p, g, m, v in zip(self.params, self.grads, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

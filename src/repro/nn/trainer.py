@@ -1,0 +1,114 @@
+"""Training loop for child networks.
+
+Implements the paper's evaluation protocol: train for ``E`` epochs and
+report the **maximum validation accuracy over the last 5 epochs** as the
+accuracy signal fed to the reward (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Optimizer
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of training one child network."""
+
+    train_losses: list[float]
+    val_accuracies: list[float]
+    best_accuracy: float
+    wall_seconds: float
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.val_accuracies)
+
+
+@dataclass
+class Trainer:
+    """Mini-batch trainer with the paper's last-5-epochs accuracy rule.
+
+    Attributes:
+        epochs: training epochs (paper: 25).
+        batch_size: mini-batch size.
+        lr / momentum / weight_decay: SGD hyperparameters.
+        accuracy_window: the reward accuracy is the max validation
+            accuracy over this many final epochs (paper: 5).
+        seed: shuffling seed.
+    """
+
+    epochs: int = 25
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    accuracy_window: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+        if self.accuracy_window <= 0:
+            raise ValueError(
+                f"accuracy_window must be positive, got {self.accuracy_window}"
+            )
+
+    def make_optimizer(self, network: Sequential) -> Optimizer:
+        """SGD bound to the network's parameters (override point)."""
+        return SGD(
+            network.params(),
+            network.grads(),
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+
+    def train(
+        self,
+        network: Sequential,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        val_x: np.ndarray,
+        val_y: np.ndarray,
+    ) -> TrainingResult:
+        """Train ``network`` and return losses + the reward accuracy."""
+        if train_x.shape[0] != train_y.shape[0]:
+            raise ValueError("train_x and train_y lengths differ")
+        if val_x.shape[0] != val_y.shape[0]:
+            raise ValueError("val_x and val_y lengths differ")
+        rng = np.random.default_rng(self.seed)
+        optimizer = self.make_optimizer(network)
+        train_losses: list[float] = []
+        val_accuracies: list[float] = []
+        started = time.perf_counter()
+        n = train_x.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                loss = network.train_step(train_x[idx], train_y[idx])
+                optimizer.step()
+                epoch_loss += loss
+                batches += 1
+            train_losses.append(epoch_loss / max(batches, 1))
+            val_accuracies.append(network.accuracy(val_x, val_y))
+        window = val_accuracies[-self.accuracy_window:]
+        return TrainingResult(
+            train_losses=train_losses,
+            val_accuracies=val_accuracies,
+            best_accuracy=max(window),
+            wall_seconds=time.perf_counter() - started,
+        )

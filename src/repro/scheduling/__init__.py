@@ -1,0 +1,44 @@
+"""Schedulers (FNAS-Sched, fixed baseline) and the pipeline simulator."""
+
+from repro.scheduling.base import (
+    IFM_REUSE,
+    IN_ORDER,
+    OFM_REUSE,
+    READY_QUEUE,
+    Schedule,
+    Scheduler,
+)
+from repro.scheduling.fixed_sched import FixedScheduler
+from repro.scheduling.fnas_sched import (
+    AdaptiveFnasScheduler,
+    FnasScheduler,
+    alternating_strategies,
+    order_tasks,
+)
+from repro.scheduling.simulator import (
+    CommunicationModel,
+    PeTrace,
+    PipelineSimulator,
+    SimulationResult,
+)
+from repro.scheduling.visualize import gantt_chart, utilisation_table
+
+__all__ = [
+    "IFM_REUSE",
+    "IN_ORDER",
+    "OFM_REUSE",
+    "READY_QUEUE",
+    "Schedule",
+    "Scheduler",
+    "AdaptiveFnasScheduler",
+    "FixedScheduler",
+    "FnasScheduler",
+    "alternating_strategies",
+    "order_tasks",
+    "CommunicationModel",
+    "PeTrace",
+    "PipelineSimulator",
+    "SimulationResult",
+    "gantt_chart",
+    "utilisation_table",
+]

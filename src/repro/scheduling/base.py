@@ -1,0 +1,101 @@
+"""Schedule data model shared by all schedulers.
+
+A *schedule* fixes, for every PE (one per conv layer), the intended
+execution order of its tasks, the data-reuse strategy that order
+realises, and the runtime policy used when the next task's input is not
+yet ready:
+
+* ``"in-order"``  -- the PE stalls until the next task in sequence is
+  ready (the fixed-scheduling baseline of Zhang et al., FPGA'15);
+* ``"ready-queue"`` -- the PE may run any later task whose inputs are
+  ready, returning to sequence order afterwards (FNAS-Sched, design
+  principle P3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.tiles import Task
+
+#: Reuse strategy names (paper Section 3.5, Step 3).
+OFM_REUSE = "ofm"
+IFM_REUSE = "ifm"
+
+#: Runtime stall policies.
+IN_ORDER = "in-order"
+READY_QUEUE = "ready-queue"
+
+
+@dataclass
+class Schedule:
+    """Per-PE task orders plus the policy metadata the simulator needs.
+
+    Attributes:
+        graph: the task graph being scheduled.
+        layer_orders: for each layer, its tasks in intended execution order.
+        reuse_strategies: per layer, ``"ofm"`` or ``"ifm"``.
+        policy: ``"in-order"`` or ``"ready-queue"``.
+        name: label for reports/plots.
+    """
+
+    graph: TaskGraph
+    layer_orders: list[list[Task]]
+    reuse_strategies: list[str]
+    policy: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if len(self.layer_orders) != self.graph.n_layers:
+            raise ValueError(
+                f"{len(self.layer_orders)} layer orders for "
+                f"{self.graph.n_layers} layers"
+            )
+        if len(self.reuse_strategies) != self.graph.n_layers:
+            raise ValueError(
+                f"{len(self.reuse_strategies)} reuse strategies for "
+                f"{self.graph.n_layers} layers"
+            )
+        for strategy in self.reuse_strategies:
+            if strategy not in (OFM_REUSE, IFM_REUSE):
+                raise ValueError(f"unknown reuse strategy {strategy!r}")
+        if self.policy not in (IN_ORDER, READY_QUEUE):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        for layer_idx, order in enumerate(self.layer_orders):
+            expected = set(self.graph.tasks_by_layer[layer_idx])
+            if set(order) != expected or len(order) != len(expected):
+                raise ValueError(
+                    f"layer {layer_idx} order is not a permutation of the "
+                    f"layer's tasks"
+                )
+
+    def reuse_runs(self, layer: int) -> float:
+        """Mean run length of consecutive same-reused-tile tasks in a layer.
+
+        Diagnostic for P2 (data reuse): under OFM reuse the relevant
+        tile is the output tile, under IFM reuse the input tile.  Longer
+        runs mean less off-chip traffic.
+        """
+        order = self.layer_orders[layer]
+        if not order:
+            return 0.0
+        strategy = self.reuse_strategies[layer]
+        runs = 1
+        for prev, cur in zip(order, order[1:]):
+            if strategy == OFM_REUSE:
+                same = (prev.ofm_tile, prev.rc_tile) == (cur.ofm_tile, cur.rc_tile)
+            else:
+                same = (prev.ifm_tile, prev.rc_tile) == (cur.ifm_tile, cur.rc_tile)
+            if not same:
+                runs += 1
+        return len(order) / runs
+
+
+class Scheduler(Protocol):
+    """Anything that turns a task graph into a :class:`Schedule`."""
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Produce a schedule for ``graph``."""
+        ...

@@ -1,0 +1,39 @@
+"""Fixed scheduling baseline (Zhang et al., FPGA'15; paper Figure 5(a)).
+
+The conventional PS/PL design streams tiles to every accelerator in the
+*same* fixed nested-loop order::
+
+    for (row; row += Tr)
+      for (col; col += Tc)
+        for (to;  to  += Tm)     # output channel tile
+          for (ti; ti += Tn)     # input channel tile
+
+i.e. order key ``(rc_tile, ofm_tile, ifm_tile)`` -- uniform OFM reuse on
+every layer -- and the PE executes strictly in that order, stalling
+whenever the next tile is not ready.  This is the baseline FNAS-Sched is
+compared against in Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import IN_ORDER, OFM_REUSE, Schedule
+from repro.scheduling.fnas_sched import order_tasks
+from repro.taskgraph.graph import TaskGraph
+
+
+class FixedScheduler:
+    """The fixed-loop-order scheduler used by single-FPGA flows."""
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Emit the fixed ``(row, col, to, ti)`` order for every layer."""
+        strategies = [OFM_REUSE] * graph.n_layers
+        orders = [
+            order_tasks(tasks, OFM_REUSE) for tasks in graph.tasks_by_layer
+        ]
+        return Schedule(
+            graph=graph,
+            layer_orders=orders,
+            reuse_strategies=strategies,
+            policy=IN_ORDER,
+            name="fixed-sched",
+        )

@@ -1,0 +1,154 @@
+"""FNAS-Sched: the paper's three-step pipeline scheduler (Section 3.5).
+
+Design principles:
+
+* **P1** -- start every PE as early as possible,
+* **P2** -- maximise on-chip data reuse,
+* **P3** -- avoid pipeline stalls.
+
+Steps, realised as per-layer task orderings:
+
+1. *IFM tile sequence*: within a row/col tile, sweep the channel tiles
+   first ("strategy i" in the paper) -- an OFM tile needs **all** input
+   channels, so finishing one row/col tile's channels early lets the
+   next layer start sooner than sweeping row/col tiles first.
+2. *OFM tile sequence*: visit IFM tiles in their Step-1 order and emit
+   the dependent OFM tiles as they become computable, so downstream
+   readiness follows the downstream layer's own Step-1 order.
+3. *Task sequence*: pick a reuse strategy per layer.  Under **OFM
+   reuse** consecutive tasks share an output tile (iterate IFM tiles
+   innermost: order key ``(rc, ofm, ifm)``); under **IFM reuse** they
+   share an input tile (key ``(rc, ifm, ofm)``).  A uniform strategy
+   starves consumers (an OFM-reuse producer feeding an OFM-reuse
+   consumer delivers one input tile per ``|CH_ifm|`` tasks while the
+   consumer wants one per task), so FNAS alternates the two strategies
+   across consecutive layers, starting with OFM reuse at layer 0.
+
+At runtime FNAS keeps a ready-to-run queue: when the next task in
+sequence is blocked, any ready later task runs instead (P3).
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import (
+    IFM_REUSE,
+    IN_ORDER,
+    OFM_REUSE,
+    READY_QUEUE,
+    Schedule,
+)
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.tiles import Task
+
+
+def order_tasks(tasks: list[Task], reuse: str) -> list[Task]:
+    """Sort one layer's tasks for the given reuse strategy.
+
+    ``"ofm"``: key ``(rc_tile, ofm_tile, ifm_tile)`` -- output tile held
+    across the IFM sweep.  ``"ifm"``: key ``(rc_tile, ifm_tile,
+    ofm_tile)`` -- input tile held across the OFM sweep.  Both keys keep
+    the row/col tile outermost, which is Step 1's channel-first rule.
+    """
+    if reuse == OFM_REUSE:
+        return sorted(tasks, key=lambda t: (t.rc_tile, t.ofm_tile, t.ifm_tile))
+    if reuse == IFM_REUSE:
+        return sorted(tasks, key=lambda t: (t.rc_tile, t.ifm_tile, t.ofm_tile))
+    raise ValueError(f"unknown reuse strategy {reuse!r}")
+
+
+def alternating_strategies(n_layers: int, first: str = OFM_REUSE) -> list[str]:
+    """The paper's alternating reuse assignment, ``first`` at layer 0."""
+    if first not in (OFM_REUSE, IFM_REUSE):
+        raise ValueError(f"unknown reuse strategy {first!r}")
+    other = IFM_REUSE if first == OFM_REUSE else OFM_REUSE
+    return [first if i % 2 == 0 else other for i in range(n_layers)]
+
+
+class FnasScheduler:
+    """The FNAS-Sched scheduler.
+
+    Parameters:
+        first_reuse: reuse strategy of layer 0 (paper uses OFM reuse).
+        uniform: if set to ``"ofm"`` or ``"ifm"``, apply that strategy
+            to *every* layer instead of alternating -- the configuration
+            the paper observes to cause stalls, kept for the ablation
+            benchmark.
+        policy: runtime stall policy; defaults to the paper's
+            ready-to-run queue (P3).  ``"in-order"`` isolates the
+            ordering contribution from the queue in ablations.
+    """
+
+    def __init__(
+        self,
+        first_reuse: str = OFM_REUSE,
+        uniform: str | None = None,
+        policy: str = READY_QUEUE,
+    ):
+        if first_reuse not in (OFM_REUSE, IFM_REUSE):
+            raise ValueError(f"unknown reuse strategy {first_reuse!r}")
+        if uniform is not None and uniform not in (OFM_REUSE, IFM_REUSE):
+            raise ValueError(f"unknown uniform strategy {uniform!r}")
+        if policy not in (READY_QUEUE, IN_ORDER):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.first_reuse = first_reuse
+        self.uniform = uniform
+        self.policy = policy
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Apply Steps 1-3 to every layer of ``graph``."""
+        if self.uniform is not None:
+            strategies = [self.uniform] * graph.n_layers
+            name = f"fnas-uniform-{self.uniform}"
+        else:
+            strategies = alternating_strategies(graph.n_layers, self.first_reuse)
+            name = "fnas-sched"
+        orders = [
+            order_tasks(tasks, strategy)
+            for tasks, strategy in zip(graph.tasks_by_layer, strategies)
+        ]
+        if self.policy == IN_ORDER:
+            name += "-inorder"
+        return Schedule(
+            graph=graph,
+            layer_orders=orders,
+            reuse_strategies=strategies,
+            policy=self.policy,
+            name=name,
+        )
+
+
+class AdaptiveFnasScheduler:
+    """Pick the best FNAS-Sched variant per graph (extension).
+
+    The paper fixes one alternation (OFM reuse first).  That is the
+    right default, but no single strategy assignment is optimal for
+    every pipeline -- on some shapes the IFM-reuse layers' larger start
+    deltas outweigh the stalls they avoid.  This scheduler simulates a
+    small candidate set (both alternation phases plus uniform OFM
+    reuse, all with the ready-to-run queue) and returns the schedule
+    with the smallest makespan.  Cost: one cycle simulation per
+    candidate, so use it for final design selection rather than inside
+    the search loop (where the closed-form analyzer belongs).
+    """
+
+    CANDIDATES = (
+        dict(first_reuse=OFM_REUSE),
+        dict(first_reuse=IFM_REUSE),
+        dict(uniform=OFM_REUSE),
+    )
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Best-of-candidates schedule for ``graph``."""
+        from repro.scheduling.simulator import PipelineSimulator
+
+        simulator = PipelineSimulator()
+        best: Schedule | None = None
+        best_makespan = -1
+        for kwargs in self.CANDIDATES:
+            candidate = FnasScheduler(**kwargs).schedule(graph)
+            makespan = simulator.run(candidate).makespan
+            if best is None or makespan < best_makespan:
+                best = candidate
+                best_makespan = makespan
+        assert best is not None
+        return best

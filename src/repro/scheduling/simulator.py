@@ -1,0 +1,292 @@
+"""Cycle-accurate event-driven simulation of the PE pipeline.
+
+The simulator executes a :class:`~repro.scheduling.base.Schedule` over
+its tile-based task graph and reports the makespan in clock cycles plus
+per-PE start/stall accounting.  It is the measurement instrument behind
+Figure 8 (FNAS-Sched vs fixed scheduling) and the oracle used to
+validate the closed-form FNAS-Analyzer, which is a lower bound on the
+simulated makespan.
+
+Semantics:
+
+* every layer ``i`` task occupies its PE for ``ET_i`` cycles (optionally
+  inflated by the communication model when off-chip traffic exceeds the
+  PE's bandwidth share);
+* a task may start once the PE is free and its IFM data tile is ready;
+* an OFM data tile completes when *all* tasks accumulating into it have
+  finished; a downstream IFM tile becomes ready when all the OFM tiles
+  it is assembled from are complete;
+* layer-0 IFM tiles are ready at cycle 0;
+* an ``"in-order"`` PE always waits for the next task in sequence; a
+  ``"ready-queue"`` PE runs the earliest-startable remaining task,
+  preferring sequence order on ties (the paper's P3 ready-to-run queue).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.scheduling.base import IN_ORDER, READY_QUEUE, Schedule
+from repro.taskgraph.tiles import IfmTile, OfmTile, Task
+
+#: Sentinel for "readiness not yet known".
+_UNKNOWN = -1
+
+
+@dataclass
+class CommunicationModel:
+    """Optional off-chip traffic model.
+
+    When enabled, a task whose fresh (non-reused) tile traffic cannot be
+    streamed within its compute time is stretched to the transfer time:
+    ``duration = max(ET, fresh_bytes / bytes_per_cycle)``.  Consecutive
+    tasks on a PE reuse whichever buffer their schedule holds constant
+    (the direct payoff of design principle P2).
+
+    Attributes:
+        bytes_per_cycle: per-PE off-chip bytes per cycle (the device
+            bandwidth divided by the PEs sharing it).
+    """
+
+    bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ValueError(
+                f"bytes_per_cycle must be positive, got {self.bytes_per_cycle}"
+            )
+
+    def duration(self, schedule: Schedule, task: Task, prev: Task | None) -> int:
+        """Effective cycles for ``task`` given the previous task on its PE."""
+        design = schedule.graph.design.layers[task.layer]
+        et = design.execution_time
+        bytes_needed = design.weight_buffer_bytes
+        if prev is None or prev.input_tile != task.input_tile:
+            bytes_needed += design.ifm_buffer_bytes
+        if prev is None or prev.output_tile != task.output_tile:
+            bytes_needed += design.ofm_buffer_bytes
+        transfer = int(-(-bytes_needed // self.bytes_per_cycle))
+        return max(et, transfer)
+
+
+@dataclass
+class PeTrace:
+    """Execution record for one PE."""
+
+    layer: int
+    start_time: int
+    finish_time: int
+    busy_cycles: int
+    executed: list[tuple[Task, int, int]] = field(default_factory=list)
+
+    @property
+    def stall_cycles(self) -> int:
+        """Idle cycles between this PE's first start and last finish."""
+        return (self.finish_time - self.start_time) - self.busy_cycles
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one schedule."""
+
+    schedule_name: str
+    makespan: int
+    pe_traces: list[PeTrace]
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Stall cycles summed over PEs."""
+        return sum(trace.stall_cycles for trace in self.pe_traces)
+
+    @property
+    def start_times(self) -> list[int]:
+        """First-task start time per PE."""
+        return [trace.start_time for trace in self.pe_traces]
+
+
+class PipelineSimulator:
+    """Discrete-event simulator for PE pipelines.
+
+    Parameters:
+        comm_model: optional :class:`CommunicationModel`; ``None`` means
+            ideal memory (task duration is pure compute ``ET``), which
+            matches the analyzer's assumptions.
+        record_trace: keep per-task (start, end) tuples in the traces
+            (memory-heavy for big graphs; off by default).
+    """
+
+    def __init__(
+        self,
+        comm_model: CommunicationModel | None = None,
+        record_trace: bool = False,
+    ):
+        self.comm_model = comm_model
+        self.record_trace = record_trace
+
+    def run(self, schedule: Schedule) -> SimulationResult:
+        """Simulate ``schedule`` to completion and return the result."""
+        graph = schedule.graph
+        n_layers = graph.n_layers
+        orders = schedule.layer_orders
+
+        # Readiness bookkeeping ------------------------------------------------
+        # ready_at[layer][seq]: cycle the task's IFM tile becomes ready.
+        ready_at: list[list[int]] = [
+            [_UNKNOWN] * len(order) for order in orders
+        ]
+        # Which (layer, seq) wait on each IFM tile.
+        waiters: dict[IfmTile, list[tuple[int, int]]] = {}
+        for layer_idx, order in enumerate(orders):
+            for seq, task in enumerate(order):
+                waiters.setdefault(task.input_tile, []).append((layer_idx, seq))
+
+        # OFM tile completion: remaining producer counts.
+        producers_left: dict[OfmTile, int] = {
+            tile: len(tasks) for tile, tasks in graph.ofm_producers.items()
+        }
+        # Downstream IFM tiles assembled from each OFM tile.
+        ofm_consumers: dict[OfmTile, list[IfmTile]] = {}
+        sources_left: dict[IfmTile, int] = {}
+        for ifm, sources in graph.ifm_sources.items():
+            sources_left[ifm] = len(sources)
+            for ofm in sources:
+                ofm_consumers.setdefault(ofm, []).append(ifm)
+
+        # Ready-queue heaps: rt_heap orders by readiness time, seq_heap by
+        # sequence position once a task's readiness has matured.
+        rt_heaps: list[list[tuple[int, int]]] = [[] for _ in range(n_layers)]
+        seq_heaps: list[list[int]] = [[] for _ in range(n_layers)]
+
+        def mark_ready(layer_idx: int, seq: int, time: int) -> None:
+            ready_at[layer_idx][seq] = time
+            heapq.heappush(rt_heaps[layer_idx], (time, seq))
+
+        for tile in graph.input_tiles():
+            for layer_idx, seq in waiters.get(tile, []):
+                mark_ready(layer_idx, seq, 0)
+
+        # PE state ------------------------------------------------------------
+        pe_free = [0] * n_layers
+        next_seq = [0] * n_layers  # in-order pointer
+        done = [[False] * len(order) for order in orders]
+        remaining = [len(order) for order in orders]
+        prev_task: list[Task | None] = [None] * n_layers
+        first_start = [_UNKNOWN] * n_layers
+        last_end = [0] * n_layers
+        busy = [0] * n_layers
+        traces_exec: list[list[tuple[Task, int, int]]] = [
+            [] for _ in range(n_layers)
+        ]
+
+        in_order = schedule.policy == IN_ORDER
+
+        def candidate(layer_idx: int) -> tuple[int, int] | None:
+            """Earliest (start_time, seq) this PE could run next, if known."""
+            if remaining[layer_idx] == 0:
+                return None
+            if in_order:
+                seq = next_seq[layer_idx]
+                rt = ready_at[layer_idx][seq]
+                if rt == _UNKNOWN:
+                    return None
+                return (max(pe_free[layer_idx], rt), seq)
+            # ready-queue: mature entries whose readiness has passed pe_free.
+            free = pe_free[layer_idx]
+            rt_heap, seq_heap = rt_heaps[layer_idx], seq_heaps[layer_idx]
+            while rt_heap and rt_heap[0][0] <= free:
+                _, seq = heapq.heappop(rt_heap)
+                heapq.heappush(seq_heap, seq)
+            while seq_heap and done[layer_idx][seq_heap[0]]:
+                heapq.heappop(seq_heap)
+            if seq_heap:
+                return (free, seq_heap[0])
+            while rt_heap and done[layer_idx][rt_heap[0][1]]:
+                heapq.heappop(rt_heap)
+            if rt_heap:
+                rt, seq = rt_heap[0]
+                return (rt, seq)
+            return None
+
+        total_remaining = sum(remaining)
+        while total_remaining > 0:
+            best_layer, best_start, best_seq = -1, -1, -1
+            for layer_idx in range(n_layers):
+                cand = candidate(layer_idx)
+                if cand is None:
+                    continue
+                start, seq = cand
+                if best_layer == -1 or (start, layer_idx) < (best_start, best_layer):
+                    best_layer, best_start, best_seq = layer_idx, start, seq
+            if best_layer == -1:
+                raise RuntimeError(
+                    "deadlock: no PE has a ready task but "
+                    f"{total_remaining} tasks remain -- the task graph or "
+                    "schedule is inconsistent"
+                )
+            self._execute(
+                schedule, best_layer, best_seq, best_start,
+                orders, done, remaining, next_seq, pe_free, prev_task,
+                first_start, last_end, busy, traces_exec,
+                producers_left, ofm_consumers, sources_left, waiters,
+                mark_ready,
+            )
+            total_remaining -= 1
+
+        traces = []
+        for layer_idx in range(n_layers):
+            traces.append(
+                PeTrace(
+                    layer=layer_idx,
+                    start_time=max(first_start[layer_idx], 0),
+                    finish_time=last_end[layer_idx],
+                    busy_cycles=busy[layer_idx],
+                    executed=traces_exec[layer_idx],
+                )
+            )
+        makespan = max(last_end) if last_end else 0
+        return SimulationResult(
+            schedule_name=schedule.name,
+            makespan=makespan,
+            pe_traces=traces,
+        )
+
+    def _execute(
+        self, schedule, layer_idx, seq, start,
+        orders, done, remaining, next_seq, pe_free, prev_task,
+        first_start, last_end, busy, traces_exec,
+        producers_left, ofm_consumers, sources_left, waiters,
+        mark_ready,
+    ) -> None:
+        """Run one task and propagate tile readiness."""
+        task = orders[layer_idx][seq]
+        if self.comm_model is not None:
+            duration = self.comm_model.duration(
+                schedule, task, prev_task[layer_idx]
+            )
+        else:
+            duration = schedule.graph.design.layers[layer_idx].execution_time
+        end = start + duration
+
+        done[layer_idx][seq] = True
+        remaining[layer_idx] -= 1
+        if schedule.policy == IN_ORDER:
+            next_seq[layer_idx] += 1
+        pe_free[layer_idx] = end
+        prev_task[layer_idx] = task
+        if first_start[layer_idx] == _UNKNOWN:
+            first_start[layer_idx] = start
+        last_end[layer_idx] = max(last_end[layer_idx], end)
+        busy[layer_idx] += duration
+        if self.record_trace:
+            traces_exec[layer_idx].append((task, start, end))
+
+        out_tile = task.output_tile
+        producers_left[out_tile] -= 1
+        if producers_left[out_tile] == 0:
+            for ifm in ofm_consumers.get(out_tile, []):
+                sources_left[ifm] -= 1
+                if sources_left[ifm] == 0:
+                    # This completion is by definition the latest source.
+                    for waiter_layer, waiter_seq in waiters.get(ifm, []):
+                        mark_ready(waiter_layer, waiter_seq, end)

@@ -1,0 +1,54 @@
+"""Text visualisation of simulated schedules.
+
+Renders a :class:`~repro.scheduling.simulator.SimulationResult` as an
+ASCII Gantt chart (one row per PE) plus a utilisation table -- the
+quickest way to *see* where a schedule loses cycles to late starts or
+stalls, as used by ``examples/scheduler_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.simulator import SimulationResult
+
+
+def gantt_chart(result: SimulationResult, width: int = 64) -> str:
+    """ASCII Gantt chart of one simulation.
+
+    Each PE's active span is drawn with ``#`` (dense busy) or ``=``
+    (span containing stalls); idle time outside the span is ``.``.
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    makespan = max(result.makespan, 1)
+    lines = []
+    for trace in result.pe_traces:
+        row = ["."] * width
+        lo = int(trace.start_time / makespan * width)
+        hi = max(lo + 1, round(trace.finish_time / makespan * width))
+        span = max(trace.finish_time - trace.start_time, 1)
+        busy_share = trace.busy_cycles / span
+        fill = "#" if busy_share > 0.999 else "="
+        for i in range(lo, min(hi, width)):
+            row[i] = fill
+        lines.append(f"PE{trace.layer:<2} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def utilisation_table(result: SimulationResult) -> str:
+    """Per-PE start / finish / busy / stall summary."""
+    header = (f"{'PE':<4}{'start':>10}{'finish':>10}{'busy':>10}"
+              f"{'stall':>8}{'util':>7}")
+    lines = [header, "-" * len(header)]
+    for trace in result.pe_traces:
+        span = max(trace.finish_time - trace.start_time, 1)
+        util = trace.busy_cycles / span
+        lines.append(
+            f"PE{trace.layer:<2} {trace.start_time:>9} "
+            f"{trace.finish_time:>9} {trace.busy_cycles:>9} "
+            f"{trace.stall_cycles:>7} {100 * util:>5.1f}%"
+        )
+    lines.append(
+        f"makespan {result.makespan} cycles, "
+        f"total stalls {result.total_stall_cycles}"
+    )
+    return "\n".join(lines)

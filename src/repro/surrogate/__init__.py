@@ -1,0 +1,23 @@
+"""Calibrated accuracy landscape and search-cost models."""
+
+from repro.surrogate.accuracy_model import (
+    CALIBRATIONS,
+    SurrogateAccuracyModel,
+    SurrogateCalibration,
+)
+from repro.surrogate.cost_model import (
+    LATENCY_EVAL_SECONDS,
+    MNIST_NAS_TOTAL_SECONDS,
+    TRIAL_OVERHEAD_SECONDS,
+    SearchCostModel,
+)
+
+__all__ = [
+    "CALIBRATIONS",
+    "SurrogateAccuracyModel",
+    "SurrogateCalibration",
+    "LATENCY_EVAL_SECONDS",
+    "MNIST_NAS_TOTAL_SECONDS",
+    "TRIAL_OVERHEAD_SECONDS",
+    "SearchCostModel",
+]

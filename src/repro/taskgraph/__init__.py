@@ -1,0 +1,20 @@
+"""Tile-based task graph generator (FNAS-GG)."""
+
+from repro.taskgraph.graph import TaskGraph, TaskGraphGenerator
+from repro.taskgraph.tiles import (
+    IfmTile,
+    OfmTile,
+    Task,
+    channel_range,
+    ranges_overlap,
+)
+
+__all__ = [
+    "TaskGraph",
+    "TaskGraphGenerator",
+    "IfmTile",
+    "OfmTile",
+    "Task",
+    "channel_range",
+    "ranges_overlap",
+]

@@ -1,0 +1,275 @@
+"""Tile-based task graph generation (FNAS-GG, paper Section 3.4).
+
+Given a :class:`~repro.fpga.tiling.PipelineDesign`, FNAS-GG materialises
+
+* every task ``v_{i,j,k,m}`` of every layer,
+* the *inter-layer* dependencies -- which IFM data tile each task reads
+  and which OFM data tile it accumulates into, and
+* the *intra-layer* dependencies -- which of layer ``i``'s OFM tiles a
+  given IFM tile of layer ``i+1`` is assembled from.
+
+Channel mapping follows the paper's rule generalised to arbitrary tile
+sizes: IFM tile ``j`` of layer ``i+1`` depends on OFM tile ``k`` of
+layer ``i`` iff their channel intervals overlap (the paper's
+``(j-1) * Tn/Tm + 1 <= k <= j * Tn/Tm`` is the special case where
+``Tn_{i+1}`` is a multiple of ``Tm_i``).
+
+Row/col mapping supports two modes:
+
+* ``"identity"`` (paper semantics): row/col tile ``m`` of the consumer
+  maps to tile ``m`` of the producer; requires equal row/col tile grids.
+* ``"overlap"``: a consumer tile depends on every producer tile whose
+  spatial region intersects the consumer tile's input window (including
+  the convolution halo).  This is exact for mismatched grids and strided
+  layers.
+
+``"auto"`` (the default) picks identity when the grids agree and the
+stride is 1, and overlap otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.tiling import LayerDesign, PipelineDesign
+from repro.taskgraph.tiles import IfmTile, OfmTile, Task, channel_range, ranges_overlap
+
+
+@dataclass
+class TaskGraph:
+    """The full tile-based task graph of one pipeline design.
+
+    Attributes:
+        design: the pipeline design the graph was generated from.
+        tasks_by_layer: per layer, the list of that PE's tasks in
+            canonical ``(rc, ifm, ofm)`` index order (schedulers reorder).
+        ofm_producers: for each OFM data tile, the tasks that must all
+            finish before the tile is complete.
+        ifm_sources: for each non-input IFM data tile, the upstream OFM
+            tiles it is assembled from.
+    """
+
+    design: PipelineDesign
+    tasks_by_layer: list[list[Task]]
+    ofm_producers: dict[OfmTile, list[Task]]
+    ifm_sources: dict[IfmTile, list[OfmTile]]
+    rc_mapping: str = "auto"
+
+    @property
+    def n_layers(self) -> int:
+        """Number of PEs / layers."""
+        return len(self.tasks_by_layer)
+
+    @property
+    def total_tasks(self) -> int:
+        """Task count over all layers."""
+        return sum(len(tasks) for tasks in self.tasks_by_layer)
+
+    def tasks(self) -> list[Task]:
+        """All tasks in layer order."""
+        return [t for layer in self.tasks_by_layer for t in layer]
+
+    def input_tiles(self) -> list[IfmTile]:
+        """Layer-0 IFM tiles (available at time zero)."""
+        first = self.design.layers[0]
+        return [
+            IfmTile(0, j, m)
+            for m in range(first.n_rc_tiles)
+            for j in range(first.n_ifm_channel_tiles)
+        ]
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises ``ValueError`` on corruption.
+
+        Checks that every task's output tile has a producer entry, every
+        non-input IFM tile has at least one source, and per-layer task
+        counts match the design's tile arithmetic.
+        """
+        for layer_idx, tasks in enumerate(self.tasks_by_layer):
+            design = self.design.layers[layer_idx]
+            if len(tasks) != design.task_count:
+                raise ValueError(
+                    f"layer {layer_idx}: {len(tasks)} tasks generated but "
+                    f"design implies {design.task_count}"
+                )
+            for task in tasks:
+                if task.output_tile not in self.ofm_producers:
+                    raise ValueError(f"missing producer record for {task}")
+        for layer_idx in range(1, self.n_layers):
+            design = self.design.layers[layer_idx]
+            for j in range(design.n_ifm_channel_tiles):
+                for m in range(design.n_rc_tiles):
+                    tile = IfmTile(layer_idx, j, m)
+                    if not self.ifm_sources.get(tile):
+                        raise ValueError(f"IFM tile {tile} has no sources")
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` of tasks and data tiles.
+
+        Nodes are :class:`Task`, :class:`IfmTile` and :class:`OfmTile`
+        objects; edges follow data flow (tile -> task -> tile and
+        OFM tile -> downstream IFM tile).  Intended for visualisation
+        and ad-hoc analysis, not for the hot scheduling path.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for tasks in self.tasks_by_layer:
+            for task in tasks:
+                graph.add_edge(task.input_tile, task)
+                graph.add_edge(task, task.output_tile)
+        for ifm, sources in self.ifm_sources.items():
+            for ofm in sources:
+                graph.add_edge(ofm, ifm)
+        return graph
+
+
+class TaskGraphGenerator:
+    """Generates :class:`TaskGraph` objects from pipeline designs."""
+
+    def __init__(self, rc_mapping: str = "auto"):
+        if rc_mapping not in ("auto", "identity", "overlap"):
+            raise ValueError(
+                f"unknown rc_mapping {rc_mapping!r}; expected 'auto', "
+                "'identity' or 'overlap'"
+            )
+        self.rc_mapping = rc_mapping
+
+    def generate(self, design: PipelineDesign) -> TaskGraph:
+        """Build the tile-based task graph for ``design``."""
+        tasks_by_layer: list[list[Task]] = []
+        ofm_producers: dict[OfmTile, list[Task]] = {}
+        for layer_idx, layer in enumerate(design.layers):
+            tasks = self._layer_tasks(layer_idx, layer)
+            tasks_by_layer.append(tasks)
+            for task in tasks:
+                ofm_producers.setdefault(task.output_tile, []).append(task)
+        ifm_sources: dict[IfmTile, list[OfmTile]] = {}
+        for layer_idx in range(1, len(design.layers)):
+            upstream = design.layers[layer_idx - 1]
+            downstream = design.layers[layer_idx]
+            self._link_layers(layer_idx, upstream, downstream, ifm_sources)
+        graph = TaskGraph(
+            design=design,
+            tasks_by_layer=tasks_by_layer,
+            ofm_producers=ofm_producers,
+            ifm_sources=ifm_sources,
+            rc_mapping=self.rc_mapping,
+        )
+        graph.validate()
+        return graph
+
+    @staticmethod
+    def _layer_tasks(layer_idx: int, layer: LayerDesign) -> list[Task]:
+        """All ``v_{i,j,k,m}`` of one layer in canonical index order."""
+        return [
+            Task(layer=layer_idx, ifm_tile=j, ofm_tile=k, rc_tile=m)
+            for m in range(layer.n_rc_tiles)
+            for j in range(layer.n_ifm_channel_tiles)
+            for k in range(layer.n_ofm_channel_tiles)
+        ]
+
+    def _link_layers(
+        self,
+        consumer_idx: int,
+        upstream: LayerDesign,
+        downstream: LayerDesign,
+        ifm_sources: dict[IfmTile, list[OfmTile]],
+    ) -> None:
+        """Record intra-layer dependencies across one layer boundary."""
+        mode = self.rc_mapping
+        if mode == "auto":
+            grids_match = (
+                upstream.n_rc_tiles == downstream.n_rc_tiles
+                and upstream.n_row_tiles == downstream.n_row_tiles
+                and downstream.spec.stride == 1
+            )
+            mode = "identity" if grids_match else "overlap"
+        if mode == "identity" and upstream.n_rc_tiles != downstream.n_rc_tiles:
+            raise ValueError(
+                f"identity rc mapping needs equal tile grids at layer "
+                f"boundary {consumer_idx - 1}->{consumer_idx}: "
+                f"{upstream.n_rc_tiles} vs {downstream.n_rc_tiles} tiles"
+            )
+        channel_map = self._channel_dependencies(upstream, downstream)
+        for j, upstream_ks in enumerate(channel_map):
+            for m in range(downstream.n_rc_tiles):
+                if mode == "identity":
+                    rc_sources = [m]
+                else:
+                    rc_sources = self._rc_dependencies(upstream, downstream, m)
+                tile = IfmTile(consumer_idx, j, m)
+                ifm_sources[tile] = [
+                    OfmTile(consumer_idx - 1, k, src_m)
+                    for src_m in rc_sources
+                    for k in upstream_ks
+                ]
+
+    @staticmethod
+    def _channel_dependencies(
+        upstream: LayerDesign, downstream: LayerDesign
+    ) -> list[list[int]]:
+        """For each downstream IFM channel tile, the upstream OFM tiles.
+
+        The channel axis is shared (layer ``i``'s output channels are
+        layer ``i+1``'s input channels); a dependency exists iff the two
+        tiles' channel intervals overlap.
+        """
+        total = upstream.spec.out_channels
+        if downstream.spec.in_channels != total:
+            raise ValueError(
+                f"channel mismatch across layer boundary: upstream produces "
+                f"{total}, downstream consumes {downstream.spec.in_channels}"
+            )
+        result: list[list[int]] = []
+        for j in range(downstream.n_ifm_channel_tiles):
+            ifm_span = channel_range(j, downstream.tiling.tn, total)
+            ks = [
+                k
+                for k in range(upstream.n_ofm_channel_tiles)
+                if ranges_overlap(
+                    ifm_span, channel_range(k, upstream.tiling.tm, total)
+                )
+            ]
+            result.append(ks)
+        return result
+
+    @staticmethod
+    def _rc_dependencies(
+        upstream: LayerDesign, downstream: LayerDesign, rc_tile: int
+    ) -> list[int]:
+        """Upstream row/col tiles feeding one downstream row/col tile.
+
+        The downstream tile covers an output region; its input window
+        (after stride and kernel halo) is intersected with the upstream
+        tile grid over the shared feature map (upstream's OFM == the
+        downstream layer's IFM).
+        """
+        d_spec, d_til = downstream.spec, downstream.tiling
+        row_tile = rc_tile // downstream.n_col_tiles
+        col_tile = rc_tile % downstream.n_col_tiles
+        out_r0 = row_tile * d_til.tr
+        out_r1 = min(d_spec.out_rows, out_r0 + d_til.tr)
+        out_c0 = col_tile * d_til.tc
+        out_c1 = min(d_spec.out_cols, out_c0 + d_til.tc)
+        # Input window with same-padding halo, clamped to the map.
+        pad = (d_spec.kernel - 1) // 2
+        in_r0 = max(0, out_r0 * d_spec.stride - pad)
+        in_r1 = min(d_spec.in_rows, (out_r1 - 1) * d_spec.stride - pad
+                    + d_spec.kernel)
+        in_c0 = max(0, out_c0 * d_spec.stride - pad)
+        in_c1 = min(d_spec.in_cols, (out_c1 - 1) * d_spec.stride - pad
+                    + d_spec.kernel)
+        u_til = upstream.tiling
+        sources = []
+        for ur in range(upstream.n_row_tiles):
+            r0, r1 = ur * u_til.tr, min(upstream.spec.out_rows,
+                                        (ur + 1) * u_til.tr)
+            if not (r0 < in_r1 and in_r0 < r1):
+                continue
+            for uc in range(upstream.n_col_tiles):
+                c0, c1 = uc * u_til.tc, min(upstream.spec.out_cols,
+                                            (uc + 1) * u_til.tc)
+                if c0 < in_c1 and in_c0 < c1:
+                    sources.append(ur * upstream.n_col_tiles + uc)
+        return sources

@@ -1,0 +1,107 @@
+"""Tile and task identities for the tile-based task graph (FNAS-GG).
+
+The paper's notation (Section 3.4):
+
+* ``T^ifm_{i,j,m}`` -- the ``j``-th IFM channel tile at row/col tile
+  ``m`` consumed by layer ``i``;
+* ``T^ofm_{i+1,k,m}`` -- the ``k``-th OFM channel tile at row/col tile
+  ``m`` produced by layer ``i`` (the paper indexes it by the *consuming*
+  layer ``i+1``; here an :class:`OfmTile` carries the *producing* layer
+  index, which avoids off-by-one bookkeeping -- ``OfmTile(layer=i, ...)``
+  is exactly the paper's ``T^ofm_{i+1, ...}``);
+* ``v_{i,j,k,m}`` -- the task on layer ``i``'s PE that reads
+  ``T^ifm_{i,j,m}`` and accumulates into the OFM tile ``(k, m)``.
+
+All indices are 0-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class IfmTile:
+    """An input feature-map data tile consumed by ``layer``'s PE."""
+
+    layer: int
+    channel_tile: int
+    rc_tile: int
+
+    def __post_init__(self) -> None:
+        if self.layer < 0 or self.channel_tile < 0 or self.rc_tile < 0:
+            raise ValueError(f"tile indices must be non-negative: {self}")
+
+    def __str__(self) -> str:
+        return f"T_ifm[{self.layer},{self.channel_tile},{self.rc_tile}]"
+
+
+@dataclass(frozen=True, order=True)
+class OfmTile:
+    """An output feature-map data tile produced by ``layer``'s PE.
+
+    Equals the paper's ``T^ofm_{layer+1, channel_tile, rc_tile}``.
+    """
+
+    layer: int
+    channel_tile: int
+    rc_tile: int
+
+    def __post_init__(self) -> None:
+        if self.layer < 0 or self.channel_tile < 0 or self.rc_tile < 0:
+            raise ValueError(f"tile indices must be non-negative: {self}")
+
+    def __str__(self) -> str:
+        return f"T_ofm[{self.layer}->{self.layer + 1},{self.channel_tile},{self.rc_tile}]"
+
+
+@dataclass(frozen=True, order=True)
+class Task:
+    """One convolutional task ``v_{layer, ifm_tile, ofm_tile, rc_tile}``.
+
+    Runs on layer ``layer``'s PE; consumes
+    ``IfmTile(layer, ifm_tile, rc_tile)`` and contributes one partial sum
+    to ``OfmTile(layer, ofm_tile, rc_tile)``.
+    """
+
+    layer: int
+    ifm_tile: int
+    ofm_tile: int
+    rc_tile: int
+
+    def __post_init__(self) -> None:
+        if (self.layer < 0 or self.ifm_tile < 0 or self.ofm_tile < 0
+                or self.rc_tile < 0):
+            raise ValueError(f"task indices must be non-negative: {self}")
+
+    @property
+    def input_tile(self) -> IfmTile:
+        """The IFM data tile this task reads."""
+        return IfmTile(self.layer, self.ifm_tile, self.rc_tile)
+
+    @property
+    def output_tile(self) -> OfmTile:
+        """The OFM data tile this task accumulates into."""
+        return OfmTile(self.layer, self.ofm_tile, self.rc_tile)
+
+    def __str__(self) -> str:
+        return f"v[{self.layer},{self.ifm_tile},{self.ofm_tile},{self.rc_tile}]"
+
+
+def channel_range(tile_index: int, tile_size: int, total: int) -> tuple[int, int]:
+    """Half-open channel interval ``[lo, hi)`` covered by a channel tile."""
+    if tile_index < 0:
+        raise ValueError(f"tile_index must be non-negative, got {tile_index}")
+    lo = tile_index * tile_size
+    hi = min(total, lo + tile_size)
+    if lo >= total:
+        raise ValueError(
+            f"tile_index {tile_index} out of range for {total} channels "
+            f"with tile size {tile_size}"
+        )
+    return lo, hi
+
+
+def ranges_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    """Whether two half-open intervals intersect."""
+    return a[0] < b[1] and b[0] < a[1]

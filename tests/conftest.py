@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.configs import MNIST_CONFIG
+from repro.core.architecture import Architecture
+from repro.core.search_space import SearchSpace
+from repro.fpga.device import PYNQ_Z1, FpgaDevice
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def mnist_space() -> SearchSpace:
+    """The paper's MNIST search space (Table 2)."""
+    return SearchSpace.from_config(MNIST_CONFIG)
+
+
+@pytest.fixture
+def small_arch() -> Architecture:
+    """A small 2-layer architecture on 12x12 inputs."""
+    return Architecture.from_choices(
+        filter_sizes=[3, 3],
+        filter_counts=[4, 8],
+        input_size=12,
+        input_channels=1,
+        num_classes=10,
+    )
+
+
+@pytest.fixture
+def mnist_arch() -> Architecture:
+    """A mid-sized MNIST-space architecture."""
+    return Architecture.from_choices(
+        filter_sizes=[5, 7, 5, 7],
+        filter_counts=[9, 18, 18, 36],
+        input_size=28,
+        input_channels=1,
+        num_classes=10,
+    )
+
+
+@pytest.fixture
+def pynq_platform() -> Platform:
+    """Single PYNQ-Z1 board."""
+    return Platform.single(PYNQ_Z1)
+
+
+@pytest.fixture
+def tiny_device() -> FpgaDevice:
+    """A deliberately tiny FPGA for stress-testing resource limits."""
+    return FpgaDevice(
+        name="tiny",
+        dsp_slices=16,
+        bram_kbytes=32,
+        bandwidth_gbps=1.0,
+        clock_mhz=100.0,
+    )
+
+
+@pytest.fixture
+def designer() -> TilingDesigner:
+    """Default (max-reuse) tiling designer."""
+    return TilingDesigner()

@@ -1,0 +1,86 @@
+"""Tests for search-ledger diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    best_accuracy_curve,
+    reward_curve,
+    summarize,
+    unique_architecture_count,
+    violation_rate_curve,
+)
+from repro.core.evaluator import SurrogateAccuracyEvaluator
+from repro.core.search import FnasSearch, NasSearch
+from repro.core.search_space import SearchSpace
+from repro.configs import MNIST_CONFIG
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+@pytest.fixture(scope="module")
+def fnas_result():
+    space = SearchSpace.from_config(MNIST_CONFIG)
+    evaluator = SurrogateAccuracyEvaluator(space)
+    estimator = LatencyEstimator(Platform.single(PYNQ_Z1))
+    return FnasSearch(space, evaluator, estimator, 5.0).run(
+        30, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def nas_result():
+    space = SearchSpace.from_config(MNIST_CONFIG)
+    evaluator = SurrogateAccuracyEvaluator(space)
+    return NasSearch(space, evaluator).run(10, np.random.default_rng(0))
+
+
+class TestCurves:
+    def test_violation_curve_length_and_range(self, fnas_result):
+        curve = violation_rate_curve(fnas_result)
+        assert len(curve) == 30
+        assert all(0.0 <= v <= 1.0 for v in curve)
+
+    def test_violation_curve_matches_ledger(self, fnas_result):
+        curve = violation_rate_curve(fnas_result, window=1)
+        for value, trial in zip(curve, fnas_result.trials):
+            assert value == (1.0 if trial.pruned else 0.0)
+
+    def test_nas_has_zero_violations(self, nas_result):
+        assert all(v == 0.0 for v in violation_rate_curve(nas_result))
+
+    def test_reward_curve_smooths(self, fnas_result):
+        raw = reward_curve(fnas_result, window=1)
+        smooth = reward_curve(fnas_result, window=10)
+        assert np.std(smooth) <= np.std(raw) + 1e-12
+
+    def test_best_accuracy_curve_monotone(self, fnas_result):
+        curve = best_accuracy_curve(fnas_result)
+        values = [v for v in curve if not math.isnan(v)]
+        assert values == sorted(values)
+
+    def test_window_validation(self, fnas_result):
+        with pytest.raises(ValueError):
+            violation_rate_curve(fnas_result, window=0)
+        with pytest.raises(ValueError):
+            reward_curve(fnas_result, window=-1)
+
+
+class TestSummary:
+    def test_counts_consistent(self, fnas_result):
+        summary = summarize(fnas_result)
+        assert summary.trials == 30
+        assert summary.trained + summary.pruned == 30
+        assert summary.unique_architectures <= 30
+        assert summary.unique_architectures == unique_architecture_count(
+            fnas_result)
+
+    def test_best_matches_ledger(self, fnas_result):
+        summary = summarize(fnas_result)
+        assert summary.best_accuracy == fnas_result.best().accuracy
+
+    def test_format_renders(self, fnas_result):
+        text = summarize(fnas_result).format()
+        assert "trials" in text and "best accuracy" in text

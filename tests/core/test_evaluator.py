@@ -1,0 +1,69 @@
+"""Tests for accuracy evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import (
+    SurrogateAccuracyEvaluator,
+    TrainedAccuracyEvaluator,
+)
+from repro.datasets import make_mnist
+from repro.nn.trainer import Trainer
+
+
+class TestSurrogateEvaluator:
+    def test_accuracy_in_range(self, mnist_space, rng):
+        evaluator = SurrogateAccuracyEvaluator(mnist_space)
+        for _ in range(20):
+            arch = mnist_space.random_architecture(rng)
+            outcome = evaluator.evaluate(arch)
+            assert 0.0 <= outcome.accuracy <= 1.0
+            assert outcome.train_seconds > 0
+
+    def test_deterministic_per_architecture(self, mnist_space, rng):
+        evaluator = SurrogateAccuracyEvaluator(mnist_space)
+        arch = mnist_space.random_architecture(rng)
+        a = evaluator.evaluate(arch)
+        b = evaluator.evaluate(arch)
+        assert a.accuracy == b.accuracy
+        assert a.train_seconds == b.train_seconds
+
+    def test_seed_changes_noise(self, mnist_space, rng):
+        arch = mnist_space.random_architecture(rng)
+        a = SurrogateAccuracyEvaluator(mnist_space, seed=0).evaluate(arch)
+        b = SurrogateAccuracyEvaluator(mnist_space, seed=1).evaluate(arch)
+        assert a.accuracy != b.accuracy
+
+    def test_latency_eval_cost_positive(self, mnist_space):
+        evaluator = SurrogateAccuracyEvaluator(mnist_space)
+        assert evaluator.latency_eval_seconds() > 0
+
+
+class TestTrainedEvaluator:
+    @pytest.fixture(scope="class")
+    def tiny_dataset(self):
+        return make_mnist(train_size=200, val_size=80, seed=0)
+
+    def test_trains_and_scores(self, tiny_dataset, mnist_space, rng):
+        evaluator = TrainedAccuracyEvaluator(
+            tiny_dataset, trainer=Trainer(epochs=2, lr=0.02, batch_size=32)
+        )
+        arch = mnist_space.decode([0] * mnist_space.num_decisions)
+        outcome = evaluator.evaluate(arch)
+        assert 0.0 <= outcome.accuracy <= 1.0
+        assert outcome.train_seconds > 0
+
+    def test_rejects_input_size_mismatch(self, tiny_dataset):
+        from repro.core.architecture import Architecture
+        arch = Architecture.from_choices([3], [4], input_size=16)
+        evaluator = TrainedAccuracyEvaluator(tiny_dataset)
+        with pytest.raises(ValueError, match="inputs"):
+            evaluator.evaluate(arch)
+
+    def test_rejects_channel_mismatch(self, tiny_dataset):
+        from repro.core.architecture import Architecture
+        arch = Architecture.from_choices([3], [4], input_size=28,
+                                         input_channels=3)
+        evaluator = TrainedAccuracyEvaluator(tiny_dataset)
+        with pytest.raises(ValueError, match="channels"):
+            evaluator.evaluate(arch)

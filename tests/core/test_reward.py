@@ -1,0 +1,110 @@
+"""Tests for the equation (1) reward and the EMA baseline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reward import AccuracyBaseline, FnasReward
+
+
+class TestFnasReward:
+    def test_violation_formula(self):
+        reward = FnasReward(required_latency_ms=10.0)
+        signal = reward.violation(25.0)
+        # (rL - L)/rL - 1 = (10-25)/10 - 1 = -2.5
+        assert signal.value == pytest.approx(-2.5)
+        assert signal.violated
+        assert signal.accuracy is None
+
+    def test_violation_reward_is_always_below_minus_one(self):
+        reward = FnasReward(10.0)
+        for latency in (10.01, 15.0, 100.0):
+            assert reward.violation(latency).value < -1.0
+
+    def test_satisfaction_formula(self):
+        reward = FnasReward(10.0)
+        signal = reward.satisfaction(accuracy=0.95, latency_ms=8.0,
+                                     baseline=0.90)
+        # (A - b) + L/rL = 0.05 + 0.8
+        assert signal.value == pytest.approx(0.85)
+        assert not signal.violated
+        assert signal.accuracy == 0.95
+
+    def test_boundary_latency_is_satisfaction(self):
+        reward = FnasReward(10.0)
+        assert not reward.violates(10.0)
+        signal = reward.satisfaction(0.9, 10.0, 0.9)
+        assert signal.value == pytest.approx(1.0)
+
+    def test_latency_term_rewards_approaching_spec(self):
+        reward = FnasReward(10.0)
+        slow = reward.satisfaction(0.9, 9.0, 0.9).value
+        fast = reward.satisfaction(0.9, 1.0, 0.9).value
+        assert slow > fast
+
+    def test_violation_on_satisfying_latency_raises(self):
+        with pytest.raises(ValueError, match="satisfies"):
+            FnasReward(10.0).violation(5.0)
+
+    def test_satisfaction_on_violating_latency_raises(self):
+        with pytest.raises(ValueError, match="violates"):
+            FnasReward(10.0).satisfaction(0.9, 15.0, 0.5)
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            FnasReward(0.0)
+        with pytest.raises(ValueError):
+            FnasReward(-1.0)
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ValueError, match="accuracy"):
+            FnasReward(10.0).satisfaction(1.5, 5.0, 0.0)
+
+    @given(
+        rl=st.floats(0.1, 100.0),
+        latency=st.floats(0.01, 1000.0),
+    )
+    def test_violation_branch_never_crosses_satisfaction(self, rl, latency):
+        """Violating rewards are always below any satisfying reward."""
+        reward = FnasReward(rl)
+        if reward.violates(latency):
+            value = reward.violation(latency).value
+            # Satisfaction minimum: (0 - 1) + ~0 = -1.
+            assert value < -1.0
+        else:
+            value = reward.satisfaction(0.0, latency, 1.0).value
+            assert value >= -1.0
+
+
+class TestAccuracyBaseline:
+    def test_starts_at_zero(self):
+        assert AccuracyBaseline().value == 0.0
+        assert not AccuracyBaseline().initialized
+
+    def test_first_update_sets_value(self):
+        baseline = AccuracyBaseline(decay=0.9)
+        assert baseline.update(0.8) == pytest.approx(0.8)
+        assert baseline.initialized
+
+    def test_ema_recursion(self):
+        baseline = AccuracyBaseline(decay=0.5)
+        baseline.update(0.8)
+        assert baseline.update(0.4) == pytest.approx(0.6)
+        assert baseline.update(0.6) == pytest.approx(0.6)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            AccuracyBaseline(decay=1.0)
+        with pytest.raises(ValueError):
+            AccuracyBaseline(decay=-0.1)
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ValueError):
+            AccuracyBaseline().update(1.2)
+
+    @given(values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+           decay=st.floats(0.0, 0.99))
+    def test_baseline_stays_within_observed_range(self, values, decay):
+        baseline = AccuracyBaseline(decay=decay)
+        for v in values:
+            baseline.update(v)
+        assert min(values) - 1e-9 <= baseline.value <= max(values) + 1e-9

@@ -1,0 +1,134 @@
+"""Tests for the search space / token encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.configs import CIFAR_CONFIG, IMAGENET_CONFIG, MNIST_CONFIG
+from repro.core.search_space import (
+    DECISIONS_PER_LAYER,
+    FILTER_COUNT,
+    FILTER_SIZE,
+    SearchSpace,
+)
+
+
+class TestGeometry:
+    def test_mnist_space_size(self, mnist_space):
+        assert mnist_space.size == (3 * 3) ** 4 == 6561
+
+    def test_cifar_space_size(self):
+        space = SearchSpace.from_config(CIFAR_CONFIG)
+        assert space.size == (4 * 4) ** 10
+
+    def test_num_decisions(self, mnist_space):
+        assert mnist_space.num_decisions == 4 * DECISIONS_PER_LAYER
+
+    def test_decision_kinds_alternate(self, mnist_space):
+        kinds = [mnist_space.decision_kind(s)
+                 for s in range(mnist_space.num_decisions)]
+        assert kinds[::2] == [FILTER_SIZE] * 4
+        assert kinds[1::2] == [FILTER_COUNT] * 4
+
+    def test_choices_at_matches_kind(self, mnist_space):
+        assert mnist_space.choices_at(0) == mnist_space.filter_sizes
+        assert mnist_space.choices_at(1) == mnist_space.filter_counts
+
+    def test_decision_kind_range_check(self, mnist_space):
+        with pytest.raises(ValueError):
+            mnist_space.decision_kind(mnist_space.num_decisions)
+        with pytest.raises(ValueError):
+            mnist_space.decision_kind(-1)
+
+    def test_rejects_duplicate_choices(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            SearchSpace(name="x", num_layers=2, filter_sizes=(3, 3),
+                        filter_counts=(4,), input_size=8,
+                        input_channels=1, num_classes=10)
+
+    def test_rejects_empty_choices(self):
+        with pytest.raises(ValueError, match="empty"):
+            SearchSpace(name="x", num_layers=2, filter_sizes=(),
+                        filter_counts=(4,), input_size=8,
+                        input_channels=1, num_classes=10)
+
+
+class TestDecodeEncode:
+    def test_decode_first_architecture(self, mnist_space):
+        arch = mnist_space.decode([0] * 8)
+        assert arch.filter_sizes == (5, 5, 5, 5)
+        assert arch.filter_counts == (9, 9, 9, 9)
+
+    def test_decode_last_architecture(self, mnist_space):
+        arch = mnist_space.decode([2, 2] * 4)
+        assert arch.filter_sizes == (14, 14, 14, 14)
+        assert arch.filter_counts == (36, 36, 36, 36)
+
+    def test_decode_rejects_wrong_length(self, mnist_space):
+        with pytest.raises(ValueError, match="tokens"):
+            mnist_space.decode([0] * 7)
+
+    def test_decode_rejects_out_of_range_token(self, mnist_space):
+        with pytest.raises(ValueError, match="out of range"):
+            mnist_space.decode([3] + [0] * 7)
+
+    def test_roundtrip_random(self, mnist_space, rng):
+        for _ in range(50):
+            tokens = mnist_space.random_tokens(rng)
+            arch = mnist_space.decode(tokens)
+            assert mnist_space.encode(arch) == tokens
+
+    def test_encode_rejects_wrong_depth(self, mnist_space, small_arch):
+        with pytest.raises(ValueError, match="depth"):
+            mnist_space.encode(small_arch)
+
+    def test_encode_maps_clamped_kernel_up(self):
+        # ImageNet space on 32px inputs never clamps; build a space where
+        # clamping occurs via strides is not possible through decode, so
+        # exercise encode directly with a hand-built architecture.
+        space = SearchSpace(name="t", num_layers=1, filter_sizes=(5, 7),
+                            filter_counts=(4,), input_size=6,
+                            input_channels=1, num_classes=10)
+        arch = space.decode([1, 0])  # 7x7 kernel clamped to 6
+        assert arch.layers[0].kernel == 6
+        assert space.encode(arch) == [1, 0]
+
+
+class TestSampling:
+    def test_random_tokens_in_range(self, mnist_space, rng):
+        for _ in range(100):
+            tokens = mnist_space.random_tokens(rng)
+            assert len(tokens) == mnist_space.num_decisions
+            for step, token in enumerate(tokens):
+                assert 0 <= token < len(mnist_space.choices_at(step))
+
+    def test_random_architecture_decodable(self, mnist_space, rng):
+        arch = mnist_space.random_architecture(rng)
+        assert arch.depth == mnist_space.num_layers
+
+    def test_enumerate_covers_space(self):
+        space = SearchSpace(name="t", num_layers=2, filter_sizes=(3, 5),
+                            filter_counts=(2, 4), input_size=8,
+                            input_channels=1, num_classes=10)
+        archs = list(space.enumerate_architectures())
+        assert len(archs) == space.size == 16
+        fingerprints = {a.fingerprint() for a in archs}
+        assert len(fingerprints) == 16
+
+    @given(seed=st.integers(0, 2**31))
+    def test_random_is_seed_deterministic(self, seed):
+        space = SearchSpace.from_config(MNIST_CONFIG)
+        a = space.random_tokens(np.random.default_rng(seed))
+        b = space.random_tokens(np.random.default_rng(seed))
+        assert a == b
+
+
+class TestFromConfig:
+    @pytest.mark.parametrize("config", [MNIST_CONFIG, CIFAR_CONFIG,
+                                        IMAGENET_CONFIG])
+    def test_space_matches_config(self, config):
+        space = SearchSpace.from_config(config)
+        assert space.num_layers == config.num_layers
+        assert space.filter_sizes == tuple(config.filter_sizes)
+        assert space.filter_counts == tuple(config.filter_counts)
+        assert space.size == config.space_size

@@ -1,0 +1,82 @@
+"""Tests for JSON serialization of architectures and search ledgers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.core.evaluator import SurrogateAccuracyEvaluator
+from repro.core.search import NasSearch
+from repro.core.search_space import SearchSpace
+from repro.core.serialization import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_architecture,
+    save_architecture,
+    save_search_result,
+    search_result_to_dict,
+    trial_to_dict,
+)
+from repro.configs import MNIST_CONFIG
+
+
+class TestArchitectureRoundtrip:
+    def test_roundtrip_identity(self):
+        arch = Architecture.from_choices(
+            [3, 5, 7], [4, 8, 16], input_size=20, input_channels=3,
+            num_classes=12, strides=[1, 2, 1],
+        )
+        clone = architecture_from_dict(architecture_to_dict(arch))
+        assert clone.fingerprint() == arch.fingerprint()
+
+    def test_roundtrip_through_json_text(self):
+        arch = Architecture.from_choices([5], [9], input_size=28)
+        text = json.dumps(architecture_to_dict(arch))
+        clone = architecture_from_dict(json.loads(text))
+        assert clone.fingerprint() == arch.fingerprint()
+
+    def test_file_roundtrip(self, tmp_path):
+        arch = Architecture.from_choices([3, 3], [8, 8], input_size=14)
+        path = tmp_path / "arch.json"
+        save_architecture(arch, path)
+        assert load_architecture(path).fingerprint() == arch.fingerprint()
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            architecture_from_dict({"schema": 1, "layers": []})
+
+    def test_wrong_schema_raises(self):
+        data = architecture_to_dict(
+            Architecture.from_choices([3], [4], input_size=8))
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            architecture_from_dict(data)
+
+
+class TestSearchResultSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        space = SearchSpace.from_config(MNIST_CONFIG)
+        evaluator = SurrogateAccuracyEvaluator(space)
+        return NasSearch(space, evaluator).run(5, np.random.default_rng(0))
+
+    def test_dict_summary_fields(self, result):
+        data = search_result_to_dict(result)
+        assert data["trained_count"] == 5
+        assert data["pruned_count"] == 0
+        assert len(data["trials"]) == 5
+        assert data["simulated_seconds"] == pytest.approx(
+            result.simulated_seconds)
+
+    def test_trials_embed_architectures(self, result):
+        data = trial_to_dict(result.trials[0])
+        clone = architecture_from_dict(data["architecture"])
+        assert clone.fingerprint() == result.trials[0].architecture.fingerprint()
+
+    def test_save_writes_valid_json(self, result, tmp_path):
+        path = tmp_path / "search.json"
+        save_search_result(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["name"] == "nas"
+        assert len(loaded["trials"]) == 5

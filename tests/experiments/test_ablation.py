@@ -1,0 +1,55 @@
+"""Tests for the ablation studies (small-scale versions)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    REUSE_VARIANTS,
+    run_pruning_ablation,
+    run_reuse_ablation,
+)
+
+
+class TestReuseAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_reuse_ablation()
+
+    def test_covers_figure8_set_and_grid(self, result):
+        assert len(result.points) == 16
+        labels = {label for label, _ in REUSE_VARIANTS}
+        for point in result.points:
+            assert set(point.cycles) == labels
+
+    def test_inorder_alternation_dominates_uniform(self, result):
+        assert result.win_or_tie_rate("alt/inorder", "ofm/inorder") >= 0.9
+        assert result.win_or_tie_rate("alt/inorder", "ifm/inorder") >= 0.9
+
+    def test_ready_queue_never_hurts(self, result):
+        for strategy in ("alt", "ofm", "ifm"):
+            assert result.win_or_tie_rate(
+                f"{strategy}/queue", f"{strategy}/inorder") == 1.0
+
+    def test_mean_ratio_sane(self, result):
+        assert 0 < result.mean_ratio("alt/queue", "alt/inorder") <= 1.0
+
+    def test_format_renders_grid(self, result):
+        text = result.format()
+        assert "alt/queue" in text and "ifm/inorder" in text
+
+
+class TestPruningAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pruning_ablation(trials=20, seed=0)
+
+    def test_counterfactual_at_least_actual(self, result):
+        assert result.no_pruning_seconds >= result.actual_seconds
+
+    def test_speedup_when_pruning_happens(self, result):
+        if result.search.pruned_count > 0:
+            assert result.pruning_speedup > 1.0
+        else:
+            assert result.pruning_speedup == pytest.approx(1.0)
+
+    def test_format(self, result):
+        assert "trained" in result.format()

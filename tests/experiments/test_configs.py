@@ -1,0 +1,85 @@
+"""Tests pinning Table 2 (dataset and parameter settings)."""
+
+import pytest
+
+from repro.configs import (
+    CIFAR_CONFIG,
+    CONFIGS,
+    IMAGENET_CONFIG,
+    MNIST_CONFIG,
+    TimingSpecs,
+    get_config,
+)
+
+
+class TestTable2Values:
+    def test_mnist_row(self):
+        c = MNIST_CONFIG
+        assert (c.train_size, c.val_size) == (60_000, 10_000)
+        assert c.epochs == 25
+        assert c.num_layers == 4
+        assert c.filter_sizes == (5, 7, 14)
+        assert c.filter_counts == (9, 18, 36)
+        assert c.trials == 60
+
+    def test_mnist_timing_specs(self):
+        high = MNIST_CONFIG.timing_specs
+        low = MNIST_CONFIG.timing_specs_low
+        assert (high.ts4, high.ts3, high.ts2, high.ts1) == (2, 5, 10, 20)
+        assert (low.ts4, low.ts3, low.ts2, low.ts1) == (1, 4, 10, 20)
+
+    def test_cifar_row(self):
+        c = CIFAR_CONFIG
+        assert (c.train_size, c.val_size) == (45_000, 5_000)
+        assert c.num_layers == 10
+        assert c.filter_sizes == (1, 3, 5, 7)
+        assert c.filter_counts == (24, 36, 48, 64)
+        specs = c.timing_specs
+        assert (specs.ts4, specs.ts3, specs.ts2, specs.ts1) == (
+            1.5, 2, 2.5, 10)
+
+    def test_imagenet_row(self):
+        c = IMAGENET_CONFIG
+        assert (c.train_size, c.val_size) == (4_500, 500)
+        assert c.num_layers == 15
+        assert c.filter_counts == (16, 32, 64, 128)
+        specs = c.timing_specs
+        assert (specs.ts4, specs.ts3, specs.ts2, specs.ts1) == (
+            2.5, 5, 7.5, 10)
+
+    def test_all_datasets_registered(self):
+        assert set(CONFIGS) == {"mnist", "cifar10", "imagenet"}
+
+    def test_get_config(self):
+        assert get_config("mnist") is MNIST_CONFIG
+        with pytest.raises(KeyError):
+            get_config("coco")
+
+    def test_space_sizes(self):
+        assert MNIST_CONFIG.space_size == 9**4
+        assert CIFAR_CONFIG.space_size == 16**10
+        assert IMAGENET_CONFIG.space_size == 16**15
+
+
+class TestTimingSpecs:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError, match="tighten"):
+            TimingSpecs(ts1=1, ts2=2, ts3=3, ts4=4)
+
+    def test_positive_enforced(self):
+        with pytest.raises(ValueError):
+            TimingSpecs(ts1=10, ts2=5, ts3=2, ts4=0)
+
+    def test_by_name(self):
+        specs = TimingSpecs(ts1=20, ts2=10, ts3=5, ts4=2)
+        assert specs.by_name("TS1") == 20
+        assert specs.by_name("ts4") == 2
+        with pytest.raises(KeyError):
+            specs.by_name("TS5")
+
+    def test_as_list_loosest_first(self):
+        specs = TimingSpecs(ts1=20, ts2=10, ts3=5, ts4=2)
+        names = [n for n, _ in specs.as_list()]
+        values = [v for _, v in specs.as_list()]
+        assert names == ["TS1", "TS2", "TS3", "TS4"]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,74 @@
+"""Tests for the energy-aware search extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import SurrogateAccuracyEvaluator
+from repro.core.search_space import SearchSpace
+from repro.configs import MNIST_CONFIG
+from repro.experiments.energy_aware import EnergyAwareFnasSearch
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = SearchSpace.from_config(MNIST_CONFIG)
+    evaluator = SurrogateAccuracyEvaluator(space)
+    estimator = LatencyEstimator(Platform.single(PYNQ_Z1))
+    return space, evaluator, estimator
+
+
+class TestEnergyAwareSearch:
+    def test_violators_not_trained(self, setup):
+        space, evaluator, estimator = setup
+        search = EnergyAwareFnasSearch(
+            space, evaluator, estimator,
+            required_latency_ms=10.0, required_energy_mj=100.0)
+        result, facts = search.run(25, np.random.default_rng(0))
+        assert len(facts) == 25
+        for trial, fact in zip(result.trials, facts):
+            if fact.latency_violated or fact.energy_violated:
+                assert not trial.trained
+            else:
+                assert trial.trained
+
+    def test_energy_budget_actually_prunes(self, setup):
+        """A tight energy budget must prune children a loose one allows."""
+        space, evaluator, estimator = setup
+
+        def run(energy_mj):
+            search = EnergyAwareFnasSearch(
+                space, evaluator, estimator,
+                required_latency_ms=100.0, required_energy_mj=energy_mj)
+            return search.run(25, np.random.default_rng(1))
+
+        loose_result, loose_facts = run(1e9)
+        tight_result, tight_facts = run(30.0)
+        tight_energy_prunes = sum(1 for f in tight_facts if f.energy_violated)
+        loose_energy_prunes = sum(1 for f in loose_facts if f.energy_violated)
+        assert loose_energy_prunes == 0
+        assert tight_energy_prunes > 0
+        assert tight_result.trained_count < loose_result.trained_count
+
+    def test_valid_children_meet_both_budgets(self, setup):
+        space, evaluator, estimator = setup
+        search = EnergyAwareFnasSearch(
+            space, evaluator, estimator,
+            required_latency_ms=10.0, required_energy_mj=120.0)
+        result, facts = search.run(30, np.random.default_rng(2))
+        for trial, fact in zip(result.trials, facts):
+            if trial.trained:
+                assert trial.latency_ms <= 10.0
+                assert fact.energy_mj <= 120.0
+
+    def test_validation(self, setup):
+        space, evaluator, estimator = setup
+        with pytest.raises(ValueError):
+            EnergyAwareFnasSearch(space, evaluator, estimator,
+                                  required_latency_ms=0,
+                                  required_energy_mj=1)
+        search = EnergyAwareFnasSearch(space, evaluator, estimator, 1, 1)
+        with pytest.raises(ValueError):
+            search.run(0, np.random.default_rng(0))

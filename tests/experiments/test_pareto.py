@@ -1,0 +1,76 @@
+"""Tests for the Pareto-front extension."""
+
+import pytest
+
+from repro.core.search_space import SearchSpace
+from repro.experiments.pareto import ParetoFront, ParetoPoint, compute_pareto_front
+from repro.configs import CIFAR_CONFIG
+from repro.fpga.device import PYNQ_Z1, XCZU9EG
+from repro.fpga.platform import Platform
+
+SMALL_SPACE = SearchSpace(
+    name="mnist",  # reuse the MNIST calibration
+    num_layers=2,
+    filter_sizes=(5, 7),
+    filter_counts=(9, 18, 36),
+    input_size=28,
+    input_channels=1,
+    num_classes=10,
+)
+
+
+@pytest.fixture(scope="module")
+def front():
+    return compute_pareto_front(SMALL_SPACE, Platform.single(PYNQ_Z1))
+
+
+class TestFrontStructure:
+    def test_exhaustive_for_small_space(self, front):
+        assert front.exhaustive
+        assert front.evaluated_count == SMALL_SPACE.size
+
+    def test_sorted_and_monotone(self, front):
+        lats = [p.latency_ms for p in front.points]
+        accs = [p.accuracy for p in front.points]
+        assert lats == sorted(lats)
+        assert accs == sorted(accs)
+
+    def test_no_dominated_points(self, front):
+        for a in front.points:
+            for b in front.points:
+                if a is b:
+                    continue
+                dominates = (b.latency_ms <= a.latency_ms
+                             and b.accuracy > a.accuracy)
+                assert not dominates
+
+    def test_best_accuracy_within(self, front):
+        loosest = front.points[-1].latency_ms
+        assert front.best_accuracy_within(loosest) == front.points[-1].accuracy
+        tightest = front.points[0].latency_ms
+        assert front.best_accuracy_within(tightest) == front.points[0].accuracy
+
+    def test_budget_below_frontier_raises(self, front):
+        with pytest.raises(ValueError, match="frontier"):
+            front.best_accuracy_within(front.points[0].latency_ms / 10)
+
+    def test_regret_non_negative_for_feasible(self, front):
+        point = front.points[len(front.points) // 2]
+        assert front.regret(point.accuracy, point.latency_ms) >= -1e-12
+        assert front.regret(point.accuracy - 0.01,
+                            point.latency_ms) >= 0.009
+
+    def test_format_downsamples(self, front):
+        text = front.format(max_rows=3)
+        # Header + separator + at most 3 rows.
+        assert len(text.splitlines()) <= 5
+
+
+class TestSampledFront:
+    def test_large_space_is_sampled(self):
+        space = SearchSpace.from_config(CIFAR_CONFIG)
+        front = compute_pareto_front(
+            space, Platform.single(XCZU9EG), samples=100, seed=0)
+        assert not front.exhaustive
+        assert front.evaluated_count <= 100
+        assert len(front.points) >= 1

@@ -1,0 +1,44 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_minutes, format_table, improvement
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["x", "y"], ["long", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # All rows the same width.
+        assert len(set(len(l) for l in lines)) <= 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestImprovement:
+    def test_factor(self):
+        assert improvement(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            improvement(10.0, 0.0)
+
+
+class TestFormatMinutes:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0, "0m00s"),
+        (33, "0m33s"),
+        (60, "1m00s"),
+        (11433, "190m33s"),
+        (59.6, "1m00s"),
+    ])
+    def test_cases(self, seconds, expected):
+        assert format_minutes(seconds) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_minutes(-1)

@@ -1,0 +1,34 @@
+"""Tests for the seed-sensitivity study (reduced scale)."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sensitivity(seeds=(0, 1), trials=15,
+                               specs_ms=(10.0, 2.0))
+
+    def test_one_stat_block_per_spec(self, result):
+        assert [s.spec_ms for s in result.stats] == [10.0, 2.0]
+        for stat in result.stats:
+            assert len(stat.speedups) == 2
+            assert len(stat.degradations) == 2
+
+    def test_statistics_are_consistent(self, result):
+        for stat in result.stats:
+            assert stat.speedup_mean == pytest.approx(
+                sum(stat.speedups) / len(stat.speedups))
+            assert stat.degradation_max == max(stat.degradations)
+            assert 0.0 <= stat.meets_spec_rate <= 1.0
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "speedup" in text
+        assert "+/-" in text
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_sensitivity(seeds=())

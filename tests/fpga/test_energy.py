@@ -1,0 +1,82 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.energy import EnergyModel, EnergyReport
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.latency.analyzer import FnasAnalyzer
+from repro.scheduling.fnas_sched import FnasScheduler
+from repro.taskgraph.graph import TaskGraphGenerator
+
+
+@pytest.fixture(scope="module")
+def design():
+    arch = Architecture.from_choices(
+        [3, 3], [16, 32], input_size=16, input_channels=1)
+    return TilingDesigner().design(arch, Platform.single(PYNQ_Z1))
+
+
+@pytest.fixture(scope="module")
+def schedule(design):
+    graph = TaskGraphGenerator().generate(design)
+    return FnasScheduler().schedule(graph)
+
+
+class TestEnergyModel:
+    def test_report_components_positive(self, design):
+        latency = FnasAnalyzer().analyze(design).total_cycles
+        report = EnergyModel().estimate(design, latency)
+        assert report.compute_mj > 0
+        assert report.memory_mj > 0
+        assert report.static_mj > 0
+        assert report.total_mj == pytest.approx(
+            report.compute_mj + report.memory_mj + report.static_mj)
+        assert 0 < report.memory_share < 1
+
+    def test_schedule_reuse_reduces_traffic(self, design, schedule):
+        model = EnergyModel()
+        without = model.traffic_bytes(design)
+        with_schedule = model.traffic_bytes(design, schedule)
+        assert with_schedule < without
+
+    def test_traffic_scales_with_model_size(self):
+        small = Architecture.from_choices([3], [8], input_size=16)
+        large = Architecture.from_choices([3], [64], input_size=16)
+        platform = Platform.single(PYNQ_Z1)
+        designer = TilingDesigner()
+        model = EnergyModel()
+        small_traffic = model.traffic_bytes(designer.design(small, platform))
+        large_traffic = model.traffic_bytes(designer.design(large, platform))
+        assert large_traffic > small_traffic
+
+    def test_longer_latency_more_static_energy(self, design):
+        model = EnergyModel()
+        short = model.estimate(design, 10_000)
+        long = model.estimate(design, 1_000_000)
+        assert long.static_mj > short.static_mj
+        # Compute energy is latency-independent (work is fixed).
+        assert long.compute_mj == pytest.approx(short.compute_mj)
+
+    def test_coefficients_scale_linearly(self, design):
+        latency = 100_000
+        base = EnergyModel().estimate(design, latency)
+        double = EnergyModel(
+            mac_energy_pj=2 * EnergyModel().mac_energy_pj
+        ).estimate(design, latency)
+        assert double.compute_mj == pytest.approx(2 * base.compute_mj)
+
+    def test_validation(self, design):
+        with pytest.raises(ValueError):
+            EnergyModel(mac_energy_pj=0)
+        with pytest.raises(ValueError):
+            EnergyModel(static_watts_per_device=-1)
+        with pytest.raises(ValueError):
+            EnergyModel().estimate(design, 0)
+
+    def test_report_is_plain_dataclass(self):
+        report = EnergyReport(compute_mj=1.0, memory_mj=2.0, static_mj=3.0)
+        assert report.total_mj == 6.0
+        assert report.memory_share == pytest.approx(2.0 / 6.0)

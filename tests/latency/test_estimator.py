@@ -1,0 +1,82 @@
+"""Tests for the latency estimation facade and the design explorer."""
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.latency.estimator import ANALYTICAL, SIMULATE, LatencyEstimator
+from repro.latency.explorer import DesignExplorer
+
+
+@pytest.fixture
+def arch():
+    return Architecture.from_choices(
+        [5, 7, 5], [9, 18, 36], input_size=28, input_channels=1
+    )
+
+
+class TestLatencyEstimator:
+    def test_analytical_estimate(self, arch, pynq_platform):
+        estimator = LatencyEstimator(pynq_platform)
+        estimate = estimator.estimate(arch)
+        assert estimate.cycles > 0
+        assert estimate.ms == pytest.approx(
+            pynq_platform.cycles_to_ms(estimate.cycles))
+        assert estimate.method == ANALYTICAL
+        assert estimate.report is not None
+
+    def test_simulate_estimate_at_least_analytical(self, arch, pynq_platform):
+        analytical = LatencyEstimator(pynq_platform).estimate(arch)
+        simulated = LatencyEstimator(
+            pynq_platform, method=SIMULATE).estimate(arch)
+        assert simulated.cycles >= analytical.cycles
+
+    def test_cache_hit_returns_same_object(self, arch, pynq_platform):
+        estimator = LatencyEstimator(pynq_platform)
+        first = estimator.estimate(arch)
+        second = estimator.estimate(arch)
+        assert first is second
+        assert estimator.cache_size == 1
+
+    def test_clear_cache(self, arch, pynq_platform):
+        estimator = LatencyEstimator(pynq_platform)
+        estimator.estimate(arch)
+        estimator.clear_cache()
+        assert estimator.cache_size == 0
+
+    def test_meets(self, arch, pynq_platform):
+        estimate = LatencyEstimator(pynq_platform).estimate(arch)
+        assert estimate.meets(estimate.ms + 1.0)
+        assert not estimate.meets(estimate.ms / 2.0)
+        with pytest.raises(ValueError):
+            estimate.meets(0.0)
+
+    def test_rejects_unknown_method(self, pynq_platform):
+        with pytest.raises(ValueError, match="method"):
+            LatencyEstimator(pynq_platform, method="guess")
+
+    def test_explicit_designer_disables_exploration(self, arch,
+                                                    pynq_platform):
+        fixed = LatencyEstimator(
+            pynq_platform, designer=TilingDesigner("max-reuse"))
+        explored = LatencyEstimator(pynq_platform)
+        assert explored.estimate(arch).cycles <= fixed.estimate(arch).cycles
+
+
+class TestDesignExplorer:
+    def test_best_is_minimum(self, arch, pynq_platform):
+        result = DesignExplorer().explore(arch, pynq_platform)
+        assert result.best.total_cycles == min(
+            c.total_cycles for c in result.evaluated)
+
+    def test_evaluates_all_policy_combinations(self, arch, pynq_platform):
+        result = DesignExplorer().explore(arch, pynq_platform)
+        combos = {(c.spatial_strategy, c.first_reuse)
+                  for c in result.evaluated}
+        assert len(combos) == 4
+
+    def test_improvement_at_least_one(self, arch, pynq_platform):
+        result = DesignExplorer().explore(arch, pynq_platform)
+        assert result.improvement_over_worst >= 1.0

@@ -1,0 +1,50 @@
+"""Tests for the throughput extension."""
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.latency.analyzer import FnasAnalyzer
+from repro.latency.throughput import analyze_throughput
+
+
+@pytest.fixture(scope="module")
+def design():
+    arch = Architecture.from_choices([3, 3, 3], [8, 32, 8], input_size=16)
+    return TilingDesigner().design(arch, Platform.single(PYNQ_Z1))
+
+
+class TestThroughput:
+    def test_bottleneck_is_max_pt(self, design):
+        report = FnasAnalyzer().analyze(design)
+        tp = analyze_throughput(design, report)
+        assert tp.bottleneck_cycles == max(
+            l.processing_time for l in report.layers)
+        assert tp.bottleneck_layer == report.bottleneck_layer
+
+    def test_batch_one_equals_latency(self, design):
+        tp = analyze_throughput(design)
+        assert tp.batch_latency_cycles(1) == tp.single_latency_cycles
+
+    def test_batch_latency_linear_in_batch(self, design):
+        tp = analyze_throughput(design)
+        delta = (tp.batch_latency_cycles(11) - tp.batch_latency_cycles(1))
+        assert delta == 10 * tp.bottleneck_cycles
+
+    def test_throughput_matches_clock(self, design):
+        tp = analyze_throughput(design)
+        clock_hz = design.platform.clock_mhz * 1e6
+        assert tp.throughput_fps == pytest.approx(
+            clock_hz / tp.bottleneck_cycles)
+
+    def test_effective_fps_approaches_peak(self, design):
+        tp = analyze_throughput(design)
+        small = tp.effective_fps(1)
+        large = tp.effective_fps(1000)
+        assert small < large <= tp.throughput_fps * 1.0001
+
+    def test_batch_validation(self, design):
+        with pytest.raises(ValueError):
+            analyze_throughput(design).batch_latency_cycles(0)

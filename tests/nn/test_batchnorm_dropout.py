@@ -1,0 +1,151 @@
+"""Tests for BatchNorm2D and Dropout, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.nn.builder import build_network
+from repro.nn.layers import BatchNorm2D, Dense, Dropout, GlobalAvgPool
+from repro.nn.losses import cross_entropy
+from repro.nn.network import Sequential
+
+F64 = np.float64
+
+
+class TestBatchNorm2D:
+    def test_training_output_is_normalised(self):
+        bn = BatchNorm2D(3, dtype=F64)
+        x = np.random.default_rng(0).normal(2.0, 5.0, size=(8, 3, 4, 4))
+        out = bn.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0,
+                                   atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0,
+                                   atol=1e-3)
+
+    def test_running_stats_track_batches(self):
+        bn = BatchNorm2D(2, momentum=0.5, dtype=F64)
+        x = np.full((4, 2, 3, 3), 10.0)
+        bn.forward(x, training=True)
+        assert bn.running_mean[0] > 0.0
+
+    def test_inference_uses_running_stats(self):
+        bn = BatchNorm2D(2, momentum=0.0, dtype=F64)
+        rng = np.random.default_rng(1)
+        x = rng.normal(3.0, 2.0, size=(16, 2, 5, 5))
+        bn.forward(x, training=True)  # momentum 0 -> running = batch stats
+        out = bn.forward(x, training=False)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_param_gradients_match_numeric(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm2D(2, dtype=F64)
+        net = Sequential([bn, GlobalAvgPool(), Dense(2, 3, rng=rng,
+                                                     dtype=F64)])
+        x = rng.normal(size=(5, 2, 4, 4))
+        y = rng.integers(0, 3, size=5)
+        net.train_step(x, y)
+        analytic = bn.d_gamma.copy()
+
+        def loss():
+            logits = net.forward(x, training=True)
+            value, _ = cross_entropy(logits, y)
+            return value
+
+        eps = 1e-6
+        for idx in (0, 1):
+            bn.gamma[idx] += eps
+            plus = loss()
+            bn.gamma[idx] -= 2 * eps
+            minus = loss()
+            bn.gamma[idx] += eps
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[idx] == pytest.approx(numeric, abs=1e-6)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm2D(2, dtype=F64)
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = bn.forward(x.copy(), training=True)
+        analytic = bn.backward(np.ones_like(out) * 0.3)
+        eps = 1e-6
+        for idx in [(0, 0, 1, 1), (2, 1, 0, 2)]:
+            x[idx] += eps
+            plus = (bn.forward(x, training=True) * 0.3).sum()
+            x[idx] -= 2 * eps
+            minus = (bn.forward(x, training=True) * 0.3).sum()
+            x[idx] += eps
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[idx] == pytest.approx(numeric, abs=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(2, momentum=1.0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(2).forward(np.zeros((1, 3, 4, 4), dtype=np.float32))
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        drop = Dropout(rate=0.5)
+        x = np.ones((4, 8))
+        np.testing.assert_array_equal(drop.forward(x, training=False), x)
+
+    def test_training_zeroes_and_rescales(self):
+        drop = Dropout(rate=0.5, seed=0)
+        x = np.ones((100, 100), dtype=np.float32)
+        out = drop.forward(x, training=True)
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_backward_uses_same_mask(self):
+        drop = Dropout(rate=0.3, seed=1)
+        x = np.ones((10, 10), dtype=np.float32)
+        out = drop.forward(x, training=True)
+        grad = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad != 0, out != 0)
+
+    def test_zero_rate_is_identity(self):
+        drop = Dropout(rate=0.0)
+        x = np.ones((3, 3))
+        np.testing.assert_array_equal(drop.forward(x, training=True), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+
+
+class TestBuilderOptions:
+    def test_batch_norm_inserted(self):
+        arch = Architecture.from_choices([3, 3], [4, 8], input_size=10)
+        net = build_network(arch, batch_norm=True)
+        names = [l.__class__.__name__ for l in net.layers]
+        assert names.count("BatchNorm2D") == 2
+
+    def test_dropout_inserted_before_head(self):
+        arch = Architecture.from_choices([3], [4], input_size=10)
+        net = build_network(arch, dropout=0.25)
+        names = [l.__class__.__name__ for l in net.layers]
+        assert names[-2] == "Dropout"
+
+    def test_batch_norm_network_trains(self):
+        arch = Architecture.from_choices([3], [6], input_size=10)
+        net = build_network(arch, batch_norm=True, dropout=0.1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 1, 10, 10)).astype(np.float32)
+        y = rng.integers(0, 10, size=16)
+        first = net.train_step(x, y)
+        from repro.nn.optimizers import SGD
+        opt = SGD(net.params(), net.grads(), lr=0.05)
+        for _ in range(10):
+            net.train_step(x, y)
+            opt.step()
+        assert net.train_step(x, y) < first
+
+    def test_rejects_bad_dropout(self):
+        arch = Architecture.from_choices([3], [4], input_size=10)
+        with pytest.raises(ValueError):
+            build_network(arch, dropout=1.5)

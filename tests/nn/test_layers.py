@@ -1,0 +1,262 @@
+"""Tests for the NumPy NN layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.losses import cross_entropy
+from repro.nn.network import Sequential
+
+F64 = np.float64
+
+
+def numeric_grad(f, param, idx, eps=1e-6):
+    param[idx] += eps
+    plus = f()
+    param[idx] -= 2 * eps
+    minus = f()
+    param[idx] += eps
+    return (plus - minus) / (2 * eps)
+
+
+def check_param_grads(net, x, y, layer, n_checks=4, tol=1e-6):
+    """Compare analytic vs numeric gradients on a few random entries."""
+    net.train_step(x, y)
+    rng = np.random.default_rng(0)
+
+    def loss():
+        logits = net.forward(x)
+        value, _ = cross_entropy(logits, y)
+        return value
+
+    for param, grad in zip(layer.params(), layer.grads()):
+        analytic = grad.copy()
+        for _ in range(n_checks):
+            idx = tuple(rng.integers(0, s) for s in param.shape)
+            numeric = numeric_grad(loss, param, idx)
+            assert abs(analytic[idx] - numeric) < tol, (
+                f"grad mismatch at {idx}: {analytic[idx]} vs {numeric}"
+            )
+
+
+def check_input_grad(layer, x, tol=1e-6):
+    """Compare analytic vs numeric input gradients through a sum loss."""
+    out = layer.forward(x.copy(), training=True)
+    upstream = np.ones_like(out)
+    analytic = layer.backward(upstream)
+    rng = np.random.default_rng(1)
+    for _ in range(4):
+        idx = tuple(rng.integers(0, s) for s in x.shape)
+
+        def f():
+            return float(layer.forward(x, training=True).sum())
+
+        numeric = numeric_grad(f, x, idx)
+        assert abs(analytic[idx] - numeric) < tol
+
+
+class TestConv2D:
+    def test_output_shape_same_padding(self):
+        conv = Conv2D(3, 8, kernel=5, dtype=F64)
+        out = conv.forward(np.zeros((2, 3, 12, 12)))
+        assert out.shape == (2, 8, 12, 12)
+
+    def test_output_shape_strided(self):
+        conv = Conv2D(1, 4, kernel=3, stride=2, dtype=F64)
+        out = conv.forward(np.zeros((1, 1, 9, 9)))
+        assert out.shape == (1, 4, 5, 5)
+
+    def test_matches_direct_convolution(self):
+        """Cross-check im2col against a naive sliding-window conv."""
+        rng = np.random.default_rng(0)
+        conv = Conv2D(2, 3, kernel=3, rng=rng, dtype=F64)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = conv.forward(x)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for o in range(3):
+            for r in range(5):
+                for c in range(5):
+                    window = xp[0, :, r:r + 3, c:c + 3]
+                    expected = (window * conv.weight[o]).sum() + conv.bias[o]
+                    assert out[0, o, r, c] == pytest.approx(expected)
+
+    def test_weight_gradients(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2D(2, 3, 3, rng=rng, dtype=F64)
+        net = Sequential([conv, GlobalAvgPool(),
+                          Dense(3, 4, rng=rng, dtype=F64)])
+        x = rng.normal(size=(4, 2, 7, 7))
+        y = rng.integers(0, 4, size=4)
+        check_param_grads(net, x, y, conv)
+
+    def test_weight_gradients_strided(self):
+        rng = np.random.default_rng(3)
+        conv = Conv2D(2, 3, 3, stride=2, rng=rng, dtype=F64)
+        net = Sequential([conv, GlobalAvgPool(),
+                          Dense(3, 4, rng=rng, dtype=F64)])
+        x = rng.normal(size=(3, 2, 9, 9))
+        y = rng.integers(0, 4, size=3)
+        check_param_grads(net, x, y, conv)
+
+    def test_input_gradients(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2D(2, 3, 3, rng=rng, dtype=F64)
+        x = rng.normal(size=(2, 2, 6, 6))
+        check_input_grad(conv, x)
+
+    def test_rejects_wrong_channels(self):
+        conv = Conv2D(3, 4, 3)
+        with pytest.raises(ValueError, match="channels"):
+            conv.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Conv2D(1, 1, 1).backward(np.zeros((1, 1, 4, 4)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 0)
+
+    def test_chunked_path_matches_full_path(self, monkeypatch):
+        """Sub-batch processing must be numerically identical."""
+        import repro.nn.layers as layers_mod
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(6, 2, 7, 7))
+        y = rng.integers(0, 4, size=6)
+
+        def run(max_elements):
+            monkeypatch.setattr(layers_mod, "MAX_COL_ELEMENTS", max_elements)
+            r = np.random.default_rng(7)
+            conv = Conv2D(2, 3, 3, rng=r, dtype=F64)
+            net = Sequential([conv, GlobalAvgPool(),
+                              Dense(3, 4, rng=r, dtype=F64)])
+            loss = net.train_step(x, y)
+            return loss, conv.d_weight.copy(), conv.d_bias.copy()
+
+        full_loss, full_dw, full_db = run(10**9)
+        # Budget for ~2 examples: forces 3 chunks.
+        per_example = 2 * 3 * 3 * 7 * 7
+        chunk_loss, chunk_dw, chunk_db = run(2 * per_example)
+        assert chunk_loss == pytest.approx(full_loss)
+        np.testing.assert_allclose(chunk_dw, full_dw, rtol=1e-10)
+        np.testing.assert_allclose(chunk_db, full_db, rtol=1e-10)
+
+    def test_chunked_input_gradient_matches(self, monkeypatch):
+        import repro.nn.layers as layers_mod
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(5, 2, 6, 6))
+        grad = rng.normal(size=(5, 3, 6, 6))
+
+        def run(max_elements):
+            monkeypatch.setattr(layers_mod, "MAX_COL_ELEMENTS", max_elements)
+            conv = Conv2D(2, 3, 3, rng=np.random.default_rng(9), dtype=F64)
+            conv.forward(x)
+            return conv.backward(grad)
+
+        np.testing.assert_allclose(run(10**9), run(100), rtol=1e-10)
+
+    def test_dtype_float32_by_default(self):
+        conv = Conv2D(1, 2, 3)
+        assert conv.weight.dtype == np.float32
+        out = conv.forward(np.zeros((1, 1, 4, 4), dtype=np.float32))
+        assert out.dtype == np.float32
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(relu.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        relu.forward(x)
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros(3))
+
+
+class TestMaxPool2D:
+    def test_forward_shape_and_values(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=F64).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_ragged_input_padded(self):
+        pool = MaxPool2D(2)
+        out = pool.forward(np.ones((1, 1, 5, 5)))
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_gradient_routes_to_max(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=F64).reshape(1, 1, 4, 4).copy()
+        check_input_grad(pool, x)
+
+    def test_tied_max_splits_gradient(self):
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[4.0]]]]))
+        np.testing.assert_allclose(grad, np.ones((1, 1, 2, 2)))
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(0)
+
+
+class TestGlobalAvgPool:
+    def test_forward(self):
+        gap = GlobalAvgPool()
+        x = np.arange(8, dtype=F64).reshape(1, 2, 2, 2)
+        np.testing.assert_allclose(gap.forward(x), [[1.5, 5.5]])
+
+    def test_gradient(self):
+        gap = GlobalAvgPool()
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+        check_input_grad(gap, x)
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        flat = Flatten()
+        x = np.arange(24, dtype=F64).reshape(2, 3, 2, 2)
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        back = flat.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        dense = Dense(4, 3, dtype=F64)
+        assert dense.forward(np.zeros((5, 4))).shape == (5, 3)
+
+    def test_gradients(self):
+        rng = np.random.default_rng(5)
+        dense = Dense(6, 4, rng=rng, dtype=F64)
+        net = Sequential([dense])
+        x = rng.normal(size=(5, 6))
+        y = rng.integers(0, 4, size=5)
+        check_param_grads(net, x, y, dense)
+
+    def test_rejects_wrong_input_width(self):
+        with pytest.raises(ValueError):
+            Dense(4, 3).forward(np.zeros((2, 5), dtype=np.float32))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)

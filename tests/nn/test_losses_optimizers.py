@@ -1,0 +1,128 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import cross_entropy, softmax
+from repro.nn.optimizers import SGD, Adam
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(p, [[0.5, 0.5]])
+
+    def test_invariant_to_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        logits = np.zeros((3, 4))
+        loss, _ = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 5))
+        labels = rng.integers(0, 5, size=4)
+        _, grad = cross_entropy(logits.copy(), labels)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 3), (3, 4)]:
+            logits[idx] += eps
+            plus, _ = cross_entropy(logits.copy(), labels)
+            logits[idx] -= 2 * eps
+            minus, _ = cross_entropy(logits.copy(), labels)
+            logits[idx] += eps
+            assert grad[idx] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-6)
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+
+def quadratic_problem():
+    """Minimise ||p - 3||^2; returns (param, grad, refresh)."""
+    param = np.array([10.0])
+    grad = np.zeros(1)
+
+    def refresh():
+        grad[...] = 2 * (param - 3.0)
+
+    return param, grad, refresh
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param, grad, refresh = quadratic_problem()
+        opt = SGD([param], [grad], lr=0.1, momentum=0.0)
+        for _ in range(100):
+            refresh()
+            opt.step()
+        assert param[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_accelerates(self):
+        p1, g1, r1 = quadratic_problem()
+        p2, g2, r2 = quadratic_problem()
+        plain = SGD([p1], [g1], lr=0.01, momentum=0.0)
+        momentum = SGD([p2], [g2], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            r1(); plain.step()
+            r2(); momentum.step()
+        assert abs(p2[0] - 3.0) < abs(p1[0] - 3.0)
+
+    def test_weight_decay_shrinks_params(self):
+        param = np.array([5.0])
+        grad = np.zeros(1)
+        opt = SGD([param], [grad], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.step()
+        assert param[0] < 5.0
+
+    def test_validation(self):
+        param, grad = np.zeros(1), np.zeros(1)
+        with pytest.raises(ValueError):
+            SGD([param], [grad], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], [grad], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([param], [grad, grad])
+        with pytest.raises(ValueError):
+            SGD([param], [np.zeros(2)])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param, grad, refresh = quadratic_problem()
+        opt = Adam([param], [grad], lr=0.3)
+        for _ in range(200):
+            refresh()
+            opt.step()
+        assert param[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_step_size_bounded_by_lr_initially(self):
+        param = np.array([0.0])
+        grad = np.array([1000.0])
+        opt = Adam([param], [grad], lr=0.01)
+        opt.step()
+        # Adam normalises by grad magnitude: first step ~ lr.
+        assert abs(param[0]) <= 0.011
+
+    def test_validation(self):
+        param, grad = np.zeros(1), np.zeros(1)
+        with pytest.raises(ValueError):
+            Adam([param], [grad], lr=-1)
+        with pytest.raises(ValueError):
+            Adam([param], [grad], beta1=1.0)

@@ -1,0 +1,147 @@
+"""Tests for Sequential, the builder, and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.datasets import make_mnist
+from repro.nn.builder import build_network
+from repro.nn.layers import Conv2D, Dense, Flatten, ReLU
+from repro.nn.network import Sequential
+from repro.nn.trainer import Trainer
+
+
+def tiny_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential([
+        Conv2D(1, 4, 3, rng=rng),
+        ReLU(),
+        Flatten(),
+        Dense(4 * 8 * 8, 3, rng=rng),
+    ])
+
+
+class TestSequential:
+    def test_forward_shape(self):
+        net = tiny_net()
+        out = net.forward(np.zeros((2, 1, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 3)
+
+    def test_params_and_grads_align(self):
+        net = tiny_net()
+        params, grads = net.params(), net.grads()
+        assert len(params) == len(grads) == 4  # conv W/b + dense W/b
+        for p, g in zip(params, grads):
+            assert p.shape == g.shape
+
+    def test_parameter_count(self):
+        net = tiny_net()
+        expected = (4 * 1 * 3 * 3 + 4) + (4 * 64 * 3 + 3)
+        assert net.parameter_count == expected
+
+    def test_train_step_returns_loss_and_sets_grads(self):
+        net = tiny_net()
+        x = np.random.default_rng(0).normal(size=(4, 1, 8, 8)).astype(np.float32)
+        y = np.array([0, 1, 2, 0])
+        loss = net.train_step(x, y)
+        assert loss > 0
+        assert any(np.abs(g).sum() > 0 for g in net.grads())
+
+    def test_predict_batched_matches_full(self):
+        net = tiny_net()
+        x = np.random.default_rng(1).normal(size=(10, 1, 8, 8)).astype(np.float32)
+        full = net.predict(x, batch_size=10)
+        batched = net.predict(x, batch_size=3)
+        np.testing.assert_array_equal(full, batched)
+
+    def test_accuracy_on_empty_raises(self):
+        net = tiny_net()
+        with pytest.raises(ValueError):
+            net.accuracy(np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=int))
+
+    def test_rejects_empty_layer_list(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestBuilder:
+    def test_flatten_head_shapes(self):
+        arch = Architecture.from_choices([3, 5], [4, 8], input_size=12,
+                                         num_classes=7)
+        net = build_network(arch)
+        out = net.forward(np.zeros((2, 1, 12, 12), dtype=np.float32))
+        assert out.shape == (2, 7)
+
+    def test_gap_head_shapes(self):
+        arch = Architecture.from_choices([3], [6], input_size=10,
+                                         num_classes=4)
+        net = build_network(arch, head="gap")
+        out = net.forward(np.zeros((1, 1, 10, 10), dtype=np.float32))
+        assert out.shape == (1, 4)
+
+    def test_strided_architecture(self):
+        arch = Architecture.from_choices(
+            [3, 3], [4, 4], input_size=12, strides=[2, 1])
+        net = build_network(arch)
+        out = net.forward(np.zeros((1, 1, 12, 12), dtype=np.float32))
+        assert out.shape == (1, 10)
+
+    def test_rejects_unknown_head(self):
+        arch = Architecture.from_choices([3], [4], input_size=8)
+        with pytest.raises(ValueError, match="head"):
+            build_network(arch, head="attention")
+
+    def test_seeded_builds_are_identical(self):
+        arch = Architecture.from_choices([3], [4], input_size=8)
+        a = build_network(arch, rng=np.random.default_rng(3))
+        b = build_network(arch, rng=np.random.default_rng(3))
+        for pa, pb in zip(a.params(), b.params()):
+            np.testing.assert_array_equal(pa, pb)
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def data(self):
+        ds = make_mnist(train_size=300, val_size=120, seed=1)
+        return ds
+
+    def test_training_improves_over_chance(self, data):
+        arch = Architecture.from_choices([5], [8], input_size=28)
+        net = build_network(arch, rng=np.random.default_rng(0))
+        trainer = Trainer(epochs=4, batch_size=32, lr=0.03, seed=0)
+        result = trainer.train(net, data.train_x, data.train_y,
+                               data.val_x, data.val_y)
+        assert result.best_accuracy > 0.2  # chance is 0.1
+        assert result.epochs == 4
+        assert len(result.train_losses) == 4
+
+    def test_loss_decreases(self, data):
+        arch = Architecture.from_choices([5], [8], input_size=28)
+        net = build_network(arch, rng=np.random.default_rng(0))
+        result = Trainer(epochs=4, batch_size=32, lr=0.03).train(
+            net, data.train_x, data.train_y, data.val_x, data.val_y)
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_accuracy_window_rule(self, data):
+        arch = Architecture.from_choices([5], [6], input_size=28)
+        net = build_network(arch, rng=np.random.default_rng(0))
+        trainer = Trainer(epochs=6, batch_size=32, lr=0.03,
+                          accuracy_window=3)
+        result = trainer.train(net, data.train_x, data.train_y,
+                               data.val_x, data.val_y)
+        assert result.best_accuracy == max(result.val_accuracies[-3:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trainer(epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(batch_size=0)
+        with pytest.raises(ValueError):
+            Trainer(accuracy_window=0)
+
+    def test_mismatched_data_raises(self, data):
+        arch = Architecture.from_choices([5], [6], input_size=28)
+        net = build_network(arch)
+        with pytest.raises(ValueError):
+            Trainer(epochs=1).train(net, data.train_x, data.train_y[:-1],
+                                    data.val_x, data.val_y)

@@ -1,0 +1,173 @@
+"""Tests for FNAS-Sched, the fixed baseline, and schedule invariants."""
+
+import pytest
+
+from repro.fpga.tiling import TilingDesigner
+from repro.scheduling.base import (
+    IFM_REUSE,
+    IN_ORDER,
+    OFM_REUSE,
+    READY_QUEUE,
+    Schedule,
+)
+from repro.scheduling.fixed_sched import FixedScheduler
+from repro.scheduling.fnas_sched import (
+    FnasScheduler,
+    alternating_strategies,
+    order_tasks,
+)
+from repro.taskgraph.graph import TaskGraphGenerator
+
+
+@pytest.fixture
+def graph(designer, mnist_arch, pynq_platform):
+    design = designer.design(mnist_arch, pynq_platform)
+    return TaskGraphGenerator().generate(design)
+
+
+class TestOrderTasks:
+    def test_ofm_reuse_groups_output_tiles(self, graph):
+        tasks = graph.tasks_by_layer[1]
+        ordered = order_tasks(tasks, OFM_REUSE)
+        # Consecutive tasks with the same (rc, ofm) appear as one block:
+        # once we leave an output tile we never come back.
+        seen = set()
+        current = None
+        for task in ordered:
+            key = (task.rc_tile, task.ofm_tile)
+            if key != current:
+                assert key not in seen
+                seen.add(key)
+                current = key
+
+    def test_ifm_reuse_groups_input_tiles(self, graph):
+        tasks = graph.tasks_by_layer[1]
+        ordered = order_tasks(tasks, IFM_REUSE)
+        seen = set()
+        current = None
+        for task in ordered:
+            key = (task.rc_tile, task.ifm_tile)
+            if key != current:
+                assert key not in seen
+                seen.add(key)
+                current = key
+
+    def test_rc_outermost_in_both_orders(self, graph):
+        """Step 1: channel tiles advance before row/col tiles."""
+        for reuse in (OFM_REUSE, IFM_REUSE):
+            ordered = order_tasks(graph.tasks_by_layer[1], reuse)
+            rc_sequence = [t.rc_tile for t in ordered]
+            assert rc_sequence == sorted(rc_sequence)
+
+    def test_rejects_unknown_strategy(self, graph):
+        with pytest.raises(ValueError):
+            order_tasks(graph.tasks_by_layer[0], "both")
+
+    def test_is_permutation(self, graph):
+        tasks = graph.tasks_by_layer[2]
+        assert sorted(order_tasks(tasks, OFM_REUSE)) == sorted(tasks)
+
+
+class TestAlternatingStrategies:
+    def test_starts_with_ofm_by_default(self):
+        assert alternating_strategies(4) == [
+            OFM_REUSE, IFM_REUSE, OFM_REUSE, IFM_REUSE
+        ]
+
+    def test_can_start_with_ifm(self):
+        assert alternating_strategies(3, first=IFM_REUSE) == [
+            IFM_REUSE, OFM_REUSE, IFM_REUSE
+        ]
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            alternating_strategies(3, first="none")
+
+
+class TestFnasScheduler:
+    def test_schedule_shape(self, graph):
+        schedule = FnasScheduler().schedule(graph)
+        assert schedule.policy == READY_QUEUE
+        assert schedule.name == "fnas-sched"
+        assert len(schedule.layer_orders) == graph.n_layers
+        assert schedule.reuse_strategies == alternating_strategies(
+            graph.n_layers)
+
+    def test_uniform_variant(self, graph):
+        schedule = FnasScheduler(uniform=IFM_REUSE).schedule(graph)
+        assert set(schedule.reuse_strategies) == {IFM_REUSE}
+        assert "uniform" in schedule.name
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FnasScheduler(first_reuse="x")
+        with pytest.raises(ValueError):
+            FnasScheduler(uniform="y")
+
+    def test_reuse_runs_match_tile_counts(self, graph):
+        """Run length equals the swept-over tile count of the strategy."""
+        schedule = FnasScheduler().schedule(graph)
+        for layer in range(graph.n_layers):
+            design = graph.design.layers[layer]
+            if schedule.reuse_strategies[layer] == OFM_REUSE:
+                expected = design.n_ifm_channel_tiles
+            else:
+                expected = design.n_ofm_channel_tiles
+            assert schedule.reuse_runs(layer) == pytest.approx(expected)
+
+
+class TestFixedScheduler:
+    def test_schedule_shape(self, graph):
+        schedule = FixedScheduler().schedule(graph)
+        assert schedule.policy == IN_ORDER
+        assert set(schedule.reuse_strategies) == {OFM_REUSE}
+
+    def test_same_loop_order_every_layer(self, graph):
+        schedule = FixedScheduler().schedule(graph)
+        for order in schedule.layer_orders:
+            keys = [(t.rc_tile, t.ofm_tile, t.ifm_tile) for t in order]
+            assert keys == sorted(keys)
+
+
+class TestScheduleValidation:
+    def test_rejects_wrong_layer_count(self, graph):
+        with pytest.raises(ValueError, match="layer orders"):
+            Schedule(
+                graph=graph,
+                layer_orders=graph.tasks_by_layer[:-1],
+                reuse_strategies=[OFM_REUSE] * graph.n_layers,
+                policy=IN_ORDER,
+                name="bad",
+            )
+
+    def test_rejects_non_permutation(self, graph):
+        orders = [list(t) for t in graph.tasks_by_layer]
+        orders[0] = orders[0][:-1] + [orders[0][0]]  # duplicate
+        with pytest.raises(ValueError, match="permutation"):
+            Schedule(
+                graph=graph,
+                layer_orders=orders,
+                reuse_strategies=[OFM_REUSE] * graph.n_layers,
+                policy=IN_ORDER,
+                name="bad",
+            )
+
+    def test_rejects_unknown_policy(self, graph):
+        with pytest.raises(ValueError, match="policy"):
+            Schedule(
+                graph=graph,
+                layer_orders=[list(t) for t in graph.tasks_by_layer],
+                reuse_strategies=[OFM_REUSE] * graph.n_layers,
+                policy="whenever",
+                name="bad",
+            )
+
+    def test_rejects_unknown_reuse(self, graph):
+        with pytest.raises(ValueError, match="reuse"):
+            Schedule(
+                graph=graph,
+                layer_orders=[list(t) for t in graph.tasks_by_layer],
+                reuse_strategies=["sometimes"] * graph.n_layers,
+                policy=IN_ORDER,
+                name="bad",
+            )

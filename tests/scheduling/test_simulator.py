@@ -1,0 +1,192 @@
+"""Tests for the cycle-accurate pipeline simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.scheduling.fixed_sched import FixedScheduler
+from repro.scheduling.fnas_sched import FnasScheduler
+from repro.scheduling.simulator import (
+    CommunicationModel,
+    PipelineSimulator,
+    SimulationResult,
+)
+from repro.taskgraph.graph import TaskGraphGenerator
+
+
+def build_graph(counts, size=16, channels=1, kernel=3,
+                platform=None):
+    arch = Architecture.from_choices(
+        [kernel] * len(counts), list(counts), input_size=size,
+        input_channels=channels,
+    )
+    platform = platform or Platform.single(PYNQ_Z1)
+    design = TilingDesigner().design(arch, platform)
+    return TaskGraphGenerator().generate(design)
+
+
+class TestBasics:
+    def test_single_layer_makespan_is_processing_time(self):
+        graph = build_graph([8])
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator().run(schedule)
+        assert result.makespan == graph.design.layers[0].processing_time
+        assert result.total_stall_cycles == 0
+        assert result.pe_traces[0].start_time == 0
+
+    def test_makespan_at_least_any_processing_time(self):
+        graph = build_graph([8, 16, 8])
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator().run(schedule)
+        for design in graph.design.layers:
+            assert result.makespan >= design.processing_time
+
+    def test_busy_cycles_equal_task_work(self):
+        graph = build_graph([8, 16])
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator().run(schedule)
+        for layer_idx, trace in enumerate(result.pe_traces):
+            design = graph.design.layers[layer_idx]
+            assert trace.busy_cycles == design.processing_time
+
+    def test_start_times_monotone_along_pipeline(self):
+        graph = build_graph([8, 16, 8, 16])
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator().run(schedule)
+        starts = result.start_times
+        assert starts == sorted(starts)
+        assert starts[0] == 0
+
+    def test_record_trace_collects_executions(self):
+        graph = build_graph([4, 4])
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator(record_trace=True).run(schedule)
+        for layer_idx, trace in enumerate(result.pe_traces):
+            assert len(trace.executed) == len(
+                graph.tasks_by_layer[layer_idx])
+            for task, start, end in trace.executed:
+                assert end - start == graph.design.layers[
+                    layer_idx].execution_time
+
+    def test_trace_respects_dependencies(self):
+        """No task may start before its input tile's producers finished."""
+        graph = build_graph([4, 8, 4])
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator(record_trace=True).run(schedule)
+        finish = {}
+        for trace in result.pe_traces:
+            for task, start, end in trace.executed:
+                finish[task] = end
+        ofm_done = {}
+        for tile, producers in graph.ofm_producers.items():
+            ofm_done[tile] = max(finish[t] for t in producers)
+        for trace in result.pe_traces:
+            for task, start, end in trace.executed:
+                sources = graph.ifm_sources.get(task.input_tile)
+                if sources:
+                    ready = max(ofm_done[o] for o in sources)
+                    assert start >= ready
+
+
+class TestSchedulerComparison:
+    def test_fnas_never_slower_than_fixed(self):
+        """The headline Figure 8 property on a mixed-width pipeline."""
+        sim = PipelineSimulator()
+        for counts in ([8, 16, 8], [16, 8, 16, 8], [4, 16, 4, 16]):
+            graph = build_graph(counts)
+            fnas = sim.run(FnasScheduler().schedule(graph))
+            fixed = sim.run(FixedScheduler().schedule(graph))
+            assert fnas.makespan <= fixed.makespan
+
+    def test_fnas_alternation_is_stall_free_on_paper_configs(self):
+        graph = build_graph([8, 16, 8, 16])
+        result = PipelineSimulator().run(FnasScheduler().schedule(graph))
+        assert result.total_stall_cycles == 0
+
+    def test_uniform_reuse_can_stall(self):
+        """The paper's observation behind Step 3's alternation."""
+        graph = build_graph([16, 32, 16, 32], size=12)
+        sim = PipelineSimulator()
+        uniform = sim.run(
+            FnasScheduler(uniform="ofm").schedule(graph))
+        alternating = sim.run(FnasScheduler().schedule(graph))
+        assert alternating.makespan <= uniform.makespan
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        counts=st.lists(st.sampled_from([4, 8, 16, 32]), min_size=2,
+                        max_size=4),
+        size=st.sampled_from([8, 12, 16]),
+    )
+    def test_property_adaptive_fnas_beats_or_ties_fixed(self, counts, size):
+        """The adaptive variant dominates fixed scheduling everywhere.
+
+        (The paper's fixed alternation wins on its evaluated set but is
+        not universally optimal -- one of its candidates, uniform-OFM
+        with the ready queue, shares fixed scheduling's task order and
+        can only start tasks earlier.)
+        """
+        from repro.scheduling.fnas_sched import AdaptiveFnasScheduler
+        graph = build_graph(counts, size=size)
+        sim = PipelineSimulator()
+        fnas = sim.run(AdaptiveFnasScheduler().schedule(graph))
+        fixed = sim.run(FixedScheduler().schedule(graph))
+        assert fnas.makespan <= fixed.makespan
+
+
+class TestCommunicationModel:
+    def test_ideal_memory_is_lower_bound(self):
+        graph = build_graph([8, 16])
+        schedule = FnasScheduler().schedule(graph)
+        ideal = PipelineSimulator().run(schedule)
+        limited = PipelineSimulator(
+            comm_model=CommunicationModel(bytes_per_cycle=0.5)
+        ).run(schedule)
+        assert limited.makespan >= ideal.makespan
+
+    def test_generous_bandwidth_matches_ideal(self):
+        graph = build_graph([8, 16])
+        schedule = FnasScheduler().schedule(graph)
+        ideal = PipelineSimulator().run(schedule)
+        generous = PipelineSimulator(
+            comm_model=CommunicationModel(bytes_per_cycle=1e9)
+        ).run(schedule)
+        assert generous.makespan == ideal.makespan
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(bytes_per_cycle=0.0)
+
+    def test_reuse_reduces_traffic_duration(self):
+        """Consecutive same-output tasks skip the OFM reload."""
+        graph = build_graph([8, 16])
+        schedule = FnasScheduler().schedule(graph)
+        model = CommunicationModel(bytes_per_cycle=0.25)
+        order = schedule.layer_orders[0]
+        if len(order) >= 2 and (
+            order[0].output_tile == order[1].output_tile
+        ):
+            first = model.duration(schedule, order[0], None)
+            second = model.duration(schedule, order[1], order[0])
+            assert second <= first
+
+
+class TestResultAccounting:
+    def test_stalls_are_gaps(self):
+        graph = build_graph([8, 16, 8])
+        result = PipelineSimulator().run(FixedScheduler().schedule(graph))
+        for trace in result.pe_traces:
+            span = trace.finish_time - trace.start_time
+            assert trace.stall_cycles == span - trace.busy_cycles
+            assert trace.stall_cycles >= 0
+
+    def test_simulation_result_fields(self):
+        graph = build_graph([4])
+        result = PipelineSimulator().run(FnasScheduler().schedule(graph))
+        assert isinstance(result, SimulationResult)
+        assert result.schedule_name == "fnas-sched"
+        assert len(result.pe_traces) == 1

@@ -1,0 +1,71 @@
+"""Tests for schedule visualisation helpers."""
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.scheduling.fixed_sched import FixedScheduler
+from repro.scheduling.fnas_sched import FnasScheduler
+from repro.scheduling.simulator import PipelineSimulator
+from repro.scheduling.visualize import gantt_chart, utilisation_table
+from repro.taskgraph.graph import TaskGraphGenerator
+
+
+@pytest.fixture(scope="module")
+def result():
+    arch = Architecture.from_choices([3, 3, 3], [16, 32, 16],
+                                     input_size=14)
+    design = TilingDesigner().design(arch, Platform.single(PYNQ_Z1))
+    graph = TaskGraphGenerator().generate(design)
+    return PipelineSimulator().run(FnasScheduler().schedule(graph))
+
+
+@pytest.fixture(scope="module")
+def stalled_result():
+    # A mixed-width pipeline the fixed scheduler is known to stall on
+    # (Figure 8 architecture #6).
+    arch = Architecture.from_choices([3, 3, 3, 3], [64, 128, 64, 128],
+                                     input_size=28)
+    design = TilingDesigner().design(arch, Platform.single(PYNQ_Z1))
+    graph = TaskGraphGenerator().generate(design)
+    result = PipelineSimulator().run(FixedScheduler().schedule(graph))
+    assert result.total_stall_cycles > 0
+    return result
+
+
+class TestGanttChart:
+    def test_one_row_per_pe(self, result):
+        chart = gantt_chart(result)
+        assert len(chart.splitlines()) == len(result.pe_traces)
+
+    def test_width_respected(self, result):
+        for line in gantt_chart(result, width=40).splitlines():
+            bars = line.split("|")[1]
+            assert len(bars) == 40
+
+    def test_first_pe_starts_at_left_edge(self, result):
+        first = gantt_chart(result).splitlines()[0]
+        bars = first.split("|")[1]
+        assert bars[0] in "#="
+
+    def test_stalled_pe_uses_sparse_fill(self, stalled_result):
+        chart = gantt_chart(stalled_result)
+        assert "=" in chart  # at least one PE has stalls inside its span
+
+    def test_rejects_tiny_width(self, result):
+        with pytest.raises(ValueError):
+            gantt_chart(result, width=4)
+
+
+class TestUtilisationTable:
+    def test_contains_all_pes_and_totals(self, result):
+        table = utilisation_table(result)
+        for trace in result.pe_traces:
+            assert f"PE{trace.layer}" in table
+        assert f"makespan {result.makespan}" in table
+
+    def test_reports_stalls(self, stalled_result):
+        table = utilisation_table(stalled_result)
+        assert str(stalled_result.total_stall_cycles) in table

@@ -1,0 +1,211 @@
+"""Tests for the tile-based task graph generator (FNAS-GG)."""
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.fpga.tiling import LayerDesign, PipelineDesign, TilingVector
+from repro.taskgraph.graph import TaskGraphGenerator
+from repro.taskgraph.tiles import IfmTile, OfmTile
+
+
+def manual_design(channel_plan, input_size=8, kernel=3,
+                  tilings=None) -> PipelineDesign:
+    """Build a PipelineDesign with hand-chosen tiling vectors.
+
+    ``channel_plan`` is the per-layer output channel list;
+    ``tilings`` the matching TilingVector list (defaults to 1x1x full
+    spatial tiles).
+    """
+    arch = Architecture.from_choices(
+        [kernel] * len(channel_plan), channel_plan, input_size=input_size,
+        input_channels=channel_plan[0] if False else 1,
+    )
+    platform = Platform.single(PYNQ_Z1)
+    layers = []
+    for idx, spec in enumerate(arch.layers):
+        if tilings is not None:
+            tiling = tilings[idx]
+        else:
+            tiling = TilingVector(tm=1, tn=1, tr=spec.out_rows,
+                                  tc=spec.out_cols)
+        layers.append(LayerDesign(idx, spec, tiling))
+    allocations = tuple(Platform.single(PYNQ_Z1).allocate(arch))
+    return PipelineDesign(
+        architecture=arch, platform=platform, layers=tuple(layers),
+        allocations=allocations,
+    )
+
+
+class TestGeneration:
+    def test_task_counts_match_design(self, designer, mnist_arch,
+                                      pynq_platform):
+        design = designer.design(mnist_arch, pynq_platform)
+        graph = TaskGraphGenerator().generate(design)
+        for layer_idx, tasks in enumerate(graph.tasks_by_layer):
+            assert len(tasks) == design.layers[layer_idx].task_count
+        assert graph.total_tasks == sum(
+            d.task_count for d in design.layers
+        )
+
+    def test_every_ofm_tile_has_all_its_producers(self, designer, mnist_arch,
+                                                  pynq_platform):
+        design = designer.design(mnist_arch, pynq_platform)
+        graph = TaskGraphGenerator().generate(design)
+        for tile, producers in graph.ofm_producers.items():
+            layer = design.layers[tile.layer]
+            # One producer per IFM channel tile of that layer.
+            assert len(producers) == layer.n_ifm_channel_tiles
+            assert all(t.output_tile == tile for t in producers)
+
+    def test_input_tiles_are_layer0(self, designer, mnist_arch,
+                                    pynq_platform):
+        design = designer.design(mnist_arch, pynq_platform)
+        graph = TaskGraphGenerator().generate(design)
+        tiles = graph.input_tiles()
+        first = design.layers[0]
+        assert len(tiles) == first.n_ifm_channel_tiles * first.n_rc_tiles
+        assert all(t.layer == 0 for t in tiles)
+
+    def test_validate_passes_for_generated_graphs(self, designer,
+                                                  mnist_arch, pynq_platform):
+        design = designer.design(mnist_arch, pynq_platform)
+        graph = TaskGraphGenerator().generate(design)
+        graph.validate()  # no raise
+
+    def test_networkx_export_is_acyclic(self, designer, small_arch,
+                                        pynq_platform):
+        import networkx as nx
+        design = designer.design(small_arch, pynq_platform)
+        graph = TaskGraphGenerator().generate(design)
+        g = graph.to_networkx()
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_rejects_unknown_rc_mapping(self):
+        with pytest.raises(ValueError, match="rc_mapping"):
+            TaskGraphGenerator(rc_mapping="diagonal")
+
+
+class TestChannelDependencies:
+    def test_paper_figure3_non_uniform_tiling(self):
+        """Figure 3(d): Tm != Tn across a layer boundary.
+
+        Upstream produces 6 channels in tiles of Tm=2 (3 OFM tiles);
+        downstream consumes them in tiles of Tn=3 (2 IFM tiles).  IFM
+        tile 0 covers channels 0-2 -> OFM tiles {0, 1}; IFM tile 1
+        covers 3-5 -> {1, 2}.
+        """
+        design = manual_design(
+            [6, 4],
+            tilings=[
+                TilingVector(tm=2, tn=1, tr=8, tc=8),
+                TilingVector(tm=1, tn=3, tr=8, tc=8),
+            ],
+        )
+        graph = TaskGraphGenerator().generate(design)
+        deps0 = {o.channel_tile for o in graph.ifm_sources[IfmTile(1, 0, 0)]}
+        deps1 = {o.channel_tile for o in graph.ifm_sources[IfmTile(1, 1, 0)]}
+        assert deps0 == {0, 1}
+        assert deps1 == {1, 2}
+
+    def test_integer_ratio_matches_paper_formula(self):
+        """Tn = 2 * Tm: IFM tile j depends on OFM tiles 2j and 2j+1."""
+        design = manual_design(
+            [8, 4],
+            tilings=[
+                TilingVector(tm=2, tn=1, tr=8, tc=8),
+                TilingVector(tm=1, tn=4, tr=8, tc=8),
+            ],
+        )
+        graph = TaskGraphGenerator().generate(design)
+        deps0 = {o.channel_tile for o in graph.ifm_sources[IfmTile(1, 0, 0)]}
+        deps1 = {o.channel_tile for o in graph.ifm_sources[IfmTile(1, 1, 0)]}
+        assert deps0 == {0, 1}
+        assert deps1 == {2, 3}
+
+    def test_one_to_one_when_tilings_match(self):
+        design = manual_design(
+            [4, 4],
+            tilings=[
+                TilingVector(tm=2, tn=1, tr=8, tc=8),
+                TilingVector(tm=2, tn=2, tr=8, tc=8),
+            ],
+        )
+        graph = TaskGraphGenerator().generate(design)
+        for j in range(2):
+            deps = {o.channel_tile for o in graph.ifm_sources[IfmTile(1, j, 0)]}
+            assert deps == {j}
+
+
+class TestRcDependencies:
+    def test_identity_mapping_when_grids_match(self):
+        design = manual_design(
+            [4, 4],
+            tilings=[
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+            ],
+        )
+        graph = TaskGraphGenerator(rc_mapping="identity").generate(design)
+        for m in range(design.layers[1].n_rc_tiles):
+            sources = graph.ifm_sources[IfmTile(1, 0, m)]
+            assert {o.rc_tile for o in sources} == {m}
+
+    def test_identity_rejects_mismatched_grids(self):
+        design = manual_design(
+            [4, 4],
+            tilings=[
+                TilingVector(tm=1, tn=1, tr=8, tc=8),
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+            ],
+        )
+        with pytest.raises(ValueError, match="identity rc mapping"):
+            TaskGraphGenerator(rc_mapping="identity").generate(design)
+
+    def test_overlap_mapping_includes_halo_neighbours(self):
+        """With 3x3 kernels a tile's input window spills into neighbours."""
+        design = manual_design(
+            [4, 4],
+            tilings=[
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+            ],
+        )
+        graph = TaskGraphGenerator(rc_mapping="overlap").generate(design)
+        # 8x8 map in 4x4 tiles -> 2x2 grid; tile 0's window (rows/cols
+        # -1..4) overlaps all of row/col tiles 0 and neighbours 1, 2, 3
+        # only through the 1-pixel halo.
+        sources = {o.rc_tile for o in graph.ifm_sources[IfmTile(1, 0, 0)]}
+        assert 0 in sources
+        assert sources <= {0, 1, 2, 3}
+        assert len(sources) >= 3
+
+    def test_overlap_mapping_handles_stride(self):
+        arch = Architecture.from_choices(
+            [3, 3], [4, 4], input_size=8, input_channels=1,
+            strides=[2, 1],
+        )
+        platform = Platform.single(PYNQ_Z1)
+        layers = (
+            LayerDesign(0, arch.layers[0], TilingVector(1, 1, 2, 2)),
+            LayerDesign(1, arch.layers[1], TilingVector(1, 1, 2, 2)),
+        )
+        design = PipelineDesign(
+            architecture=arch, platform=platform, layers=layers,
+            allocations=tuple(platform.allocate(arch)),
+        )
+        graph = TaskGraphGenerator(rc_mapping="overlap").generate(design)
+        graph.validate()
+
+    def test_auto_picks_identity_for_matching_stride1_grids(self):
+        design = manual_design(
+            [4, 4],
+            tilings=[
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+                TilingVector(tm=1, tn=1, tr=4, tc=4),
+            ],
+        )
+        graph = TaskGraphGenerator(rc_mapping="auto").generate(design)
+        sources = {o.rc_tile for o in graph.ifm_sources[IfmTile(1, 0, 1)]}
+        assert sources == {1}

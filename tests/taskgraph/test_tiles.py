@@ -1,0 +1,65 @@
+"""Tests for tile/task identities."""
+
+import pytest
+
+from repro.taskgraph.tiles import (
+    IfmTile,
+    OfmTile,
+    Task,
+    channel_range,
+    ranges_overlap,
+)
+
+
+class TestIdentities:
+    def test_task_input_output_tiles(self):
+        task = Task(layer=1, ifm_tile=2, ofm_tile=3, rc_tile=4)
+        assert task.input_tile == IfmTile(1, 2, 4)
+        assert task.output_tile == OfmTile(1, 3, 4)
+
+    def test_str_forms(self):
+        assert str(Task(0, 1, 2, 3)) == "v[0,1,2,3]"
+        assert str(IfmTile(0, 1, 2)) == "T_ifm[0,1,2]"
+        assert "0->1" in str(OfmTile(0, 1, 2))
+
+    def test_tiles_are_hashable_and_ordered(self):
+        tiles = {IfmTile(0, 0, 0), IfmTile(0, 0, 1), IfmTile(0, 0, 0)}
+        assert len(tiles) == 2
+        assert IfmTile(0, 0, 0) < IfmTile(0, 1, 0)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            IfmTile(-1, 0, 0)
+        with pytest.raises(ValueError):
+            OfmTile(0, -1, 0)
+        with pytest.raises(ValueError):
+            Task(0, 0, 0, -1)
+
+
+class TestChannelRange:
+    def test_full_tiles(self):
+        assert channel_range(0, 4, 10) == (0, 4)
+        assert channel_range(1, 4, 10) == (4, 8)
+
+    def test_ragged_last_tile(self):
+        assert channel_range(2, 4, 10) == (8, 10)
+
+    def test_out_of_range_tile_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            channel_range(3, 4, 10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            channel_range(-1, 4, 10)
+
+
+class TestRangesOverlap:
+    @pytest.mark.parametrize("a,b,expected", [
+        ((0, 4), (2, 6), True),
+        ((0, 4), (4, 8), False),
+        ((0, 10), (3, 5), True),
+        ((5, 6), (0, 5), False),
+    ])
+    def test_cases(self, a, b, expected):
+        assert ranges_overlap(a, b) is expected
+        assert ranges_overlap(b, a) is expected

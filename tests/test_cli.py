@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_flags(self):
+        args = build_parser().parse_args(["table1", "--seed", "3",
+                                          "--trials", "10"])
+        assert args.command == "table1"
+        assert args.seed == 3
+        assert args.trials == 10
+
+    def test_estimate_flags(self):
+        args = build_parser().parse_args([
+            "estimate", "5,7", "9,18", "--device", "xczu9eg",
+            "--boards", "2", "--simulate",
+        ])
+        assert args.filter_sizes == "5,7"
+        assert args.boards == 2
+        assert args.simulate
+
+
+class TestCommands:
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "NAS" in out and "FNAS" in out
+
+    def test_figure8(self, capsys):
+        assert main(["figure8"]) == 0
+        out = capsys.readouterr().out
+        assert "mean improvement" in out
+
+    def test_estimate(self, capsys):
+        code = main(["estimate", "5,7,5,7", "9,18,18,36"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out
+        assert "pynq-z1" in out
+
+    def test_estimate_simulate(self, capsys):
+        code = main(["estimate", "5,5", "9,9", "--simulate"])
+        assert code == 0
+        assert "simulate" in capsys.readouterr().out
+
+    def test_estimate_multi_board(self, capsys):
+        code = main(["estimate", "3,3", "16,16", "--device", "xczu9eg",
+                     "--boards", "2", "--input-size", "32",
+                     "--input-channels", "3"])
+        assert code == 0
+        assert "2 x xczu9eg" in capsys.readouterr().out
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            main(["estimate", "3", "4", "--device", "virtex"])

@@ -1,0 +1,121 @@
+"""Cross-module integration tests.
+
+These exercise whole paths through the system the way the examples and
+benchmarks do, at a scale small enough for the unit-test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Architecture,
+    FnasSearch,
+    LatencyEstimator,
+    Platform,
+    SearchSpace,
+    TrainedAccuracyEvaluator,
+    PYNQ_Z1,
+)
+from repro.core.analysis import summarize
+from repro.core.serialization import architecture_from_dict, architecture_to_dict
+from repro.datasets import make_mnist
+from repro.fpga.energy import EnergyModel
+from repro.fpga.tiling import TilingDesigner
+from repro.nn import Trainer, build_network
+from repro.scheduling import AdaptiveFnasScheduler, FnasScheduler, PipelineSimulator
+from repro.taskgraph import TaskGraphGenerator
+
+
+class TestNnFpgaConsistency:
+    """The trained network and the FPGA model must describe the same
+    computation -- the central contract between the two halves."""
+
+    @pytest.mark.parametrize("sizes,counts,stride", [
+        ([5, 7], [9, 18], 1),
+        ([3, 3, 3], [8, 16, 8], 1),
+        ([5, 3], [4, 8], 2),
+    ])
+    def test_conv_geometry_matches(self, sizes, counts, stride):
+        arch = Architecture.from_choices(
+            sizes, counts, input_size=28,
+            strides=[stride] * len(sizes),
+        )
+        network = build_network(arch)
+        x = np.zeros((2, 1, 28, 28), dtype=np.float32)
+        activation = x
+        conv_layers = [l for l in network.layers
+                       if l.__class__.__name__ == "Conv2D"]
+        for spec, conv in zip(arch.layers, conv_layers):
+            activation = conv.forward(activation)
+            assert activation.shape == (
+                2, spec.out_channels, spec.out_rows, spec.out_cols
+            ), f"nn/fpga shape divergence at layer {spec}"
+
+    def test_macs_equal_im2col_work(self):
+        """Architecture MAC accounting matches the matmul volume."""
+        arch = Architecture.from_choices([3, 5], [4, 8], input_size=12)
+        for spec in arch.layers:
+            col_rows = spec.in_channels * spec.kernel * spec.kernel
+            positions = spec.out_rows * spec.out_cols
+            assert spec.macs == col_rows * positions * spec.out_channels
+
+
+class TestRealTrainingSearch:
+    def test_fnas_end_to_end_with_numpy_training(self):
+        """The full Figure 2 loop with genuine training, tiny scale."""
+        space = SearchSpace(
+            name="tiny", num_layers=2, filter_sizes=(3, 5),
+            filter_counts=(4, 8), input_size=28, input_channels=1,
+            num_classes=10,
+        )
+        dataset = make_mnist(train_size=150, val_size=60, seed=0)
+        evaluator = TrainedAccuracyEvaluator(
+            dataset, trainer=Trainer(epochs=1, batch_size=32, lr=0.03,
+                                     accuracy_window=1))
+        estimator = LatencyEstimator(Platform.single(PYNQ_Z1))
+        search = FnasSearch(space, evaluator, estimator,
+                            required_latency_ms=2.0,
+                            min_latency_fallback=True)
+        result = search.run(4, np.random.default_rng(0))
+        summary = summarize(result)
+        assert summary.trials >= 4
+        best = result.best_valid(2.0)
+        assert best.latency_ms <= 2.0
+        assert 0.0 <= best.accuracy <= 1.0
+
+
+class TestFullFpgaStack:
+    """Design -> graph -> schedule -> simulate -> energy, one flow."""
+
+    def test_pipeline_with_energy_report(self):
+        arch = Architecture.from_choices([3, 3], [16, 32], input_size=16)
+        platform = Platform.single(PYNQ_Z1)
+        design = TilingDesigner().design(arch, platform)
+        graph = TaskGraphGenerator().generate(design)
+        schedule = FnasScheduler().schedule(graph)
+        result = PipelineSimulator().run(schedule)
+        energy = EnergyModel().estimate(design, result.makespan, schedule)
+        assert energy.total_mj > 0
+        # Sanity: a PYNQ-class inference is in the sub-100 mJ range.
+        assert energy.total_mj < 100
+
+    def test_adaptive_scheduler_at_least_as_good(self):
+        arch = Architecture.from_choices([3, 3, 3, 3], [4, 16, 32, 16],
+                                         input_size=8)
+        platform = Platform.single(PYNQ_Z1)
+        design = TilingDesigner().design(arch, platform)
+        graph = TaskGraphGenerator().generate(design)
+        sim = PipelineSimulator()
+        adaptive = sim.run(AdaptiveFnasScheduler().schedule(graph))
+        default = sim.run(FnasScheduler().schedule(graph))
+        assert adaptive.makespan <= default.makespan
+
+
+class TestSerializationRoundtripThroughEstimator:
+    def test_saved_architecture_reestimates_identically(self, tmp_path):
+        arch = Architecture.from_choices([5, 7], [9, 18], input_size=28)
+        estimator = LatencyEstimator(Platform.single(PYNQ_Z1))
+        before = estimator.estimate(arch).ms
+        clone = architecture_from_dict(architecture_to_dict(arch))
+        after = LatencyEstimator(Platform.single(PYNQ_Z1)).estimate(clone).ms
+        assert before == after
