@@ -34,6 +34,15 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
                         help="RNG seed for the searches (default 0)")
     parser.add_argument("--trials", type=int, default=None,
                         help="children per search (default: Table 2's 60)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="candidates per controller step; 1 (default) "
+                             "reproduces the sequential published "
+                             "trajectories, >1 drives the vectorized "
+                             "batched runtime")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers for child evaluation "
+                             "(default 1 = in-process; useful with real "
+                             "training evaluators)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,27 +129,44 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if (getattr(args, "workers", 1) > 1
+            and getattr(args, "batch_size", 1) == 1):
+        print("note: --workers only takes effect with --batch-size > 1 "
+              "(the sequential path evaluates one child at a time)",
+              file=sys.stderr)
     if args.command == "table1":
-        print(run_table1(trials=args.trials, seed=args.seed).format())
+        print(run_table1(trials=args.trials, seed=args.seed,
+                         batch_size=args.batch_size,
+                         parallel_workers=args.workers).format())
     elif args.command == "figure6":
-        print(run_figure6(trials=args.trials, seed=args.seed).format())
+        print(run_figure6(trials=args.trials, seed=args.seed,
+                          batch_size=args.batch_size,
+                          parallel_workers=args.workers).format())
     elif args.command == "figure7":
-        print(run_figure7(trials=args.trials, seed=args.seed).format())
+        print(run_figure7(trials=args.trials, seed=args.seed,
+                          batch_size=args.batch_size,
+                          parallel_workers=args.workers).format())
     elif args.command == "figure8":
         result = run_figure8()
         print(result.format())
         print(f"mean improvement: {result.mean_improvement_percent:.2f}%")
     elif args.command == "ablations":
+        if args.workers > 1:
+            print("note: --workers does not apply to the ablations "
+                  "(surrogate evaluation is in-process)", file=sys.stderr)
         reuse = run_reuse_ablation()
         print(reuse.format())
-        pruning = run_pruning_ablation(trials=args.trials, seed=args.seed)
+        pruning = run_pruning_ablation(trials=args.trials, seed=args.seed,
+                                       batch_size=args.batch_size)
         print(pruning.format())
     elif args.command == "report":
         from pathlib import Path
 
         from repro.experiments.report import generate_report
 
-        text = generate_report(trials=args.trials, seed=args.seed)
+        text = generate_report(trials=args.trials, seed=args.seed,
+                               batch_size=args.batch_size,
+                               parallel_workers=args.workers)
         Path(args.output).write_text(text)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     elif args.command == "estimate":

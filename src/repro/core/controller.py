@@ -36,8 +36,32 @@ class ControllerSample:
     cache: object | None = None
 
 
+@dataclass
+class ControllerBatch:
+    """A batch of samples drawn together, plus the batched activations.
+
+    ``cache`` holds whatever the controller's vectorized backward pass
+    needs (batched, so it cannot live on the individual samples); batches
+    assembled from sequential :meth:`Controller.sample` calls carry
+    ``cache=None`` and are updated sample-by-sample instead.
+    """
+
+    samples: list[ControllerSample]
+    cache: object | None = None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
 class Controller(Protocol):
-    """Policy over token sequences, updatable from (sample, advantage)."""
+    """Policy over token sequences, updatable from (sample, advantage).
+
+    The batch methods are part of the protocol (every built-in
+    controller vectorizes them), but the search loops degrade
+    gracefully: a legacy controller implementing only ``sample`` /
+    ``update`` still works at any ``batch_size`` via the per-sample
+    fallback in :mod:`repro.core.search`.
+    """
 
     def sample(self, rng: np.random.Generator) -> ControllerSample:
         """Draw one token sequence from the current policy."""
@@ -47,11 +71,60 @@ class Controller(Protocol):
         """One REINFORCE step; returns the policy-gradient loss."""
         ...
 
+    def sample_batch(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> ControllerBatch:
+        """Draw ``batch_size`` token sequences from the current policy."""
+        ...
+
+    def update_batch(
+        self, batch: ControllerBatch, advantages: list[float]
+    ) -> float:
+        """One REINFORCE step on the mean per-sample gradient.
+
+        Returns the mean policy-gradient loss.  With a single-sample
+        batch this is exactly one :meth:`update` step.
+        """
+        ...
+
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max()
     exp = np.exp(shifted)
     return exp / exp.sum()
+
+
+def _softmax_rows(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _choice_rows(rng: np.random.Generator, probs: np.ndarray) -> np.ndarray:
+    """Vectorized row-wise categorical draw.
+
+    Mirrors ``Generator.choice(n, p=row)``'s arithmetic (normalised CDF,
+    one uniform draw per row, right-bisection) so a one-row batch
+    consumes the RNG stream exactly like the sequential sampler.
+    """
+    cdf = probs.cumsum(axis=1)
+    cdf /= cdf[:, -1:]
+    u = rng.random(len(probs))
+    return (cdf <= u[:, None]).sum(axis=1)
+
+
+def _check_batch_size(batch_size: int) -> None:
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+
+
+def _check_advantages(batch: ControllerBatch, advantages) -> np.ndarray:
+    advantages = np.asarray(advantages, dtype=float)
+    if advantages.shape != (len(batch),):
+        raise ValueError(
+            f"expected {len(batch)} advantages, got shape {advantages.shape}"
+        )
+    return advantages
 
 
 class _AdamState:
@@ -195,6 +268,59 @@ class LstmController:
             prev_kind = kind
         return ControllerSample(tokens=tokens, log_prob=log_prob, cache=steps)
 
+    def sample_batch(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> ControllerBatch:
+        """Sample ``batch_size`` sequences with one matmul per step.
+
+        The whole batch advances through the LSTM together, so the cost
+        of the Python-level recurrence is paid once per step instead of
+        once per step per candidate.
+        """
+        _check_batch_size(batch_size)
+        b, hs = batch_size, self.hidden_size
+        h = np.zeros((b, hs))
+        c = np.zeros((b, hs))
+        x = np.repeat(self.start_embedding[None, :], b, axis=0)
+        log_probs = np.zeros(b)
+        token_rows: list[np.ndarray] = []
+        steps: list[dict] = []
+        for step in range(self.space.num_decisions):
+            kind = self.space.decision_kind(step)
+            c_prev = c
+            concat = np.concatenate([h, x], axis=1)
+            z = concat @ self.w_lstm + self.b_lstm
+            i = _sigmoid(z[:, :hs])
+            f = _sigmoid(z[:, hs:2 * hs])
+            g = np.tanh(z[:, 2 * hs:3 * hs])
+            o = _sigmoid(z[:, 3 * hs:])
+            c = f * c_prev + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            w_head, b_head = self.heads[kind]
+            logits = h @ w_head + b_head
+            probs = _softmax_rows(logits)
+            toks = _choice_rows(rng, probs)
+            log_probs += np.log(probs[np.arange(b), toks] + 1e-12)
+            steps.append(
+                dict(
+                    kind=kind, concat=concat, i=i, f=f, g=g, o=o,
+                    c=c, c_prev=c_prev, tanh_c=tanh_c, h=h,
+                    probs=probs, tokens=toks,
+                )
+            )
+            token_rows.append(toks)
+            x = self.embeddings[kind][toks]
+        token_matrix = np.stack(token_rows, axis=1)
+        samples = [
+            ControllerSample(
+                tokens=[int(t) for t in token_matrix[row]],
+                log_prob=float(log_probs[row]),
+            )
+            for row in range(b)
+        ]
+        return ControllerBatch(samples=samples, cache=steps)
+
     # -- backward ------------------------------------------------------------
 
     def update(self, sample: ControllerSample, advantage: float) -> float:
@@ -257,6 +383,78 @@ class LstmController:
         self._adam.step([grads[id(p)] for p in params])
         return loss
 
+    def update_batch(
+        self, batch: ControllerBatch, advantages: list[float]
+    ) -> float:
+        """Vectorized REINFORCE: one BPTT pass and one Adam step.
+
+        The per-sample gradients are averaged, so the update magnitude
+        is comparable across batch sizes; a one-sample batch reproduces
+        :meth:`update` exactly.
+        """
+        adv = _check_advantages(batch, advantages)
+        steps = batch.cache
+        if steps is None:
+            raise ValueError("batch has no cached activations; was it "
+                             "produced by this controller's sample_batch()?")
+        b = len(batch)
+        grads = {id(p): np.zeros_like(p) for p in self._param_list()}
+
+        def grad_of(param: np.ndarray) -> np.ndarray:
+            return grads[id(param)]
+
+        hs = self.hidden_size
+        rows = np.arange(b)
+        dh_next = np.zeros((b, hs))
+        dc_next = np.zeros((b, hs))
+        dx_next: np.ndarray | None = None
+        loss = 0.0
+        for t in range(len(steps) - 1, -1, -1):
+            s = steps[t]
+            probs, tokens = s["probs"], s["tokens"]
+            one_hot = np.zeros_like(probs)
+            one_hot[rows, tokens] = 1.0
+            d_logits = adv[:, None] * (probs - one_hot)
+            picked = np.log(probs[rows, tokens] + 1e-12)
+            loss += float(-(adv * picked).sum())
+            if self.entropy_weight:
+                log_p = np.log(probs + 1e-12)
+                entropy = -(probs * log_p).sum(axis=1)
+                d_logits += self.entropy_weight * probs * (
+                    log_p + entropy[:, None]
+                )
+                loss += -self.entropy_weight * float(entropy.sum())
+            w_head, b_head = self.heads[s["kind"]]
+            grad_of(w_head)[...] += s["h"].T @ d_logits
+            grad_of(b_head)[...] += d_logits.sum(axis=0)
+            dh = d_logits @ w_head.T + dh_next
+            # The *next* step's input embedding was this step's token.
+            if dx_next is not None:
+                np.add.at(grad_of(self.embeddings[s["kind"]]), tokens, dx_next)
+            # LSTM cell backward.
+            do = dh * s["tanh_c"]
+            dc = dh * s["o"] * (1 - s["tanh_c"] ** 2) + dc_next
+            di = dc * s["g"]
+            df = dc * s["c_prev"]
+            dg = dc * s["i"]
+            dc_next = dc * s["f"]
+            dz = np.concatenate([
+                di * s["i"] * (1 - s["i"]),
+                df * s["f"] * (1 - s["f"]),
+                dg * (1 - s["g"] ** 2),
+                do * s["o"] * (1 - s["o"]),
+            ], axis=1)
+            grad_of(self.w_lstm)[...] += s["concat"].T @ dz
+            grad_of(self.b_lstm)[...] += dz.sum(axis=0)
+            d_concat = dz @ self.w_lstm.T
+            dh_next = d_concat[:, :hs]
+            dx_next = d_concat[:, hs:]
+        if dx_next is not None:
+            grad_of(self.start_embedding)[...] += dx_next.sum(axis=0)
+        params = self._param_list()
+        self._adam.step([grads[id(p)] / b for p in params])
+        return loss / b
+
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
@@ -292,6 +490,22 @@ class RandomController:
     def update(self, sample: ControllerSample, advantage: float) -> float:
         """No learning: always returns 0."""
         del sample, advantage
+        return 0.0
+
+    def sample_batch(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> ControllerBatch:
+        """``batch_size`` independent uniform samples."""
+        _check_batch_size(batch_size)
+        return ControllerBatch(
+            samples=[self.sample(rng) for _ in range(batch_size)]
+        )
+
+    def update_batch(
+        self, batch: ControllerBatch, advantages: list[float]
+    ) -> float:
+        """No learning: always returns 0."""
+        _check_advantages(batch, advantages)
         return 0.0
 
 
@@ -341,5 +555,55 @@ class TabularController:
             one_hot[token] = 1.0
             grads.append(advantage * (probs - one_hot))
             loss += -advantage * float(np.log(probs[token] + 1e-12))
+        self._adam.step(grads)
+        return loss
+
+    def sample_batch(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> ControllerBatch:
+        """Vectorized sampling: one categorical draw batch per step."""
+        _check_batch_size(batch_size)
+        b = batch_size
+        log_probs = np.zeros(b)
+        token_rows: list[np.ndarray] = []
+        for step_logits in self.logits:
+            probs = _softmax(step_logits)
+            # Every batch row shares this step's distribution, so compute
+            # the CDF once and broadcast against the per-row uniforms --
+            # same arithmetic (and RNG stream) as _choice_rows.
+            cdf = probs.cumsum()
+            cdf /= cdf[-1]
+            u = rng.random(b)
+            toks = (cdf[None, :] <= u[:, None]).sum(axis=1)
+            log_probs += np.log(probs[toks] + 1e-12)
+            token_rows.append(toks)
+        token_matrix = np.stack(token_rows, axis=1)
+        samples = [
+            ControllerSample(
+                tokens=[int(t) for t in token_matrix[row]],
+                log_prob=float(log_probs[row]),
+            )
+            for row in range(b)
+        ]
+        return ControllerBatch(samples=samples, cache=token_matrix)
+
+    def update_batch(
+        self, batch: ControllerBatch, advantages: list[float]
+    ) -> float:
+        """One Adam step on the mean per-sample REINFORCE gradient."""
+        adv = _check_advantages(batch, advantages)
+        b = len(batch)
+        tokens = np.asarray([s.tokens for s in batch.samples])
+        grads = []
+        loss = 0.0
+        for step, step_logits in enumerate(self.logits):
+            probs = _softmax(step_logits)
+            toks = tokens[:, step]
+            # mean_b adv_b * (probs - onehot_b), without materialising
+            # the (b, n) one-hot matrix.
+            grad = probs * adv.mean()
+            np.subtract.at(grad, toks, adv / b)
+            grads.append(grad)
+            loss += float(-(adv * np.log(probs[toks] + 1e-12)).sum()) / b
         self._adam.step(grads)
         return loss

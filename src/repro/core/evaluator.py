@@ -8,13 +8,22 @@ Two interchangeable implementations behind one protocol:
 * :class:`SurrogateAccuracyEvaluator` -- the calibrated landscape of
   ``repro.surrogate``; the paper-scale path used by the benchmark
   harness, with simulated search-time costs anchored on Table 1.
+
+Batches are scored through :func:`evaluate_many`, which uses an
+evaluator's ``evaluate_batch`` when it has one and falls back to a
+serial loop otherwise; :class:`ParallelEvaluator` wraps any evaluator
+with an ``evaluate_batch`` that fans across a process pool, turning the
+independent child trainings of one search batch into parallel work.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -49,6 +58,21 @@ class AccuracyEvaluator(Protocol):
     def latency_eval_seconds(self) -> float:
         """Cost charged for one FNAS-tool latency estimate."""
         ...
+
+
+def evaluate_many(
+    evaluator: AccuracyEvaluator, architectures: Sequence[Architecture]
+) -> list[EvaluationOutcome]:
+    """Score a batch, via ``evaluate_batch`` when the evaluator has one.
+
+    The search loops call this so that any evaluator -- including
+    third-party ones implementing only the single-candidate protocol --
+    works on the batched path.
+    """
+    batch_fn = getattr(evaluator, "evaluate_batch", None)
+    if batch_fn is not None:
+        return batch_fn(architectures)
+    return [evaluator.evaluate(a) for a in architectures]
 
 
 class SurrogateAccuracyEvaluator:
@@ -129,3 +153,112 @@ class TrainedAccuracyEvaluator:
     def latency_eval_seconds(self) -> float:
         """Nominal analytical-model cost."""
         return self.LATENCY_EVAL_SECONDS
+
+
+# -- process-pool fan-out ----------------------------------------------------
+
+#: Per-process evaluator installed by the pool initializer, so the
+#: (potentially large) evaluator is pickled once per worker instead of
+#: once per task.
+_WORKER_EVALUATOR: AccuracyEvaluator | None = None
+
+
+def _init_worker(evaluator: AccuracyEvaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _worker_evaluate(architecture: Architecture) -> EvaluationOutcome:
+    assert _WORKER_EVALUATOR is not None, "pool worker not initialised"
+    return _WORKER_EVALUATOR.evaluate(architecture)
+
+
+class ParallelEvaluator:
+    """Fans ``evaluate_batch`` across a process pool.
+
+    Wraps any picklable :class:`AccuracyEvaluator`.  Child evaluations
+    within one search batch are independent, so spec-meeting candidates
+    can train concurrently; single-candidate ``evaluate`` calls stay
+    in-process.  With ``max_workers <= 1``, or if the platform cannot
+    spawn worker processes (or a pool dies mid-run), evaluation
+    degrades to the serial path -- results are identical either way
+    because the wrapped evaluators are deterministic per architecture.
+    Exceptions *raised by the evaluator itself* are not swallowed: they
+    propagate exactly as they would on the serial path.
+
+    Use as a context manager (or call :meth:`close`) to reclaim the
+    worker processes.
+    """
+
+    def __init__(self, evaluator: AccuracyEvaluator, max_workers: int = 2):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.evaluator = evaluator
+        self.max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+
+    def evaluate(self, architecture: Architecture) -> EvaluationOutcome:
+        """Single candidate: delegate in-process."""
+        return self.evaluator.evaluate(architecture)
+
+    def evaluate_batch(
+        self, architectures: Sequence[Architecture]
+    ) -> list[EvaluationOutcome]:
+        """Score a batch across the pool, preserving input order."""
+        if self.max_workers <= 1 or len(architectures) <= 1:
+            return [self.evaluator.evaluate(a) for a in architectures]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [self.evaluator.evaluate(a) for a in architectures]
+        try:
+            return list(pool.map(_worker_evaluate, architectures))
+        except BrokenProcessPool:
+            # Pool infrastructure died (worker OOM-killed, interpreter
+            # crash).  That must not kill the search: fall back to serial
+            # for the rest of the run.  Evaluation errors raised *inside*
+            # the evaluator are not caught here -- they propagate like on
+            # the serial path.
+            self._mark_broken("process pool broke mid-run")
+            return [self.evaluator.evaluate(a) for a in architectures]
+
+    def latency_eval_seconds(self) -> float:
+        """Delegate the FNAS-tool cost constant."""
+        return self.evaluator.latency_eval_seconds()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_init_worker,
+                    initargs=(self.evaluator,),
+                )
+            except Exception as exc:
+                self._mark_broken(f"could not start process pool ({exc!r})")
+                return None
+        return self._pool
+
+    def _mark_broken(self, reason: str) -> None:
+        """Disable the pool for the rest of the run -- audibly."""
+        self._pool_broken = True
+        self.close()
+        warnings.warn(
+            f"ParallelEvaluator: {reason}; evaluating serially from here on",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

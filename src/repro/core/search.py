@@ -14,6 +14,20 @@ where the paper says they do (Figure 1 vs Figure 2):
 Each trial is logged to a :class:`SearchResult` ledger that records both
 the simulated search cost (what Table 1's "Elapsed" column measures)
 and the outcome quality.
+
+Both loops accept a ``batch_size``.  With ``batch_size=1`` (the
+default) they run the original sequential loop -- sample, evaluate,
+update, one candidate at a time -- and reproduce the seed trajectories
+token-for-token.  With ``batch_size > 1`` each step samples a whole
+batch from the controller in one vectorized pass, estimates latencies
+through the two-tier cache (:meth:`LatencyEstimator.estimate_batch`),
+evaluates survivors together (parallelisable via
+:class:`~repro.core.evaluator.ParallelEvaluator`) and applies one
+batched REINFORCE update.  Advantages within a batch are computed
+against the baseline value at the start of the batch -- every sample
+was drawn from the same policy, so this is standard batch REINFORCE --
+and the ledger keeps one :class:`TrialRecord` per candidate in sample
+order, preserving trial-ledger semantics.
 """
 
 from __future__ import annotations
@@ -24,8 +38,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.architecture import Architecture
-from repro.core.controller import Controller, LstmController
-from repro.core.evaluator import AccuracyEvaluator
+from repro.core.controller import (
+    Controller,
+    ControllerBatch,
+    LstmController,
+)
+from repro.core.evaluator import AccuracyEvaluator, evaluate_many
 from repro.core.reward import AccuracyBaseline, FnasReward
 from repro.core.search_space import SearchSpace
 from repro.latency.estimator import LatencyEstimator
@@ -52,26 +70,62 @@ class TrialRecord:
 
 @dataclass
 class SearchResult:
-    """Full ledger of one search run."""
+    """Full ledger of one search run.
+
+    The aggregate properties (:attr:`simulated_seconds`,
+    :attr:`trained_count`, :attr:`pruned_count`) fold in newly appended
+    trials incrementally, so reading them per trial stays O(1) even for
+    large ledgers.  Appending to ``trials`` is supported; in-place
+    replacement of existing records is not (truncate-and-rebuild
+    instead, which resets the fold).
+    """
 
     name: str
     trials: list[TrialRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    _agg_len: int = field(default=0, repr=False, compare=False)
+    _sim_seconds_sum: float = field(default=0.0, repr=False, compare=False)
+    _trained_sum: int = field(default=0, repr=False, compare=False)
+    _last_folded: TrialRecord | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _refresh_aggregates(self) -> None:
+        """Fold any trials appended since the last aggregate read."""
+        n = len(self.trials)
+        stale = n < self._agg_len or (
+            # Truncated-then-extended between reads: the record at the
+            # fold frontier is no longer the one that was folded last.
+            self._agg_len > 0
+            and self.trials[self._agg_len - 1] is not self._last_folded
+        )
+        if stale:
+            self._agg_len = 0
+            self._sim_seconds_sum = 0.0
+            self._trained_sum = 0
+        for trial in self.trials[self._agg_len:n]:
+            self._sim_seconds_sum += trial.sim_seconds
+            self._trained_sum += 1 if trial.trained else 0
+        self._agg_len = n
+        self._last_folded = self.trials[-1] if self.trials else None
 
     @property
     def simulated_seconds(self) -> float:
         """Total simulated search time (the Table 1 'Elapsed' analogue)."""
-        return sum(t.sim_seconds for t in self.trials)
+        self._refresh_aggregates()
+        return self._sim_seconds_sum
 
     @property
     def trained_count(self) -> int:
         """Children that were actually trained."""
-        return sum(1 for t in self.trials if t.trained)
+        self._refresh_aggregates()
+        return self._trained_sum
 
     @property
     def pruned_count(self) -> int:
         """Children rejected by the latency check before training."""
-        return sum(1 for t in self.trials if t.pruned)
+        self._refresh_aggregates()
+        return len(self.trials) - self._trained_sum
 
     def best(self) -> TrialRecord:
         """Highest-accuracy trained trial."""
@@ -96,6 +150,39 @@ class SearchResult:
         return max(valid, key=lambda t: t.accuracy)
 
 
+def _check_run_args(trials: int, batch_size: int) -> None:
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+
+
+def _sample_candidates(
+    controller: Controller, rng: np.random.Generator, count: int
+) -> ControllerBatch:
+    """Draw ``count`` samples, vectorized when the controller supports it."""
+    sampler = getattr(controller, "sample_batch", None)
+    if sampler is not None:
+        return sampler(rng, count)
+    return ControllerBatch(
+        samples=[controller.sample(rng) for _ in range(count)]
+    )
+
+
+def _update_candidates(
+    controller: Controller, batch: ControllerBatch, advantages: list[float]
+) -> float:
+    """Apply the batch's REINFORCE update; returns the mean loss."""
+    updater = getattr(controller, "update_batch", None)
+    if updater is not None and batch.cache is not None:
+        return updater(batch, advantages)
+    total = sum(
+        controller.update(sample, advantage)
+        for sample, advantage in zip(batch.samples, advantages)
+    )
+    return total / len(batch)
+
+
 class NasSearch:
     """Accuracy-only architecture search (the paper's baseline [16])."""
 
@@ -118,12 +205,31 @@ class NasSearch:
         self.latency_estimator = latency_estimator
         self.baseline = AccuracyBaseline(decay=baseline_decay)
 
-    def run(self, trials: int, rng: np.random.Generator) -> SearchResult:
-        """Sample, train and update for ``trials`` children."""
-        if trials <= 0:
-            raise ValueError(f"trials must be positive, got {trials}")
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int = 1,
+    ) -> SearchResult:
+        """Sample, train and update for ``trials`` children.
+
+        ``batch_size=1`` reproduces the sequential seed trajectory
+        exactly; larger batches drive the vectorized path.
+        """
+        _check_run_args(trials, batch_size)
         result = SearchResult(name="nas")
         started = time.perf_counter()
+        if batch_size == 1:
+            self._run_sequential(trials, rng, result)
+        else:
+            self._run_batched(trials, rng, batch_size, result)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _run_sequential(
+        self, trials: int, rng: np.random.Generator, result: SearchResult
+    ) -> None:
+        """The original one-candidate-at-a-time loop (seed behaviour)."""
         for index in range(trials):
             sample = self.controller.sample(rng)
             architecture = self.space.decode(sample.tokens)
@@ -148,8 +254,56 @@ class NasSearch:
                     sim_seconds=outcome.train_seconds,
                 )
             )
-        result.wall_seconds = time.perf_counter() - started
-        return result
+
+    def _run_batched(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int,
+        result: SearchResult,
+    ) -> None:
+        """Batch REINFORCE: one vectorized update per sampled batch."""
+        index = 0
+        while index < trials:
+            count = min(batch_size, trials - index)
+            batch = _sample_candidates(self.controller, rng, count)
+            architectures = [
+                self.space.decode(s.tokens) for s in batch.samples
+            ]
+            outcomes = evaluate_many(self.evaluator, architectures)
+            accuracies = [o.accuracy for o in outcomes]
+            # All samples came from the same policy, so one shared
+            # reference is the standard batch REINFORCE baseline; before
+            # the EMA has seen anything, the batch mean substitutes.
+            reference = (
+                self.baseline.value if self.baseline.initialized
+                else float(np.mean(accuracies))
+            )
+            advantages = [a - reference for a in accuracies]
+            for accuracy in accuracies:
+                self.baseline.update(accuracy)
+            _update_candidates(self.controller, batch, advantages)
+            if self.latency_estimator is not None:
+                latencies = [
+                    e.ms
+                    for e in self.latency_estimator.estimate_batch(architectures)
+                ]
+            else:
+                latencies = [None] * count
+            for offset in range(count):
+                result.trials.append(
+                    TrialRecord(
+                        index=index + offset,
+                        tokens=tuple(batch.samples[offset].tokens),
+                        architecture=architectures[offset],
+                        latency_ms=latencies[offset],
+                        accuracy=accuracies[offset],
+                        reward=accuracies[offset],
+                        trained=True,
+                        sim_seconds=outcomes[offset].train_seconds,
+                    )
+                )
+            index += count
 
 
 class FnasSearch:
@@ -185,12 +339,38 @@ class FnasSearch:
         """The timing specification ``rL``."""
         return self.reward_fn.required_latency_ms
 
-    def run(self, trials: int, rng: np.random.Generator) -> SearchResult:
-        """Run the FNAS loop for ``trials`` children."""
-        if trials <= 0:
-            raise ValueError(f"trials must be positive, got {trials}")
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int = 1,
+    ) -> SearchResult:
+        """Run the FNAS loop for ``trials`` children.
+
+        ``batch_size=1`` reproduces the sequential seed trajectory
+        exactly; larger batches estimate latencies through the cached
+        batch path and train the spec-meeting survivors together.
+        """
+        _check_run_args(trials, batch_size)
         result = SearchResult(name=f"fnas-{self.required_latency_ms:g}ms")
         started = time.perf_counter()
+        if batch_size == 1:
+            self._run_sequential(trials, rng, result)
+        else:
+            self._run_batched(trials, rng, batch_size, result)
+        if self.min_latency_fallback and not any(
+            t.trained and t.latency_ms is not None
+            and t.latency_ms <= self.required_latency_ms
+            for t in result.trials
+        ):
+            self._append_fallback_trial(result)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _run_sequential(
+        self, trials: int, rng: np.random.Generator, result: SearchResult
+    ) -> None:
+        """The original one-candidate-at-a-time loop (seed behaviour)."""
         for index in range(trials):
             sample = self.controller.sample(rng)
             architecture = self.space.decode(sample.tokens)
@@ -224,14 +404,74 @@ class FnasSearch:
                     sim_seconds=sim_seconds,
                 )
             )
-        if self.min_latency_fallback and not any(
-            t.trained and t.latency_ms is not None
-            and t.latency_ms <= self.required_latency_ms
-            for t in result.trials
-        ):
-            self._append_fallback_trial(result)
-        result.wall_seconds = time.perf_counter() - started
-        return result
+
+    def _run_batched(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int,
+        result: SearchResult,
+    ) -> None:
+        """Figure 2's loop over whole batches.
+
+        The latency check partitions each batch: violators are rewarded
+        (negatively) straight from eq. (1), survivors are trained --
+        together, so a :class:`~repro.core.evaluator.ParallelEvaluator`
+        can fan them across processes -- and all candidates share one
+        vectorized controller update.
+        """
+        index = 0
+        while index < trials:
+            count = min(batch_size, trials - index)
+            batch = _sample_candidates(self.controller, rng, count)
+            architectures = [
+                self.space.decode(s.tokens) for s in batch.samples
+            ]
+            estimates = self.latency_estimator.estimate_batch(architectures)
+            latency_cost = self.evaluator.latency_eval_seconds()
+            survivors = [
+                offset for offset, estimate in enumerate(estimates)
+                if not self.reward_fn.violates(estimate.ms)
+            ]
+            outcomes = evaluate_many(
+                self.evaluator, [architectures[o] for o in survivors]
+            )
+            outcome_of = dict(zip(survivors, outcomes))
+            reference = self.baseline.value
+            rewards: list[float] = []
+            records: list[TrialRecord] = []
+            for offset, estimate in enumerate(estimates):
+                latency_ms = estimate.ms
+                sim_seconds = latency_cost
+                outcome = outcome_of.get(offset)
+                if outcome is None:
+                    signal = self.reward_fn.violation(latency_ms)
+                    accuracy = None
+                    trained = False
+                else:
+                    accuracy = outcome.accuracy
+                    sim_seconds += outcome.train_seconds
+                    signal = self.reward_fn.satisfaction(
+                        accuracy, latency_ms, reference
+                    )
+                    trained = True
+                    self.baseline.update(accuracy)
+                rewards.append(signal.value)
+                records.append(
+                    TrialRecord(
+                        index=index + offset,
+                        tokens=tuple(batch.samples[offset].tokens),
+                        architecture=architectures[offset],
+                        latency_ms=latency_ms,
+                        accuracy=accuracy,
+                        reward=signal.value,
+                        trained=trained,
+                        sim_seconds=sim_seconds,
+                    )
+                )
+            _update_candidates(self.controller, batch, rewards)
+            result.trials.extend(records)
+            index += count
 
     def _append_fallback_trial(self, result: SearchResult) -> None:
         """Train the smallest architecture if it meets the spec."""

@@ -155,6 +155,7 @@ def run_pruning_ablation(
     trials: int | None = None,
     seed: int = 0,
     device: FpgaDevice = PYNQ_Z1,
+    batch_size: int = 1,
 ) -> PruningAblationResult:
     """Measure the early-pruning saving on one FNAS search.
 
@@ -170,7 +171,7 @@ def run_pruning_ablation(
         space, evaluator, estimator, required_latency_ms,
         controller=make_controller(space, seed),
     ).run(trials if trials is not None else config.trials,
-          np.random.default_rng(seed))
+          np.random.default_rng(seed), batch_size=batch_size)
     actual = search.simulated_seconds
     counterfactual = actual
     for trial in search.trials:

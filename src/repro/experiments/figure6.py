@@ -87,6 +87,8 @@ def run_figure6(
     seed: int = 0,
     devices: tuple[FpgaDevice, ...] = (XC7Z020, XC7A50T),
     evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,
 ) -> Figure6Result:
     """Regenerate Figure 6 (both FPGAs, four bars each)."""
     bars: list[Figure6Bar] = []
@@ -100,6 +102,8 @@ def run_figure6(
             trials=trials,
             seed=seed,
             evaluator=evaluator,
+            batch_size=batch_size,
+            parallel_workers=parallel_workers,
         )
         outcomes[device.name] = outcome
         nas_best = outcome.nas.best()

@@ -79,6 +79,8 @@ def run_figure7(
     trials: int | None = None,
     seed: int = 0,
     evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,
 ) -> Figure7Result:
     """Regenerate Figure 7 over ``datasets`` and TS1..TS4."""
     points: list[Figure7Point] = []
@@ -94,6 +96,8 @@ def run_figure7(
             trials=trials,
             seed=seed,
             evaluator=evaluator,
+            batch_size=batch_size,
+            parallel_workers=parallel_workers,
         )
         outcomes[dataset] = outcome
         nas_accuracy = outcome.nas_best_accuracy

@@ -18,7 +18,12 @@ from repro.experiments.figure8 import run_figure8
 from repro.experiments.table1 import run_table1
 
 
-def generate_report(trials: int | None = None, seed: int = 0) -> str:
+def generate_report(
+    trials: int | None = None,
+    seed: int = 0,
+    batch_size: int = 1,
+    parallel_workers: int = 1,
+) -> str:
     """Run everything and return the markdown report text."""
     out = io.StringIO()
     write = out.write
@@ -26,17 +31,20 @@ def generate_report(trials: int | None = None, seed: int = 0) -> str:
     write(f"seed={seed}, trials={'Table 2 default' if trials is None else trials}\n\n")
 
     started = time.perf_counter()
-    table1 = run_table1(trials=trials, seed=seed)
+    table1 = run_table1(trials=trials, seed=seed, batch_size=batch_size,
+                        parallel_workers=parallel_workers)
     write("## Table 1 — MNIST on PYNQ\n\n```\n")
     write(table1.format())
     write("\n```\n\n")
 
-    figure6 = run_figure6(trials=trials, seed=seed)
+    figure6 = run_figure6(trials=trials, seed=seed, batch_size=batch_size,
+                          parallel_workers=parallel_workers)
     write("## Figure 6 — two FPGAs\n\n```\n")
     write(figure6.format())
     write("\n```\n\n")
 
-    figure7 = run_figure7(trials=trials, seed=seed)
+    figure7 = run_figure7(trials=trials, seed=seed, batch_size=batch_size,
+                          parallel_workers=parallel_workers)
     write("## Figure 7 — three datasets\n\n```\n")
     write(figure7.format())
     write("\n```\n\n")

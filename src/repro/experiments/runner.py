@@ -7,7 +7,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.controller import Controller, LstmController
-from repro.core.evaluator import AccuracyEvaluator, SurrogateAccuracyEvaluator
+from repro.core.evaluator import (
+    AccuracyEvaluator,
+    ParallelEvaluator,
+    SurrogateAccuracyEvaluator,
+)
 from repro.core.search import FnasSearch, NasSearch, SearchResult
 from repro.core.search_space import SearchSpace
 from repro.experiments.configs import ExperimentConfig, get_config
@@ -49,6 +53,8 @@ def run_paired_search(
     trials: int | None = None,
     seed: int = 0,
     evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,
 ) -> PairedSearchOutcome:
     """Run NAS once and FNAS once per timing spec on one dataset/platform.
 
@@ -59,35 +65,48 @@ def run_paired_search(
     ``trials`` defaults to the dataset's Table 2 trial count;
     ``evaluator`` defaults to the calibrated surrogate (pass a
     :class:`~repro.core.evaluator.TrainedAccuracyEvaluator` for real
-    NumPy training).
+    NumPy training).  ``batch_size`` drives the searches' batched
+    runtime (1 reproduces the published sequential trajectories);
+    ``parallel_workers > 1`` additionally fans each batch's child
+    evaluations across a process pool.
     """
     config = get_config(dataset)
     space = SearchSpace.from_config(config)
     n_trials = trials if trials is not None else config.trials
     if evaluator is None:
         evaluator = SurrogateAccuracyEvaluator(space, config=config, seed=seed)
+    pool: ParallelEvaluator | None = None
+    if parallel_workers > 1:
+        evaluator = pool = ParallelEvaluator(
+            evaluator, max_workers=parallel_workers
+        )
     estimator = LatencyEstimator(platform)
 
-    nas = NasSearch(
-        space,
-        evaluator,
-        controller=make_controller(space, seed),
-        latency_estimator=estimator,
-    ).run(n_trials, np.random.default_rng(seed))
-
-    fnas_results: dict[float, SearchResult] = {}
-    for offset, spec in enumerate(specs_ms, start=1):
-        search = FnasSearch(
+    try:
+        nas = NasSearch(
             space,
             evaluator,
-            estimator,
-            required_latency_ms=spec,
-            controller=make_controller(space, seed + offset),
-            min_latency_fallback=True,
-        )
-        fnas_results[spec] = search.run(
-            n_trials, np.random.default_rng(seed + offset)
-        )
+            controller=make_controller(space, seed),
+            latency_estimator=estimator,
+        ).run(n_trials, np.random.default_rng(seed), batch_size=batch_size)
+
+        fnas_results: dict[float, SearchResult] = {}
+        for offset, spec in enumerate(specs_ms, start=1):
+            search = FnasSearch(
+                space,
+                evaluator,
+                estimator,
+                required_latency_ms=spec,
+                controller=make_controller(space, seed + offset),
+                min_latency_fallback=True,
+            )
+            fnas_results[spec] = search.run(
+                n_trials, np.random.default_rng(seed + offset),
+                batch_size=batch_size,
+            )
+    finally:
+        if pool is not None:
+            pool.close()
     return PairedSearchOutcome(
         config=config, platform=platform, nas=nas, fnas=fnas_results
     )

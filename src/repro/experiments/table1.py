@@ -72,6 +72,8 @@ def run_table1(
     seed: int = 0,
     specs_ms: tuple[float, ...] = TABLE1_SPECS_MS,
     evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,
 ) -> Table1Result:
     """Regenerate Table 1 (MNIST on PYNQ)."""
     outcome = run_paired_search(
@@ -81,6 +83,8 @@ def run_table1(
         trials=trials,
         seed=seed,
         evaluator=evaluator,
+        batch_size=batch_size,
+        parallel_workers=parallel_workers,
     )
     nas_best = outcome.nas.best()
     nas_elapsed = outcome.nas.simulated_seconds

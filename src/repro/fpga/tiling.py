@@ -27,7 +27,7 @@ trade-off with the full analytical model in the loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.architecture import Architecture, ConvLayerSpec
 from repro.fpga.platform import PeAllocation, Platform
@@ -207,6 +207,74 @@ class PipelineDesign:
         return self.layers[index]
 
 
+@dataclass
+class MemoStats:
+    """Hit/miss counters for a design-reuse memo."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total memo queries."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the memo (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class LayerDesignMemo:
+    """Shared memo of per-layer tiling decisions.
+
+    Tiling selection is a pure function of the layer spec, the PE's
+    resource budgets and the spatial strategy -- and architectures in a
+    search run share most layer configurations -- so one memo shared
+    across :class:`TilingDesigner` instances lets every new architecture
+    reuse the tiling work done for fingerprints seen earlier.  This is
+    the layer-level tier of the latency estimator's two-tier cache.
+    """
+
+    stats: MemoStats = field(default_factory=MemoStats)
+    _memo: dict[tuple, TilingVector] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def clear(self) -> None:
+        """Drop all memoised tilings (counters are kept)."""
+        self._memo.clear()
+
+    def lookup(
+        self,
+        spec: ConvLayerSpec,
+        dsp_budget: int,
+        bram_budget_bytes: int,
+        spatial_strategy: str,
+    ) -> TilingVector | None:
+        """Return the memoised tiling for this layer shape, if any."""
+        key = (spec, dsp_budget, bram_budget_bytes, spatial_strategy)
+        tiling = self._memo.get(key)
+        if tiling is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return tiling
+
+    def store(
+        self,
+        spec: ConvLayerSpec,
+        dsp_budget: int,
+        bram_budget_bytes: int,
+        spatial_strategy: str,
+        tiling: TilingVector,
+    ) -> None:
+        """Memoise a freshly computed tiling."""
+        self._memo[(spec, dsp_budget, bram_budget_bytes, spatial_strategy)] = tiling
+
+
 class TilingDesigner:
     """Selects ``<Tm, Tn, Tr, Tc>`` per layer (the FNAS-Design component).
 
@@ -217,15 +285,22 @@ class TilingDesigner:
             at the cost of more ceil waste.  Both are exact w.r.t. the
             constraints; the latency analyzer arbitrates between them in
             :class:`~repro.latency.explorer.DesignExplorer`.
+        memo: optional :class:`LayerDesignMemo` shared with other
+            designers; repeated layer shapes then skip the tiling search.
     """
 
-    def __init__(self, spatial_strategy: str = "max-reuse"):
+    def __init__(
+        self,
+        spatial_strategy: str = "max-reuse",
+        memo: LayerDesignMemo | None = None,
+    ):
         if spatial_strategy not in ("max-reuse", "min-start"):
             raise ValueError(
                 f"unknown spatial_strategy {spatial_strategy!r}; expected "
                 "'max-reuse' or 'min-start'"
             )
         self.spatial_strategy = spatial_strategy
+        self.memo = memo
 
     def design(
         self, architecture: Architecture, platform: Platform
@@ -254,9 +329,20 @@ class TilingDesigner:
         self, spec: ConvLayerSpec, dsp_budget: int, bram_budget_bytes: int
     ) -> TilingVector:
         """Choose one layer's tiling under its PE's resource budget."""
+        if self.memo is not None:
+            cached = self.memo.lookup(
+                spec, dsp_budget, bram_budget_bytes, self.spatial_strategy
+            )
+            if cached is not None:
+                return cached
         tm, tn = self._choose_channel_tiling(spec, dsp_budget, bram_budget_bytes)
         tr, tc = self._choose_spatial_tiling(spec, tm, tn, bram_budget_bytes)
-        return TilingVector(tm=tm, tn=tn, tr=tr, tc=tc)
+        tiling = TilingVector(tm=tm, tn=tn, tr=tr, tc=tc)
+        if self.memo is not None:
+            self.memo.store(
+                spec, dsp_budget, bram_budget_bytes, self.spatial_strategy, tiling
+            )
+        return tiling
 
     def _choose_channel_tiling(
         self, spec: ConvLayerSpec, dsp_budget: int, bram_budget_bytes: int

@@ -3,19 +3,34 @@
 :class:`LatencyEstimator` is the "FNAS tool" of Figure 2 as one call: it
 runs FNAS-Design (tiling), optionally FNAS-GG + FNAS-Sched + the cycle
 simulator, or the closed-form FNAS-Analyzer, and returns the inference
-latency of an architecture on a platform.  Results are cached by
-architecture fingerprint -- the NAS controller revisits architectures
-often and the reward evaluation sits on the search hot path.
+latency of an architecture on a platform.
+
+Estimation sits on the search hot path, so results are cached at two
+tiers:
+
+* **layer tier** -- a :class:`~repro.fpga.tiling.LayerDesignMemo`
+  shared by every tiling designer the estimator builds.  Architectures
+  in one search run share most per-layer configurations, so the
+  expensive FNAS-Design tiling search is reused *across* architecture
+  fingerprints.
+* **architecture tier** -- a bounded LRU of whole-architecture
+  estimates keyed by fingerprint; the NAS controller revisits
+  architectures often.
+
+Both tiers expose hit/miss statistics (:attr:`LatencyEstimator.stats`,
+:attr:`LatencyEstimator.layer_memo_stats`) for the benchmark harness.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.architecture import Architecture
 from repro.fpga.platform import Platform
-from repro.fpga.tiling import PipelineDesign, TilingDesigner
+from repro.fpga.tiling import LayerDesignMemo, MemoStats, PipelineDesign, TilingDesigner
 from repro.latency.analyzer import FnasAnalyzer, LatencyReport
+from repro.latency.explorer import DesignExplorer
 from repro.scheduling.fnas_sched import FnasScheduler
 from repro.scheduling.simulator import PipelineSimulator
 from repro.taskgraph.graph import TaskGraphGenerator
@@ -23,6 +38,19 @@ from repro.taskgraph.graph import TaskGraphGenerator
 #: Estimation back-ends.
 ANALYTICAL = "analytical"
 SIMULATE = "simulate"
+
+#: Default bound on the whole-architecture LRU cache.  Far above any
+#: single search run's working set, but keeps long-lived service
+#: processes from growing without bound.
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats(MemoStats):
+    """Hit/miss counters of :class:`MemoStats` plus an eviction count,
+    for the whole-architecture LRU tier."""
+
+    evictions: int = 0
 
 
 @dataclass(frozen=True)
@@ -56,6 +84,12 @@ class LatencyEstimator:
             FNAS-Design.
         rc_mapping: row/col tile mapping passed to FNAS-GG (only used by
             the simulate path).
+        max_cache_entries: bound on the whole-architecture LRU tier;
+            ``None`` disables the bound.
+        use_layer_memo: enable the layer-level tiling memo (tier 1).
+            Disabling it reproduces the seed estimator's per-architecture
+            cost exactly; the throughput benchmark uses that as its
+            sequential baseline.
     """
 
     def __init__(
@@ -65,11 +99,17 @@ class LatencyEstimator:
         designer: TilingDesigner | None = None,
         rc_mapping: str = "auto",
         explore_designs: bool = True,
+        max_cache_entries: int | None = DEFAULT_CACHE_ENTRIES,
+        use_layer_memo: bool = True,
     ):
         if method not in (ANALYTICAL, SIMULATE):
             raise ValueError(
                 f"unknown method {method!r}; expected "
                 f"{ANALYTICAL!r} or {SIMULATE!r}"
+            )
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError(
+                f"max_cache_entries must be >= 1 or None, got {max_cache_entries}"
             )
         self.platform = platform
         self.method = method
@@ -79,37 +119,75 @@ class LatencyEstimator:
         # space per architecture (paper: "the best parameters ... can be
         # obtained") instead of committing to one heuristic.
         self.explore_designs = explore_designs and designer is None
-        self._cache: dict[str, LatencyEstimate] = {}
+        self.max_cache_entries = max_cache_entries
+        self.stats = CacheStats()
+        self.layer_memo = LayerDesignMemo()
+        memo = self.layer_memo if use_layer_memo else None
+        self._explorer = DesignExplorer(memo=memo)
+        self._designer_memo = memo
+        self._cache: OrderedDict[str, LatencyEstimate] = OrderedDict()
 
     @property
     def cache_size(self) -> int:
-        """Number of cached estimates."""
+        """Number of cached whole-architecture estimates."""
         return len(self._cache)
 
+    @property
+    def layer_memo_stats(self) -> MemoStats:
+        """Hit/miss counters of the layer-level tiling memo."""
+        return self.layer_memo.stats
+
     def clear_cache(self) -> None:
-        """Drop all cached estimates."""
+        """Drop both cache tiers (counters are kept)."""
         self._cache.clear()
+        self.layer_memo.clear()
 
     def estimate(self, architecture: Architecture) -> LatencyEstimate:
         """Latency of ``architecture`` on the estimator's platform."""
         key = architecture.fingerprint()
         cached = self._cache.get(key)
         if cached is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(key)
             return cached
+        self.stats.misses += 1
+        estimate = self._estimate_fresh(architecture)
+        self._cache[key] = estimate
+        if (self.max_cache_entries is not None
+                and len(self._cache) > self.max_cache_entries):
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return estimate
+
+    def estimate_batch(
+        self, architectures: list[Architecture] | tuple[Architecture, ...]
+    ) -> list[LatencyEstimate]:
+        """Estimate a batch of candidates, computing duplicates only once.
+
+        Search batches routinely contain repeated fingerprints (the
+        controller concentrates probability mass as it converges); the
+        LRU tier turns every repeat into a hit, so each distinct
+        architecture is analysed at most once per call.  Results are
+        returned in input order.
+        """
+        return [self.estimate(architecture) for architecture in architectures]
+
+    def _estimate_fresh(self, architecture: Architecture) -> LatencyEstimate:
+        """Run the full FNAS tool chain for one uncached architecture."""
         first_reuse = None
         if self.explore_designs:
-            from repro.latency.explorer import DesignExplorer
-
-            best = DesignExplorer().explore(architecture, self.platform).best
+            best = self._explorer.explore(architecture, self.platform).best
             design = best.design
             analytical_report = best.report
             first_reuse = best.first_reuse
         else:
-            designer = self.designer if self.designer is not None else TilingDesigner()
+            designer = self.designer if self.designer is not None else TilingDesigner(
+                memo=self._designer_memo
+            )
             design = designer.design(architecture, self.platform)
             analytical_report = FnasAnalyzer().analyze(design)
         if self.method == ANALYTICAL:
-            estimate = LatencyEstimate(
+            return LatencyEstimate(
                 architecture=architecture,
                 cycles=analytical_report.total_cycles,
                 ms=analytical_report.total_ms,
@@ -117,23 +195,20 @@ class LatencyEstimator:
                 design=design,
                 report=analytical_report,
             )
-        else:
-            graph = TaskGraphGenerator(rc_mapping=self.rc_mapping).generate(design)
-            scheduler = (
-                FnasScheduler(first_reuse=first_reuse)
-                if first_reuse is not None
-                else FnasScheduler()
-            )
-            schedule = scheduler.schedule(graph)
-            result = PipelineSimulator().run(schedule)
-            cycles = result.makespan
-            estimate = LatencyEstimate(
-                architecture=architecture,
-                cycles=cycles,
-                ms=self.platform.cycles_to_ms(cycles),
-                method=self.method,
-                design=design,
-                report=analytical_report,
-            )
-        self._cache[key] = estimate
-        return estimate
+        graph = TaskGraphGenerator(rc_mapping=self.rc_mapping).generate(design)
+        scheduler = (
+            FnasScheduler(first_reuse=first_reuse)
+            if first_reuse is not None
+            else FnasScheduler()
+        )
+        schedule = scheduler.schedule(graph)
+        result = PipelineSimulator().run(schedule)
+        cycles = result.makespan
+        return LatencyEstimate(
+            architecture=architecture,
+            cycles=cycles,
+            ms=self.platform.cycles_to_ms(cycles),
+            method=self.method,
+            design=design,
+            report=analytical_report,
+        )

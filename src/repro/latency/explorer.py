@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.architecture import Architecture
 from repro.fpga.platform import Platform
-from repro.fpga.tiling import PipelineDesign, TilingDesigner
+from repro.fpga.tiling import LayerDesignMemo, PipelineDesign, TilingDesigner
 from repro.latency.analyzer import FnasAnalyzer, LatencyReport
 from repro.scheduling.base import IFM_REUSE, OFM_REUSE
 from repro.scheduling.fnas_sched import alternating_strategies
@@ -50,10 +50,19 @@ class ExplorationResult:
 
 
 class DesignExplorer:
-    """Exhaustive search over the small FNAS-Design policy space."""
+    """Exhaustive search over the small FNAS-Design policy space.
+
+    An optional :class:`~repro.fpga.tiling.LayerDesignMemo` is threaded
+    into every designer the explorer builds, so repeated layer shapes --
+    common across the architectures of one search run -- skip the
+    per-layer tiling search entirely.
+    """
 
     SPATIAL_STRATEGIES = ("max-reuse", "min-start")
     FIRST_REUSE_CHOICES = (OFM_REUSE, IFM_REUSE)
+
+    def __init__(self, memo: LayerDesignMemo | None = None):
+        self.memo = memo
 
     def explore(
         self, architecture: Architecture, platform: Platform
@@ -61,7 +70,7 @@ class DesignExplorer:
         """Evaluate every policy combination and return the best design."""
         choices: list[ExplorationChoice] = []
         for spatial in self.SPATIAL_STRATEGIES:
-            designer = TilingDesigner(spatial_strategy=spatial)
+            designer = TilingDesigner(spatial_strategy=spatial, memo=self.memo)
             design = designer.design(architecture, platform)
             for first in self.FIRST_REUSE_CHOICES:
                 strategies = alternating_strategies(

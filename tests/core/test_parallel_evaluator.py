@@ -1,0 +1,118 @@
+"""ParallelEvaluator: process-pool fan-out must be a pure speed knob."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import ParallelEvaluator, SurrogateAccuracyEvaluator
+from repro.core.search import FnasSearch
+from repro.core.search_space import SearchSpace
+from repro.configs import MNIST_CONFIG
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+class ExplodingEvaluator:
+    """Raises for every architecture; must raise through the pool too."""
+
+    def evaluate(self, architecture):
+        raise ValueError(f"boom: {architecture.describe()}")
+
+    def latency_eval_seconds(self):
+        return 0.0
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace.from_config(MNIST_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def architectures(space):
+    rng = np.random.default_rng(1)
+    return [space.random_architecture(rng) for _ in range(6)]
+
+
+class TestParallelEvaluator:
+    def test_batch_matches_serial(self, space, architectures):
+        inner = SurrogateAccuracyEvaluator(space)
+        serial = [inner.evaluate(a) for a in architectures]
+        with ParallelEvaluator(inner, max_workers=2) as parallel:
+            fanned = parallel.evaluate_batch(architectures)
+        assert [o.accuracy for o in fanned] == [o.accuracy for o in serial]
+        assert [o.train_seconds for o in fanned] == [
+            o.train_seconds for o in serial
+        ]
+
+    def test_single_worker_stays_serial(self, space, architectures):
+        evaluator = ParallelEvaluator(
+            SurrogateAccuracyEvaluator(space), max_workers=1
+        )
+        outcomes = evaluator.evaluate_batch(architectures)
+        assert len(outcomes) == len(architectures)
+        assert evaluator._pool is None  # never spawned a pool
+
+    def test_single_evaluate_delegates(self, space, architectures):
+        inner = SurrogateAccuracyEvaluator(space)
+        evaluator = ParallelEvaluator(inner, max_workers=2)
+        assert (evaluator.evaluate(architectures[0]).accuracy
+                == inner.evaluate(architectures[0]).accuracy)
+        assert (evaluator.latency_eval_seconds()
+                == inner.latency_eval_seconds())
+        evaluator.close()
+
+    def test_rejects_bad_worker_count(self, space):
+        with pytest.raises(ValueError, match="max_workers"):
+            ParallelEvaluator(SurrogateAccuracyEvaluator(space), max_workers=0)
+
+    def test_evaluator_exceptions_propagate(self, architectures):
+        """Errors raised by the wrapped evaluator are not swallowed and
+        must not permanently mark the pool broken."""
+        with ParallelEvaluator(ExplodingEvaluator(), max_workers=2) as ev:
+            with pytest.raises(ValueError, match="boom"):
+                ev.evaluate_batch(architectures)
+            assert not ev._pool_broken
+
+    def test_close_is_idempotent(self, space):
+        evaluator = ParallelEvaluator(
+            SurrogateAccuracyEvaluator(space), max_workers=2
+        )
+        evaluator.close()
+        evaluator.close()
+
+    def test_paired_runner_wraps_and_closes_pool(self, space):
+        """run_paired_search(parallel_workers=2) must produce the same
+        ledgers as the serial run (evaluators are deterministic)."""
+        from repro.experiments.runner import run_paired_search
+
+        def run(workers):
+            return run_paired_search(
+                dataset="mnist",
+                platform=Platform.single(PYNQ_Z1),
+                specs_ms=[5.0],
+                trials=8,
+                seed=0,
+                batch_size=4,
+                parallel_workers=workers,
+            )
+
+        serial, pooled = run(1), run(2)
+        assert ([t.tokens for t in serial.nas.trials]
+                == [t.tokens for t in pooled.nas.trials])
+        assert ([t.reward for t in serial.fnas[5.0].trials]
+                == [t.reward for t in pooled.fnas[5.0].trials])
+
+    def test_batched_fnas_search_with_pool(self, space):
+        """End to end: the batched loop fans survivors across the pool."""
+        with ParallelEvaluator(
+            SurrogateAccuracyEvaluator(space), max_workers=2
+        ) as evaluator:
+            search = FnasSearch(
+                space,
+                evaluator,
+                LatencyEstimator(Platform.single(PYNQ_Z1)),
+                required_latency_ms=5.0,
+            )
+            result = search.run(16, np.random.default_rng(0), batch_size=8)
+        assert len(result.trials) == 16
+        assert result.trained_count > 0

@@ -1,0 +1,140 @@
+"""The latency estimator's two-tier cache: correctness, bounds, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import SearchSpace
+from repro.configs import MNIST_CONFIG
+from repro.fpga.device import PYNQ_Z1
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace.from_config(MNIST_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def architectures(space):
+    rng = np.random.default_rng(0)
+    seen, archs = set(), []
+    while len(archs) < 12:
+        arch = space.random_architecture(rng)
+        if arch.fingerprint() not in seen:
+            seen.add(arch.fingerprint())
+            archs.append(arch)
+    return archs
+
+
+def platform():
+    return Platform.single(PYNQ_Z1)
+
+
+class TestWholeArchitectureTier:
+    def test_cached_estimate_identical_to_fresh(self, architectures):
+        cached = LatencyEstimator(platform())
+        for arch in architectures:
+            first = cached.estimate(arch)
+            again = cached.estimate(arch)
+            assert again is first  # served from cache, not recomputed
+            fresh = LatencyEstimator(platform()).estimate(arch)
+            assert fresh.ms == first.ms
+            assert fresh.cycles == first.cycles
+
+    def test_hit_miss_statistics(self, architectures):
+        estimator = LatencyEstimator(platform())
+        for arch in architectures[:5]:
+            estimator.estimate(arch)
+        assert estimator.stats.misses == 5
+        assert estimator.stats.hits == 0
+        for arch in architectures[:5]:
+            estimator.estimate(arch)
+        assert estimator.stats.hits == 5
+        assert estimator.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_respects_bound(self, architectures):
+        estimator = LatencyEstimator(platform(), max_cache_entries=3)
+        for arch in architectures[:5]:
+            estimator.estimate(arch)
+        assert estimator.cache_size == 3
+        assert estimator.stats.evictions == 2
+        # The most recent three are hits; the first two were evicted.
+        before = estimator.stats.misses
+        for arch in architectures[2:5]:
+            estimator.estimate(arch)
+        assert estimator.stats.misses == before
+        estimator.estimate(architectures[0])
+        assert estimator.stats.misses == before + 1
+
+    def test_lru_recency_updates_on_hit(self, architectures):
+        estimator = LatencyEstimator(platform(), max_cache_entries=2)
+        a, b, c = architectures[:3]
+        estimator.estimate(a)
+        estimator.estimate(b)
+        estimator.estimate(a)  # refresh a; b is now least recent
+        estimator.estimate(c)  # evicts b
+        misses = estimator.stats.misses
+        estimator.estimate(a)
+        assert estimator.stats.misses == misses  # a survived
+        estimator.estimate(b)
+        assert estimator.stats.misses == misses + 1  # b was evicted
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="max_cache_entries"):
+            LatencyEstimator(platform(), max_cache_entries=0)
+
+    def test_clear_cache_drops_both_tiers(self, architectures):
+        estimator = LatencyEstimator(platform())
+        estimator.estimate(architectures[0])
+        assert estimator.cache_size == 1
+        assert len(estimator.layer_memo) > 0
+        estimator.clear_cache()
+        assert estimator.cache_size == 0
+        assert len(estimator.layer_memo) == 0
+
+
+class TestEstimateBatch:
+    def test_preserves_order_and_dedupes(self, architectures):
+        estimator = LatencyEstimator(platform())
+        batch = [architectures[0], architectures[1], architectures[0],
+                 architectures[2], architectures[1]]
+        estimates = estimator.estimate_batch(batch)
+        assert len(estimates) == 5
+        for arch, estimate in zip(batch, estimates):
+            assert estimate.architecture.fingerprint() == arch.fingerprint()
+        # Three distinct fingerprints -> three misses, two in-batch hits.
+        assert estimator.stats.misses == 3
+        assert estimator.stats.hits == 2
+
+    def test_matches_single_estimates(self, architectures):
+        batched = LatencyEstimator(platform()).estimate_batch(architectures)
+        singles = [
+            LatencyEstimator(platform()).estimate(a) for a in architectures
+        ]
+        assert [e.ms for e in batched] == [e.ms for e in singles]
+
+
+class TestLayerMemoTier:
+    def test_memo_hits_across_fingerprints(self, architectures):
+        estimator = LatencyEstimator(platform())
+        for arch in architectures:
+            estimator.estimate(arch)
+        stats = estimator.layer_memo_stats
+        assert stats.hits > 0, (
+            "architectures sharing layer shapes must reuse tiling work"
+        )
+        assert stats.hit_rate > 0.0
+
+    def test_memo_does_not_change_results(self, architectures):
+        with_memo = LatencyEstimator(platform())
+        without = LatencyEstimator(platform(), use_layer_memo=False)
+        for arch in architectures:
+            assert with_memo.estimate(arch).ms == without.estimate(arch).ms
+        assert without.layer_memo_stats.lookups == 0
+
+    def test_memo_shared_across_explorer_strategies(self, architectures):
+        estimator = LatencyEstimator(platform())
+        estimator.estimate(architectures[0])
+        # Both spatial strategies ran for every layer of the architecture.
+        assert len(estimator.layer_memo) >= architectures[0].depth
