@@ -1,0 +1,130 @@
+"""Campaign shard scaling: serial vs pooled shard execution.
+
+Runs the same (seed x spec) FNAS shard grid (MNIST space, PYNQ-Z1)
+serially and across process pools of increasing size, asserting
+
+* correctness -- every worker count merges to the identical campaign
+  frontier and per-shard ledgers, and
+* scaling -- on a multi-core host, the pooled campaign completes
+  faster than serial (generous bar: CI runners are noisy and pool
+  startup is amortised over a short run).  On a single core the
+  scaling assertion is vacuous and skipped; the correctness one is
+  not.
+
+Emits the measurements as ``BENCH_campaign.json`` next to the repo root
+so trajectory tooling can track shard scaling across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.orchestration import run_campaign, shard_grid
+
+SEEDS = (0, 1, 2, 3)
+SPECS_MS = (10.0, 5.0)
+TRIALS = 600
+WORKER_COUNTS = (1, 2, 4)
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One measured campaign configuration."""
+
+    max_workers: int
+    shards: int
+    total_trials: int
+    wall_seconds: float
+    trials_per_second: float
+    frontier_points: int
+
+
+def _grid():
+    return shard_grid(
+        ["mnist"], ["pynq-z1"], seeds=list(SEEDS), specs_ms=list(SPECS_MS),
+        trials=TRIALS,
+    )
+
+
+def _ledger_fingerprint(result) -> str:
+    """Worker-count-independent digest of the merged campaign output."""
+    payload = result.to_dict()
+    stable = {
+        "shards": [
+            {"spec": s["spec"], "trials": s["result"]["trials"]}
+            for s in payload["shards"]
+        ],
+        "frontier": payload["frontier"],
+    }
+    return json.dumps(stable, sort_keys=True)
+
+
+def run_scaling() -> tuple[list[CampaignPoint], list[str]]:
+    """Run the grid at each worker count; returns points + fingerprints."""
+    points: list[CampaignPoint] = []
+    fingerprints: list[str] = []
+    for workers in WORKER_COUNTS:
+        result = run_campaign(_grid(), max_workers=workers)
+        points.append(
+            CampaignPoint(
+                max_workers=workers,
+                shards=len(result.outcomes),
+                total_trials=result.total_trials,
+                wall_seconds=result.wall_seconds,
+                trials_per_second=result.total_trials / result.wall_seconds,
+                frontier_points=len(result.frontier.points),
+            )
+        )
+        fingerprints.append(_ledger_fingerprint(result))
+    return points, fingerprints
+
+
+def test_campaign_scaling(once, emit):
+    points, fingerprints = once(run_scaling)
+    serial = points[0]
+    best_pooled = max(points[1:], key=lambda p: p.trials_per_second)
+    speedup = best_pooled.trials_per_second / serial.trials_per_second
+
+    emit("\n=== Campaign shard scaling (FNAS, MNIST/PYNQ) ===")
+    emit(f"{'workers':>7} {'shards':>6} {'trials':>6} {'wall(s)':>8} "
+         f"{'trials/s':>9}")
+    for p in points:
+        emit(f"{p.max_workers:>7} {p.shards:>6} {p.total_trials:>6} "
+             f"{p.wall_seconds:>8.3f} {p.trials_per_second:>9.1f}")
+    emit(f"best pooled vs serial: {speedup:.2f}x")
+
+    cores = os.cpu_count() or 1
+    OUTPUT_PATH.write_text(json.dumps(
+        {
+            "benchmark": "campaign_scaling",
+            "seeds": list(SEEDS),
+            "specs_ms": list(SPECS_MS),
+            "trials_per_shard": TRIALS,
+            "cpu_count": cores,
+            "points": [asdict(p) for p in points],
+            "pooled_speedup_vs_serial": speedup,
+        },
+        indent=2,
+    ) + "\n")
+    emit(f"wrote {OUTPUT_PATH.name}")
+
+    # Correctness first: identical merged ledgers at every worker count.
+    assert all(f == fingerprints[0] for f in fingerprints[1:]), (
+        "pooled campaigns merged to a different result than serial"
+    )
+    # Scaling bar: with 8 independent shards and >1 core, some pool size
+    # must beat serial.  1.2x is deliberately conservative -- pool
+    # startup and result pickling eat into short CI runs -- and the bar
+    # is vacuous on a single core, where pooling cannot win.
+    if cores >= 2:
+        assert speedup >= 1.2, (
+            f"pooled campaign only {speedup:.2f}x over serial shard "
+            f"execution on {cores} cores"
+        )
+    else:
+        emit(f"(single core: scaling bar skipped, measured {speedup:.2f}x)")

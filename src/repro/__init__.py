@@ -20,6 +20,9 @@ Public API tour:
 * ``repro.surrogate``  -- calibrated accuracy / search-cost models.
 * ``repro.experiments``-- runners that regenerate every table and
   figure of the paper's evaluation.
+* ``repro.orchestration`` -- checkpointable, sharded, resumable
+  search campaigns (``ShardSpec`` grids, the ``Campaign`` runner and
+  its merged Pareto frontier).
 """
 
 from repro.core import (

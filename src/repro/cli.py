@@ -8,9 +8,14 @@
     python -m repro figure8               # Figure 8 (scheduler study)
     python -m repro ablations             # reuse + pruning ablations
     python -m repro estimate 5,7,5,7 9,18,18,36 --device pynq-z1
+    python -m repro sweep --seeds 0,1,2 --specs 5,2 --shard-workers 4
 
 Every experiment accepts ``--seed`` and ``--trials`` so reruns and
-sensitivity checks are one flag away.
+sensitivity checks are one flag away.  ``sweep`` runs a sharded,
+checkpointed campaign over a (dataset x device x seed x spec) grid;
+the paired experiments (``table1``/``figure6``/``figure7``/``report``)
+accept ``--campaign-dir`` / ``--shard-workers`` to run their searches
+as a resumable campaign too.
 """
 
 from __future__ import annotations
@@ -43,6 +48,26 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
                         help="process-pool workers for child evaluation "
                              "(default 1 = in-process; useful with real "
                              "training evaluators)")
+    parser.add_argument("--campaign-dir", default=None,
+                        help="run the experiment's searches as a "
+                             "checkpointed campaign under this directory; "
+                             "re-running with the same directory resumes "
+                             "interrupted searches")
+    parser.add_argument("--shard-workers", type=int, default=1,
+                        help="process-pool workers for whole search shards "
+                             "in campaign mode (default 1 = serial)")
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _float_list(text: str) -> list[float]:
+    return [float(x) for x in text.split(",") if x]
+
+
+def _str_list(text: str) -> list[str]:
+    return [x for x in text.split(",") if x]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +100,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default reproduction_report.md)")
 
     p = sub.add_parser(
+        "sweep",
+        help="run a sharded, checkpointed search campaign over a "
+             "(dataset x device x seed x spec) grid",
+    )
+    p.add_argument("--datasets", type=_str_list, default=["mnist"],
+                   help="comma-separated Table 2 datasets (default mnist)")
+    p.add_argument("--devices", type=_str_list, default=["pynq-z1"],
+                   help="comma-separated catalog devices (default pynq-z1)")
+    p.add_argument("--seeds", type=_int_list, default=[0],
+                   help="comma-separated seeds, one shard set per seed "
+                        "(default 0)")
+    p.add_argument("--specs", type=_float_list, default=[],
+                   help="comma-separated FNAS timing specs in ms; one "
+                        "FNAS shard per spec")
+    p.add_argument("--include-nas", action="store_true",
+                   help="also run the accuracy-only NAS baseline per "
+                        "(dataset, device, seed)")
+    p.add_argument("--boards", type=int, default=1,
+                   help="replicate each device this many times per "
+                        "platform (default 1)")
+    p.add_argument("--trials", type=int, default=None,
+                   help="children per shard (default: Table 2's 60)")
+    p.add_argument("--batch-size", type=int, default=1,
+                   help="candidates per controller step within each shard")
+    p.add_argument("--eval-workers", type=int, default=1,
+                   help="child-evaluation workers inside each shard "
+                        "(default 1)")
+    p.add_argument("--shard-workers", type=int, default=1,
+                   help="how many shards run concurrently (default 1)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="snapshot shards here; re-running resumes "
+                        "interrupted shards from their checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="trials between snapshots (default: ~10 per shard)")
+    p.add_argument("--output", default=None,
+                   help="also write the merged campaign artifact (JSON, "
+                        "per-shard ledgers + Pareto frontier) here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-shard progress lines")
+
+    p = sub.add_parser(
         "estimate",
         help="estimate one architecture's latency on a device",
     )
@@ -94,6 +160,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--energy", action="store_true",
                    help="also report the analytical energy estimate")
     return parser
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.orchestration import (
+        run_campaign,
+        save_campaign_result,
+        shard_grid,
+    )
+
+    progress = None
+    if not args.quiet:
+        def progress(event):
+            label = f" {event.shard_id}" if event.shard_id else ""
+            print(f"[{event.kind}]{label}: {event.message}",
+                  file=sys.stderr)
+    try:
+        shards = shard_grid(
+            datasets=args.datasets,
+            devices=args.devices,
+            seeds=args.seeds,
+            specs_ms=args.specs,
+            include_nas=args.include_nas,
+            boards=args.boards,
+            trials=args.trials,
+            batch_size=args.batch_size,
+            eval_workers=args.eval_workers,
+        )
+        print(f"campaign: {len(shards)} shard(s), "
+              f"{args.shard_workers} worker(s)", file=sys.stderr)
+        result = run_campaign(
+            shards,
+            max_workers=args.shard_workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            progress=progress,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    print(f"wall time: {result.wall_seconds:.2f}s; "
+          f"{result.requeued_shards} shard(s) re-queued")
+    if args.output is not None:
+        save_campaign_result(result, args.output)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -137,15 +249,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "table1":
         print(run_table1(trials=args.trials, seed=args.seed,
                          batch_size=args.batch_size,
-                         parallel_workers=args.workers).format())
+                         parallel_workers=args.workers,
+                         campaign_dir=args.campaign_dir,
+                         shard_workers=args.shard_workers).format())
     elif args.command == "figure6":
         print(run_figure6(trials=args.trials, seed=args.seed,
                           batch_size=args.batch_size,
-                          parallel_workers=args.workers).format())
+                          parallel_workers=args.workers,
+                          campaign_dir=args.campaign_dir,
+                          shard_workers=args.shard_workers).format())
     elif args.command == "figure7":
         print(run_figure7(trials=args.trials, seed=args.seed,
                           batch_size=args.batch_size,
-                          parallel_workers=args.workers).format())
+                          parallel_workers=args.workers,
+                          campaign_dir=args.campaign_dir,
+                          shard_workers=args.shard_workers).format())
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
     elif args.command == "figure8":
         result = run_figure8()
         print(result.format())
@@ -154,6 +274,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.workers > 1:
             print("note: --workers does not apply to the ablations "
                   "(surrogate evaluation is in-process)", file=sys.stderr)
+        if args.campaign_dir is not None or args.shard_workers > 1:
+            print("note: --campaign-dir/--shard-workers do not apply to "
+                  "the ablations (they run in-process, without "
+                  "checkpointing)", file=sys.stderr)
         reuse = run_reuse_ablation()
         print(reuse.format())
         pruning = run_pruning_ablation(trials=args.trials, seed=args.seed,
@@ -166,7 +290,9 @@ def main(argv: list[str] | None = None) -> int:
 
         text = generate_report(trials=args.trials, seed=args.seed,
                                batch_size=args.batch_size,
-                               parallel_workers=args.workers)
+                               parallel_workers=args.workers,
+                               campaign_dir=args.campaign_dir,
+                               shard_workers=args.shard_workers)
         Path(args.output).write_text(text)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     elif args.command == "estimate":

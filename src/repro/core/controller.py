@@ -87,6 +87,25 @@ class Controller(Protocol):
         """
         ...
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of all learnable state.
+
+        Together with :meth:`load_state_dict` this is what makes a
+        search checkpointable: restoring the state and the RNG stream
+        reproduces the remaining trajectory exactly.  A third-party
+        controller without these methods still searches fine but cannot
+        be checkpointed.
+        """
+        ...
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        Must leave the controller byte-identical to the one snapshotted:
+        parameters, optimizer moments and step count included.
+        """
+        ...
+
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max()
@@ -138,6 +157,7 @@ class _AdamState:
         self.t = 0
 
     def step(self, grads: list[np.ndarray]) -> None:
+        """One bias-corrected Adam update over the registered params."""
         self.t += 1
         b1, b2, eps = 0.9, 0.999, 1e-8
         bias1 = 1 - b1**self.t
@@ -148,6 +168,43 @@ class _AdamState:
             v *= b2
             v += (1 - b2) * g * g
             p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+
+    def state_dict(self) -> dict:
+        """Optimizer moments and step count as JSON-ready lists."""
+        return {
+            "t": self.t,
+            "m": [m.tolist() for m in self.m],
+            "v": [v.tolist() for v in self.v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments in place (array identities are load-bearing:
+        the owning controller's parameter list aliases them)."""
+        if len(state["m"]) != len(self.m) or len(state["v"]) != len(self.v):
+            raise ValueError(
+                f"Adam state has {len(state['m'])} moment arrays, "
+                f"expected {len(self.m)}"
+            )
+        self.t = int(state["t"])
+        for target, source in zip(self.m, state["m"]):
+            _copy_into(target, source, "Adam first moment")
+        for target, source in zip(self.v, state["v"]):
+            _copy_into(target, source, "Adam second moment")
+
+
+def _copy_into(target: np.ndarray, source, what: str) -> None:
+    """Copy serialized values into an existing array, shape-checked.
+
+    In-place copy (rather than rebinding) preserves array identity,
+    which the Adam optimizer and the controllers' parameter lists rely
+    on for gradient routing.
+    """
+    values = np.asarray(source, dtype=target.dtype)
+    if values.shape != target.shape:
+        raise ValueError(
+            f"{what}: shape {values.shape} does not match {target.shape}"
+        )
+    target[...] = values
 
 
 class LstmController:
@@ -455,6 +512,65 @@ class LstmController:
         self._adam.step([grads[id(p)] / b for p in params])
         return loss / b
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All learnable state (weights + Adam) as a JSON-ready dict."""
+        return {
+            "type": type(self).__name__,
+            "start_embedding": self.start_embedding.tolist(),
+            "w_lstm": self.w_lstm.tolist(),
+            "b_lstm": self.b_lstm.tolist(),
+            "embeddings": {
+                kind: table.tolist()
+                for kind, table in self.embeddings.items()
+            },
+            "heads": {
+                kind: {"w": w.tolist(), "b": b.tolist()}
+                for kind, (w, b) in self.heads.items()
+            },
+            "adam": self._adam.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this controller.
+
+        The controller must have been constructed with the same search
+        space and sizes; values are copied into the existing arrays so
+        the Adam optimizer's aliases stay valid.
+        """
+        _check_state_type(state, type(self).__name__)
+        _copy_into(self.start_embedding, state["start_embedding"],
+                   "start_embedding")
+        _copy_into(self.w_lstm, state["w_lstm"], "w_lstm")
+        _copy_into(self.b_lstm, state["b_lstm"], "b_lstm")
+        if set(state["embeddings"]) != set(self.embeddings):
+            raise ValueError(
+                f"embedding kinds {sorted(state['embeddings'])} do not "
+                f"match {sorted(self.embeddings)}"
+            )
+        if set(state["heads"]) != set(self.heads):
+            raise ValueError(
+                f"head kinds {sorted(state['heads'])} do not match "
+                f"{sorted(self.heads)}"
+            )
+        for kind, table in state["embeddings"].items():
+            _copy_into(self.embeddings[kind], table, f"embeddings[{kind}]")
+        for kind, head in state["heads"].items():
+            w, b = self.heads[kind]
+            _copy_into(w, head["w"], f"heads[{kind}].w")
+            _copy_into(b, head["b"], f"heads[{kind}].b")
+        self._adam.load_state_dict(state["adam"])
+
+
+def _check_state_type(state: dict, expected: str) -> None:
+    found = state.get("type")
+    if found != expected:
+        raise ValueError(
+            f"state_dict was produced by {found!r}, cannot load into "
+            f"{expected}"
+        )
+
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
@@ -507,6 +623,14 @@ class RandomController:
         """No learning: always returns 0."""
         _check_advantages(batch, advantages)
         return 0.0
+
+    def state_dict(self) -> dict:
+        """Stateless policy: only the type tag."""
+        return {"type": type(self).__name__}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Stateless policy: verifies the type tag only."""
+        _check_state_type(state, type(self).__name__)
 
 
 class TabularController:
@@ -607,3 +731,23 @@ class TabularController:
             loss += float(-(adv * np.log(probs[toks] + 1e-12)).sum()) / b
         self._adam.step(grads)
         return loss
+
+    def state_dict(self) -> dict:
+        """Per-step logits plus Adam state as a JSON-ready dict."""
+        return {
+            "type": type(self).__name__,
+            "logits": [step.tolist() for step in self.logits],
+            "adam": self._adam.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (same search space required)."""
+        _check_state_type(state, type(self).__name__)
+        if len(state["logits"]) != len(self.logits):
+            raise ValueError(
+                f"state has {len(state['logits'])} logit vectors, "
+                f"expected {len(self.logits)}"
+            )
+        for target, source in zip(self.logits, state["logits"]):
+            _copy_into(target, source, "logits")
+        self._adam.load_state_dict(state["adam"])

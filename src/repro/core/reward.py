@@ -106,3 +106,13 @@ class AccuracyBaseline:
         else:
             self._value = self.decay * self._value + (1 - self.decay) * accuracy
         return self._value
+
+    def state_dict(self) -> dict:
+        """EMA state as a JSON-ready dict (``value`` is null pre-init)."""
+        return {"decay": self.decay, "value": self._value}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output, decay included."""
+        self.decay = float(state["decay"])
+        value = state["value"]
+        self._value = None if value is None else float(value)

@@ -28,12 +28,25 @@ against the baseline value at the start of the batch -- every sample
 was drawn from the same policy, so this is standard batch REINFORCE --
 and the ledger keeps one :class:`TrialRecord` per candidate in sample
 order, preserving trial-ledger semantics.
+
+Both loops are also **checkpointable**: ``run(...,
+checkpoint_every=N, checkpoint_path=p)`` atomically snapshots the
+complete search state -- controller parameters and optimizer moments,
+the reward baseline, the RNG stream position, the trial ledger so far
+and the estimator's cache counters -- every ``N`` trials.
+:meth:`Search.resume` rebuilds that state and continues the run; the
+resulting trial ledger is byte-identical to the uninterrupted run's,
+because every source of randomness and learning state is captured.
+The :mod:`repro.orchestration` campaign runner builds shard recovery
+on top of exactly this property.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -157,6 +170,267 @@ def _check_run_args(trials: int, batch_size: int) -> None:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
 
 
+class _CheckpointPlan:
+    """When and where a running search writes snapshots.
+
+    One snapshot lands after the first completed trial (batch) at or
+    past each multiple of ``every``; writes are atomic, so a crash
+    between (or during) snapshots costs at most ``every`` trials of
+    progress, never the checkpoint file itself.
+    """
+
+    def __init__(
+        self,
+        search: "Search",
+        trials: int,
+        batch_size: int,
+        every: int,
+        path: str | Path,
+        started: float,
+        wall_offset: float,
+        start_index: int,
+    ):
+        if every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {every}"
+            )
+        self.search = search
+        self.trials = trials
+        self.batch_size = batch_size
+        self.every = every
+        self.path = Path(path)
+        self.started = started
+        self.wall_offset = wall_offset
+        self._next = (start_index // every + 1) * every
+
+    def after(
+        self, completed: int, rng: np.random.Generator, result: SearchResult
+    ) -> None:
+        """Snapshot if ``completed`` trials crossed the next threshold."""
+        if completed < self._next:
+            return
+        from repro.core import serialization
+
+        elapsed = self.wall_offset + (time.perf_counter() - self.started)
+        payload = self.search._snapshot_payload(
+            trials=self.trials,
+            batch_size=self.batch_size,
+            checkpoint_every=self.every,
+            next_index=completed,
+            rng=rng,
+            result=result,
+            elapsed_wall_seconds=elapsed,
+        )
+        serialization.atomic_write_json(payload, self.path)
+        self._next = (completed // self.every + 1) * self.every
+
+
+class Search:
+    """Shared run / checkpoint / resume machinery of the search loops.
+
+    Subclasses provide the actual sampling loops (``_run_sequential``,
+    ``_run_batched``), a ledger name, and any end-of-run finalisation;
+    this base owns the driving logic so checkpointing behaves
+    identically for NAS and FNAS.
+
+    Attributes expected on subclasses: ``controller``, ``baseline`` and
+    ``latency_estimator`` (``None`` is fine for the last).
+    """
+
+    #: Snapshot discriminator, overridden per subclass.
+    _kind = "search"
+
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int = 1,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | Path | None = None,
+    ) -> SearchResult:
+        """Run the search for ``trials`` children.
+
+        ``batch_size=1`` reproduces the sequential seed trajectory
+        exactly; larger batches drive the vectorized path.  With
+        ``checkpoint_every`` and ``checkpoint_path`` set, the search
+        atomically snapshots its full state every that many trials --
+        see :meth:`resume`.
+        """
+        _check_run_args(trials, batch_size)
+        result = SearchResult(name=self._result_name())
+        return self._drive(
+            result, trials, rng, batch_size,
+            start_index=0,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            wall_offset=0.0,
+        )
+
+    def resume(
+        self, path: str | Path, snapshot: dict | None = None
+    ) -> SearchResult:
+        """Continue an interrupted run from a snapshot file.
+
+        The search object must be constructed the same way as the one
+        that wrote the snapshot (same space, evaluator, estimator and
+        controller configuration); everything trajectory-relevant --
+        controller weights and optimizer moments, baseline, RNG stream,
+        ledger -- is restored from the file, so the completed run's
+        trial ledger is byte-identical to an uninterrupted run's.
+        Checkpointing continues at the snapshot's cadence and path.
+
+        ``snapshot`` lets a caller that already read and parsed the
+        file (to validate it, say) pass the dict in and skip the second
+        read; snapshots can be multi-megabyte at paper scale.
+        """
+        if snapshot is None:
+            snapshot = json.loads(Path(path).read_text())
+        from repro.core import serialization
+
+        if snapshot.get("schema") != serialization.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint schema {snapshot.get('schema')}"
+            )
+        if snapshot.get("kind") != self._kind:
+            raise ValueError(
+                f"checkpoint was written by a {snapshot.get('kind')!r} "
+                f"search, cannot resume as {self._kind!r}"
+            )
+        self._check_snapshot_compatible(snapshot)
+        loader = getattr(self.controller, "load_state_dict", None)
+        if loader is None:
+            raise ValueError(
+                f"{type(self.controller).__name__} has no load_state_dict; "
+                "cannot resume a checkpointed search with it"
+            )
+        loader(snapshot["controller"])
+        self.baseline.load_state_dict(snapshot["baseline"])
+        serialization.restore_cache_stats(
+            self.latency_estimator, snapshot.get("cache_stats")
+        )
+        rng = serialization.rng_from_state(snapshot["rng"])
+        result = serialization.search_result_from_dict(snapshot["result"])
+        return self._drive(
+            result,
+            snapshot["trials_total"],
+            rng,
+            snapshot["batch_size"],
+            start_index=snapshot["next_index"],
+            checkpoint_every=snapshot.get("checkpoint_every"),
+            checkpoint_path=path,
+            wall_offset=snapshot.get("elapsed_wall_seconds", 0.0),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _drive(
+        self,
+        result: SearchResult,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int,
+        start_index: int,
+        checkpoint_every: int | None,
+        checkpoint_path: str | Path | None,
+        wall_offset: float,
+    ) -> SearchResult:
+        """Execute the span ``[start_index, trials)`` and finalise."""
+        started = time.perf_counter()
+        plan: _CheckpointPlan | None = None
+        if checkpoint_every is not None or checkpoint_path is not None:
+            if checkpoint_every is None or checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every and checkpoint_path must be given "
+                    "together"
+                )
+            if getattr(self.controller, "state_dict", None) is None:
+                raise ValueError(
+                    f"{type(self.controller).__name__} has no state_dict; "
+                    "checkpointing needs a controller that can snapshot "
+                    "its learnable state"
+                )
+            plan = _CheckpointPlan(
+                self, trials, batch_size, checkpoint_every, checkpoint_path,
+                started, wall_offset, start_index,
+            )
+        if batch_size == 1:
+            self._run_sequential(trials, rng, result, start=start_index,
+                                 plan=plan)
+        else:
+            self._run_batched(trials, rng, batch_size, result,
+                              start=start_index, plan=plan)
+        self._finalize(result)
+        result.wall_seconds = wall_offset + (time.perf_counter() - started)
+        return result
+
+    def _snapshot_payload(
+        self,
+        trials: int,
+        batch_size: int,
+        checkpoint_every: int,
+        next_index: int,
+        rng: np.random.Generator,
+        result: SearchResult,
+        elapsed_wall_seconds: float,
+    ) -> dict:
+        """Assemble the JSON checkpoint document."""
+        from repro.core import serialization
+
+        payload = {
+            "schema": serialization.SCHEMA_VERSION,
+            "kind": self._kind,
+            "trials_total": trials,
+            "batch_size": batch_size,
+            "checkpoint_every": checkpoint_every,
+            "next_index": next_index,
+            "rng": serialization.rng_state_to_dict(rng),
+            "controller": self.controller.state_dict(),
+            "baseline": self.baseline.state_dict(),
+            "cache_stats": serialization.cache_stats_to_dict(
+                self.latency_estimator
+            ),
+            "result": serialization.search_result_to_dict(result),
+            "elapsed_wall_seconds": elapsed_wall_seconds,
+        }
+        payload.update(self._snapshot_extras())
+        return payload
+
+    def _snapshot_extras(self) -> dict:
+        """Kind-specific snapshot fields (spec etc.)."""
+        return {}
+
+    def _check_snapshot_compatible(self, snapshot: dict) -> None:
+        """Raise if the snapshot cannot drive this search object."""
+
+    def _result_name(self) -> str:
+        """Ledger name for a fresh run."""
+        raise NotImplementedError
+
+    def _finalize(self, result: SearchResult) -> None:
+        """End-of-run hook (FNAS uses it for the min-latency fallback)."""
+
+    def _run_sequential(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        result: SearchResult,
+        start: int = 0,
+        plan: _CheckpointPlan | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def _run_batched(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_size: int,
+        result: SearchResult,
+        start: int = 0,
+        plan: _CheckpointPlan | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+
 def _sample_candidates(
     controller: Controller, rng: np.random.Generator, count: int
 ) -> ControllerBatch:
@@ -183,8 +457,10 @@ def _update_candidates(
     return total / len(batch)
 
 
-class NasSearch:
+class NasSearch(Search):
     """Accuracy-only architecture search (the paper's baseline [16])."""
+
+    _kind = "nas"
 
     def __init__(
         self,
@@ -205,32 +481,19 @@ class NasSearch:
         self.latency_estimator = latency_estimator
         self.baseline = AccuracyBaseline(decay=baseline_decay)
 
-    def run(
+    def _result_name(self) -> str:
+        return "nas"
+
+    def _run_sequential(
         self,
         trials: int,
         rng: np.random.Generator,
-        batch_size: int = 1,
-    ) -> SearchResult:
-        """Sample, train and update for ``trials`` children.
-
-        ``batch_size=1`` reproduces the sequential seed trajectory
-        exactly; larger batches drive the vectorized path.
-        """
-        _check_run_args(trials, batch_size)
-        result = SearchResult(name="nas")
-        started = time.perf_counter()
-        if batch_size == 1:
-            self._run_sequential(trials, rng, result)
-        else:
-            self._run_batched(trials, rng, batch_size, result)
-        result.wall_seconds = time.perf_counter() - started
-        return result
-
-    def _run_sequential(
-        self, trials: int, rng: np.random.Generator, result: SearchResult
+        result: SearchResult,
+        start: int = 0,
+        plan: _CheckpointPlan | None = None,
     ) -> None:
         """The original one-candidate-at-a-time loop (seed behaviour)."""
-        for index in range(trials):
+        for index in range(start, trials):
             sample = self.controller.sample(rng)
             architecture = self.space.decode(sample.tokens)
             outcome = self.evaluator.evaluate(architecture)
@@ -254,6 +517,8 @@ class NasSearch:
                     sim_seconds=outcome.train_seconds,
                 )
             )
+            if plan is not None:
+                plan.after(index + 1, rng, result)
 
     def _run_batched(
         self,
@@ -261,9 +526,11 @@ class NasSearch:
         rng: np.random.Generator,
         batch_size: int,
         result: SearchResult,
+        start: int = 0,
+        plan: _CheckpointPlan | None = None,
     ) -> None:
         """Batch REINFORCE: one vectorized update per sampled batch."""
-        index = 0
+        index = start
         while index < trials:
             count = min(batch_size, trials - index)
             batch = _sample_candidates(self.controller, rng, count)
@@ -304,10 +571,14 @@ class NasSearch:
                     )
                 )
             index += count
+            if plan is not None:
+                plan.after(index, rng, result)
 
 
-class FnasSearch:
+class FnasSearch(Search):
     """FPGA-implementation aware search (the paper's Figure 2 loop)."""
+
+    _kind = "fnas"
 
     def __init__(
         self,
@@ -339,39 +610,38 @@ class FnasSearch:
         """The timing specification ``rL``."""
         return self.reward_fn.required_latency_ms
 
-    def run(
-        self,
-        trials: int,
-        rng: np.random.Generator,
-        batch_size: int = 1,
-    ) -> SearchResult:
-        """Run the FNAS loop for ``trials`` children.
+    def _result_name(self) -> str:
+        return f"fnas-{self.required_latency_ms:g}ms"
 
-        ``batch_size=1`` reproduces the sequential seed trajectory
-        exactly; larger batches estimate latencies through the cached
-        batch path and train the spec-meeting survivors together.
-        """
-        _check_run_args(trials, batch_size)
-        result = SearchResult(name=f"fnas-{self.required_latency_ms:g}ms")
-        started = time.perf_counter()
-        if batch_size == 1:
-            self._run_sequential(trials, rng, result)
-        else:
-            self._run_batched(trials, rng, batch_size, result)
+    def _snapshot_extras(self) -> dict:
+        return {"required_latency_ms": self.required_latency_ms}
+
+    def _check_snapshot_compatible(self, snapshot: dict) -> None:
+        spec = snapshot.get("required_latency_ms")
+        if spec is not None and spec != self.required_latency_ms:
+            raise ValueError(
+                f"checkpoint targets a {spec}ms spec, this search targets "
+                f"{self.required_latency_ms}ms"
+            )
+
+    def _finalize(self, result: SearchResult) -> None:
         if self.min_latency_fallback and not any(
             t.trained and t.latency_ms is not None
             and t.latency_ms <= self.required_latency_ms
             for t in result.trials
         ):
             self._append_fallback_trial(result)
-        result.wall_seconds = time.perf_counter() - started
-        return result
 
     def _run_sequential(
-        self, trials: int, rng: np.random.Generator, result: SearchResult
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        result: SearchResult,
+        start: int = 0,
+        plan: _CheckpointPlan | None = None,
     ) -> None:
         """The original one-candidate-at-a-time loop (seed behaviour)."""
-        for index in range(trials):
+        for index in range(start, trials):
             sample = self.controller.sample(rng)
             architecture = self.space.decode(sample.tokens)
             latency_ms = self.latency_estimator.estimate(architecture).ms
@@ -404,6 +674,8 @@ class FnasSearch:
                     sim_seconds=sim_seconds,
                 )
             )
+            if plan is not None:
+                plan.after(index + 1, rng, result)
 
     def _run_batched(
         self,
@@ -411,6 +683,8 @@ class FnasSearch:
         rng: np.random.Generator,
         batch_size: int,
         result: SearchResult,
+        start: int = 0,
+        plan: _CheckpointPlan | None = None,
     ) -> None:
         """Figure 2's loop over whole batches.
 
@@ -420,7 +694,7 @@ class FnasSearch:
         can fan them across processes -- and all candidates share one
         vectorized controller update.
         """
-        index = 0
+        index = start
         while index < trials:
             count = min(batch_size, trials - index)
             batch = _sample_candidates(self.controller, rng, count)
@@ -472,6 +746,8 @@ class FnasSearch:
             _update_candidates(self.controller, batch, rewards)
             result.trials.extend(records)
             index += count
+            if plan is not None:
+                plan.after(index, rng, result)
 
     def _append_fallback_trial(self, result: SearchResult) -> None:
         """Train the smallest architecture if it meets the spec."""

@@ -1,23 +1,35 @@
-"""JSON serialization for architectures and search ledgers.
+"""JSON serialization for architectures, search ledgers and checkpoints.
 
 Search runs are expensive; these helpers let users persist ledgers and
 reload the winning architectures without keeping Python objects alive:
 
 * :func:`architecture_to_dict` / :func:`architecture_from_dict`
-* :func:`trial_to_dict`
-* :func:`search_result_to_dict` / :func:`save_search_result`
+* :func:`trial_to_dict` / :func:`trial_from_dict`
+* :func:`search_result_to_dict` / :func:`search_result_from_dict`
+  plus the :func:`save_search_result` / :func:`load_search_result` pair
 
 Round-tripping preserves everything needed to rebuild the network
-(builder input) and the FPGA design (estimator input); controller state
-is deliberately not serialized (re-searching beats resuming a policy
-whose reward landscape may have changed).
+(builder input) and the FPGA design (estimator input).  Every float is
+written through :func:`json.dumps`, whose ``repr``-based formatting
+round-trips IEEE-754 doubles exactly -- reloading a ledger and saving
+it again yields byte-identical JSON, which the checkpoint/resume
+machinery relies on.
+
+The second half of the module is that machinery's substrate: RNG stream
+capture (:func:`rng_state_to_dict` / :func:`rng_from_state`), estimator
+cache statistics, and :func:`atomic_write_json`, which makes snapshot
+files crash-safe (a checkpoint is either the complete old file or the
+complete new one, never a torn write).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 from repro.core.architecture import Architecture, ConvLayerSpec
 from repro.core.search import SearchResult, TrialRecord
@@ -90,10 +102,48 @@ def search_result_to_dict(result: SearchResult) -> dict[str, Any]:
     }
 
 
+def trial_from_dict(data: dict[str, Any]) -> TrialRecord:
+    """Inverse of :func:`trial_to_dict`."""
+    try:
+        return TrialRecord(
+            index=int(data["index"]),
+            tokens=tuple(data["tokens"]),
+            architecture=architecture_from_dict(data["architecture"]),
+            latency_ms=data["latency_ms"],
+            accuracy=data["accuracy"],
+            reward=data["reward"],
+            trained=data["trained"],
+            sim_seconds=data["sim_seconds"],
+        )
+    except KeyError as missing:
+        raise ValueError(f"trial dict missing field {missing}")
+
+
+def search_result_from_dict(data: dict[str, Any]) -> SearchResult:
+    """Inverse of :func:`search_result_to_dict`.
+
+    The summary fields (``simulated_seconds`` etc.) are derived state
+    and recomputed from the trials on demand, so they are ignored here.
+    """
+    schema = data.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {schema}")
+    return SearchResult(
+        name=data["name"],
+        trials=[trial_from_dict(t) for t in data["trials"]],
+        wall_seconds=data.get("wall_seconds", 0.0),
+    )
+
+
 def save_search_result(result: SearchResult, path: str | Path) -> None:
     """Write a search ledger to ``path`` as JSON."""
     Path(path).write_text(
         json.dumps(search_result_to_dict(result), indent=2))
+
+
+def load_search_result(path: str | Path) -> SearchResult:
+    """Load a ledger saved via :func:`save_search_result`."""
+    return search_result_from_dict(json.loads(Path(path).read_text()))
 
 
 def load_architecture(path: str | Path) -> Architecture:
@@ -105,3 +155,87 @@ def save_architecture(architecture: Architecture, path: str | Path) -> None:
     """Write one architecture to ``path`` as JSON."""
     Path(path).write_text(
         json.dumps(architecture_to_dict(architecture), indent=2))
+
+
+# -- checkpoint substrate ----------------------------------------------------
+
+
+def rng_state_to_dict(rng: np.random.Generator) -> dict[str, Any]:
+    """Capture a NumPy generator's exact stream position.
+
+    The bit-generator state is a nest of plain ints and strings (NumPy's
+    own pickle format), so it survives JSON unchanged -- Python ints are
+    arbitrary precision, covering PCG64's 128-bit words.
+    """
+    return rng.bit_generator.state
+
+
+def rng_from_state(state: dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator that continues the captured stream exactly."""
+    name = state.get("bit_generator", "PCG64")
+    try:
+        bit_generator_cls = getattr(np.random, name)
+    except AttributeError:
+        raise ValueError(f"unknown bit generator {name!r}")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = _intify(state)
+    return np.random.Generator(bit_generator)
+
+
+def _intify(value: Any) -> Any:
+    """Recursively coerce numeric leaves to int.
+
+    JSON round-trips large ints exactly, but a state dict that passed
+    through another serializer may carry floats; NumPy requires ints.
+    """
+    if isinstance(value, dict):
+        return {k: _intify(v) for k, v in value.items()}
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def cache_stats_to_dict(estimator: Any) -> dict[str, Any] | None:
+    """Snapshot a :class:`~repro.latency.estimator.LatencyEstimator`'s
+    two-tier cache counters (``None`` when there is no estimator)."""
+    if estimator is None:
+        return None
+    stats = estimator.stats
+    layer = estimator.layer_memo_stats
+    return {
+        "architecture_tier": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+        },
+        "layer_tier": {"hits": layer.hits, "misses": layer.misses},
+    }
+
+
+def restore_cache_stats(estimator: Any, data: dict[str, Any] | None) -> None:
+    """Carry cache counters across a resume, so hit-rate accounting spans
+    the whole logical run instead of resetting at each restart."""
+    if estimator is None or data is None:
+        return
+    arch_tier = data["architecture_tier"]
+    estimator.stats.hits = int(arch_tier["hits"])
+    estimator.stats.misses = int(arch_tier["misses"])
+    estimator.stats.evictions = int(arch_tier["evictions"])
+    layer_tier = data["layer_tier"]
+    estimator.layer_memo_stats.hits = int(layer_tier["hits"])
+    estimator.layer_memo_stats.misses = int(layer_tier["misses"])
+
+
+def atomic_write_json(data: Any, path: str | Path) -> None:
+    """Write JSON so readers never observe a torn file.
+
+    The payload lands in a same-directory temporary file first and is
+    moved over ``path`` with :func:`os.replace`, which is atomic on
+    POSIX and Windows.  A crash mid-write leaves the previous checkpoint
+    intact -- the property the campaign runner's re-queue-from-last-
+    checkpoint recovery depends on.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2))
+    os.replace(tmp, path)

@@ -89,8 +89,15 @@ def run_figure6(
     evaluator: AccuracyEvaluator | None = None,
     batch_size: int = 1,
     parallel_workers: int = 1,
+    campaign_dir: str | None = None,
+    shard_workers: int = 1,
 ) -> Figure6Result:
-    """Regenerate Figure 6 (both FPGAs, four bars each)."""
+    """Regenerate Figure 6 (both FPGAs, four bars each).
+
+    ``campaign_dir`` / ``shard_workers`` run each device's searches as
+    a resumable campaign (see :func:`run_paired_search`); shard ids
+    embed the device name, so one directory serves both devices.
+    """
     bars: list[Figure6Bar] = []
     outcomes: dict[str, PairedSearchOutcome] = {}
     for device in devices:
@@ -104,6 +111,8 @@ def run_figure6(
             evaluator=evaluator,
             batch_size=batch_size,
             parallel_workers=parallel_workers,
+            campaign_dir=campaign_dir,
+            shard_workers=shard_workers,
         )
         outcomes[device.name] = outcome
         nas_best = outcome.nas.best()

@@ -81,8 +81,15 @@ def run_figure7(
     evaluator: AccuracyEvaluator | None = None,
     batch_size: int = 1,
     parallel_workers: int = 1,
+    campaign_dir: str | None = None,
+    shard_workers: int = 1,
 ) -> Figure7Result:
-    """Regenerate Figure 7 over ``datasets`` and TS1..TS4."""
+    """Regenerate Figure 7 over ``datasets`` and TS1..TS4.
+
+    ``campaign_dir`` / ``shard_workers`` run each dataset's searches as
+    a resumable campaign (see :func:`run_paired_search`); shard ids
+    embed the dataset name, so one directory serves all three.
+    """
     points: list[Figure7Point] = []
     outcomes: dict[str, PairedSearchOutcome] = {}
     for dataset in datasets:
@@ -98,6 +105,8 @@ def run_figure7(
             evaluator=evaluator,
             batch_size=batch_size,
             parallel_workers=parallel_workers,
+            campaign_dir=campaign_dir,
+            shard_workers=shard_workers,
         )
         outcomes[dataset] = outcome
         nas_accuracy = outcome.nas_best_accuracy

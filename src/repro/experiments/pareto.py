@@ -7,16 +7,22 @@ space directly — exhaustively for enumerable spaces (MNIST: 6561
 architectures), sampled otherwise — using the same estimator/surrogate
 pair the searches use.  Each FNAS result can then be judged against the
 true frontier: how much accuracy was left on the table at its spec?
+
+:func:`frontier_from_trials` serves the campaign runner: it folds the
+trial ledgers of many sharded searches into one non-dominated set, the
+campaign-level view of everything the fleet discovered.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.core.architecture import Architecture
 from repro.core.evaluator import AccuracyEvaluator, SurrogateAccuracyEvaluator
+from repro.core.search import TrialRecord
 from repro.core.search_space import SearchSpace
 from repro.experiments.reporting import format_table
 from repro.fpga.platform import Platform
@@ -100,16 +106,51 @@ def compute_pareto_front(
         (estimator.estimate(arch).ms, evaluator.evaluate(arch).accuracy, arch)
         for arch in candidates
     ]
-    scored.sort(key=lambda t: (t[0], -t[1]))
+    return ParetoFront(
+        points=_dominance_sweep(scored),
+        evaluated_count=len(candidates),
+        exhaustive=exhaustive,
+    )
+
+
+def _dominance_sweep(
+    scored: list[tuple[float, float, Architecture]]
+) -> list[ParetoPoint]:
+    """Non-dominated subset of (latency, accuracy, architecture) triples.
+
+    Sorting by (latency asc, accuracy desc) and keeping strict accuracy
+    improvements yields the frontier in one pass; the sort is stable, so
+    ties resolve to the earliest input triple and the result is
+    deterministic for any input order of equals.
+    """
+    ordered = sorted(scored, key=lambda t: (t[0], -t[1]))
     frontier: list[ParetoPoint] = []
     best_acc = -1.0
-    for latency, accuracy, arch in scored:
+    for latency, accuracy, arch in ordered:
         if accuracy > best_acc:
             frontier.append(ParetoPoint(
                 architecture=arch, latency_ms=latency, accuracy=accuracy))
             best_acc = accuracy
+    return frontier
+
+
+def frontier_from_trials(trials: Iterable[TrialRecord]) -> ParetoFront:
+    """Pareto frontier of already-evaluated search trials.
+
+    Used by the campaign runner to merge shard ledgers: every trained
+    trial with a latency estimate is a candidate point; pruned trials
+    (no accuracy) contribute nothing.  Merging is order-independent up
+    to ties, which resolve to the first trial seen, so merging shards
+    in their deterministic grid order gives the same frontier as any
+    serial run would.
+    """
+    scored = [
+        (t.latency_ms, t.accuracy, t.architecture)
+        for t in trials
+        if t.accuracy is not None and t.latency_ms is not None
+    ]
     return ParetoFront(
-        points=frontier,
-        evaluated_count=len(candidates),
-        exhaustive=exhaustive,
+        points=_dominance_sweep(scored),
+        evaluated_count=len(scored),
+        exhaustive=False,
     )

@@ -23,8 +23,16 @@ def generate_report(
     seed: int = 0,
     batch_size: int = 1,
     parallel_workers: int = 1,
+    campaign_dir: str | None = None,
+    shard_workers: int = 1,
 ) -> str:
-    """Run everything and return the markdown report text."""
+    """Run everything and return the markdown report text.
+
+    ``campaign_dir`` / ``shard_workers`` run the search-based sections
+    (Table 1, Figures 6/7) as resumable campaigns: interrupting the
+    report and re-running with the same directory picks up every search
+    from its last checkpoint.
+    """
     out = io.StringIO()
     write = out.write
     write("# FNAS reproduction report\n\n")
@@ -32,19 +40,25 @@ def generate_report(
 
     started = time.perf_counter()
     table1 = run_table1(trials=trials, seed=seed, batch_size=batch_size,
-                        parallel_workers=parallel_workers)
+                        parallel_workers=parallel_workers,
+                        campaign_dir=campaign_dir,
+                        shard_workers=shard_workers)
     write("## Table 1 — MNIST on PYNQ\n\n```\n")
     write(table1.format())
     write("\n```\n\n")
 
     figure6 = run_figure6(trials=trials, seed=seed, batch_size=batch_size,
-                          parallel_workers=parallel_workers)
+                          parallel_workers=parallel_workers,
+                          campaign_dir=campaign_dir,
+                          shard_workers=shard_workers)
     write("## Figure 6 — two FPGAs\n\n```\n")
     write(figure6.format())
     write("\n```\n\n")
 
     figure7 = run_figure7(trials=trials, seed=seed, batch_size=batch_size,
-                          parallel_workers=parallel_workers)
+                          parallel_workers=parallel_workers,
+                          campaign_dir=campaign_dir,
+                          shard_workers=shard_workers)
     write("## Figure 7 — three datasets\n\n```\n")
     write(figure7.format())
     write("\n```\n\n")

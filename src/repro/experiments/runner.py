@@ -1,8 +1,24 @@
-"""Shared experiment plumbing: paired NAS / FNAS runs on one setup."""
+"""Shared experiment plumbing: paired NAS / FNAS runs on one setup.
+
+:func:`run_paired_search` is the engine behind Table 1 and Figures 6/7.
+It has two execution modes:
+
+* the default in-process mode, which runs the NAS baseline and each
+  FNAS spec sequentially (with PR 1's batched/parallel options), and
+* **campaign mode** (``campaign_dir`` and/or ``shard_workers > 1``),
+  which expresses the same runs as orchestration shards: each search
+  becomes a checkpointed, resumable shard, optionally fanned across a
+  process pool.  Re-invoking with the same ``campaign_dir`` resumes
+  interrupted searches from their snapshots, making every table/figure
+  regeneration a durable campaign.  Both modes produce identical trial
+  ledgers (pinned by tests), so campaign mode is purely an execution
+  policy.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -15,6 +31,7 @@ from repro.core.evaluator import (
 from repro.core.search import FnasSearch, NasSearch, SearchResult
 from repro.core.search_space import SearchSpace
 from repro.experiments.configs import ExperimentConfig, get_config
+from repro.fpga.device import DEVICE_CATALOG
 from repro.fpga.platform import Platform
 from repro.latency.estimator import LatencyEstimator
 
@@ -55,6 +72,8 @@ def run_paired_search(
     evaluator: AccuracyEvaluator | None = None,
     batch_size: int = 1,
     parallel_workers: int = 1,
+    campaign_dir: str | Path | None = None,
+    shard_workers: int = 1,
 ) -> PairedSearchOutcome:
     """Run NAS once and FNAS once per timing spec on one dataset/platform.
 
@@ -69,7 +88,20 @@ def run_paired_search(
     runtime (1 reproduces the published sequential trajectories);
     ``parallel_workers > 1`` additionally fans each batch's child
     evaluations across a process pool.
+
+    ``campaign_dir`` and/or ``shard_workers > 1`` switch to campaign
+    mode: the NAS baseline and each FNAS spec become orchestration
+    shards -- checkpointed under ``campaign_dir``, resumable by
+    re-invoking with the same directory, and fanned across
+    ``shard_workers`` processes.  Ledgers are identical to the default
+    mode's; campaign mode requires the default surrogate evaluator and
+    a single-catalog-device platform.
     """
+    if campaign_dir is not None or shard_workers > 1:
+        return _run_paired_campaign(
+            dataset, platform, specs_ms, trials, seed, evaluator,
+            batch_size, parallel_workers, campaign_dir, shard_workers,
+        )
     config = get_config(dataset)
     space = SearchSpace.from_config(config)
     n_trials = trials if trials is not None else config.trials
@@ -107,6 +139,85 @@ def run_paired_search(
     finally:
         if pool is not None:
             pool.close()
+    return PairedSearchOutcome(
+        config=config, platform=platform, nas=nas, fnas=fnas_results
+    )
+
+
+def _campaign_device(platform: Platform) -> tuple[str, int]:
+    """Map a platform onto (catalog device name, board count).
+
+    Campaign shards are plain data, so the platform must be expressible
+    as N copies of one catalog device -- which covers every platform the
+    paper's experiments use.
+    """
+    names = {d.name for d in platform.devices}
+    if len(names) != 1:
+        raise ValueError(
+            "campaign mode needs a homogeneous platform, got devices "
+            + ", ".join(sorted(names))
+        )
+    name = next(iter(names))
+    if name not in DEVICE_CATALOG:
+        raise ValueError(
+            f"campaign mode needs a catalog device, got {name!r} "
+            f"(known: {', '.join(sorted(DEVICE_CATALOG))})"
+        )
+    return name, len(platform.devices)
+
+
+def _run_paired_campaign(
+    dataset: str,
+    platform: Platform,
+    specs_ms: list[float],
+    trials: int | None,
+    seed: int,
+    evaluator: AccuracyEvaluator | None,
+    batch_size: int,
+    parallel_workers: int,
+    campaign_dir: str | Path | None,
+    shard_workers: int,
+) -> PairedSearchOutcome:
+    """Campaign-mode body of :func:`run_paired_search`.
+
+    Builds one NAS shard plus one FNAS shard per spec with exactly the
+    seeds the in-process mode uses (controller ``seed + offset``, one
+    shared surrogate landscape at ``seed``), so the merged outcome's
+    ledgers match the serial mode byte for byte.
+    """
+    from repro.orchestration import Campaign, ShardSpec
+
+    if evaluator is not None:
+        raise ValueError(
+            "campaign mode rebuilds the surrogate evaluator inside each "
+            "shard; pass evaluator=None (or run without campaign_dir / "
+            "shard_workers)"
+        )
+    config = get_config(dataset)
+    device, boards = _campaign_device(platform)
+    n_trials = trials if trials is not None else config.trials
+    common = dict(
+        dataset=dataset,
+        device=device,
+        boards=boards,
+        surrogate_seed=seed,
+        trials=n_trials,
+        batch_size=batch_size,
+        eval_workers=max(1, parallel_workers),
+    )
+    shards = [ShardSpec(kind="nas", seed=seed, **common)]
+    for offset, spec in enumerate(specs_ms, start=1):
+        shards.append(
+            ShardSpec(kind="fnas", spec_ms=spec, seed=seed + offset, **common)
+        )
+    outcome = Campaign(shards, checkpoint_dir=campaign_dir).run(
+        max_workers=shard_workers
+    )
+    nas = outcome.outcomes[0].result
+    fnas_results = {
+        spec: outcome.outcomes[i].result
+        for i, spec in enumerate(specs_ms, start=1)
+    }
     return PairedSearchOutcome(
         config=config, platform=platform, nas=nas, fnas=fnas_results
     )

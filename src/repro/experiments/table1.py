@@ -74,8 +74,14 @@ def run_table1(
     evaluator: AccuracyEvaluator | None = None,
     batch_size: int = 1,
     parallel_workers: int = 1,
+    campaign_dir: str | None = None,
+    shard_workers: int = 1,
 ) -> Table1Result:
-    """Regenerate Table 1 (MNIST on PYNQ)."""
+    """Regenerate Table 1 (MNIST on PYNQ).
+
+    ``campaign_dir`` / ``shard_workers`` run the four searches as a
+    resumable campaign (see :func:`run_paired_search`).
+    """
     outcome = run_paired_search(
         dataset="mnist",
         platform=Platform.single(PYNQ_Z1),
@@ -85,6 +91,8 @@ def run_table1(
         evaluator=evaluator,
         batch_size=batch_size,
         parallel_workers=parallel_workers,
+        campaign_dir=campaign_dir,
+        shard_workers=shard_workers,
     )
     nas_best = outcome.nas.best()
     nas_elapsed = outcome.nas.simulated_seconds

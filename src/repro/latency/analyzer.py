@@ -21,6 +21,18 @@ is a tight lower bound on the simulated makespan):
       dt_ifm(i) = [ (ceil(N_{i-1}/Tn_{i-1}) - 1) * ceil(M_{i-1}/Tm_{i-1})
                     + ceil(Tn_i/Tm_{i-1}) ] * ET_{i-1}
 
+* both formulas implicitly assume the downstream's first input tile is
+  assembled from the upstream's *first* row/col tile only.  When the
+  upstream spatial grid is finer than the downstream's first input
+  window (wide-then-narrow channel transitions tile the upstream map
+  more finely), the upstream PE must additionally finish every task of
+  the ``m`` whole row/col tiles preceding the last one needed, adding
+  ``m * ceil(N_{i-1}/Tn_{i-1}) * ceil(M_{i-1}/Tm_{i-1}) * ET_{i-1}``
+  to either delta.  FNAS-Sched orders row/col tiles outermost, so this
+  prefix term is exact for both reuse strategies; which upstream tiles
+  the first downstream tile needs is decided by the same overlap rule
+  FNAS-GG uses (:func:`repro.taskgraph.graph.rc_dependencies`).
+
 * ``Latsys = sum of per-layer start deltas + PT_last``  (eq. (5)).
 
 The start deltas accumulate along the pipeline: layer ``i`` starts
@@ -38,6 +50,7 @@ from dataclasses import dataclass
 from repro.fpga.tiling import LayerDesign, PipelineDesign
 from repro.scheduling.base import IFM_REUSE, OFM_REUSE
 from repro.scheduling.fnas_sched import alternating_strategies
+from repro.taskgraph.graph import rc_dependencies, resolve_rc_mapping
 
 
 @dataclass(frozen=True)
@@ -77,11 +90,23 @@ class LatencyReport:
 
 
 class FnasAnalyzer:
-    """Closed-form latency analysis of a pipeline design."""
+    """Closed-form latency analysis of a pipeline design.
 
-    def __init__(self, strategies: list[str] | None = None):
-        """``strategies`` overrides the alternating reuse assignment."""
+    Parameters:
+        strategies: overrides the alternating reuse assignment.
+        rc_mapping: row/col dependency mode mirrored from FNAS-GG
+            (``"auto"``, ``"identity"`` or ``"overlap"``); keep it equal
+            to the task-graph generator's setting so the closed form
+            models the same dependency structure the simulator executes.
+    """
+
+    def __init__(
+        self,
+        strategies: list[str] | None = None,
+        rc_mapping: str = "auto",
+    ):
         self.strategies = strategies
+        self.rc_mapping = rc_mapping
 
     def analyze(self, design: PipelineDesign) -> LatencyReport:
         """Compute the eq. (5) latency for ``design``."""
@@ -98,7 +123,8 @@ class FnasAnalyzer:
                 delta = 0
             else:
                 delta = self.start_delta(
-                    design.layers[idx - 1], layer, strategies[idx - 1]
+                    design.layers[idx - 1], layer, strategies[idx - 1],
+                    rc_mapping=self.rc_mapping,
                 )
             start += delta
             layers.append(
@@ -126,16 +152,40 @@ class FnasAnalyzer:
 
     @staticmethod
     def start_delta(
-        upstream: LayerDesign, downstream: LayerDesign, upstream_reuse: str
+        upstream: LayerDesign,
+        downstream: LayerDesign,
+        upstream_reuse: str,
+        rc_mapping: str = "auto",
     ) -> int:
-        """Start-time gap between two adjacent PEs (eqs. (3) / (4))."""
+        """Start-time gap between two adjacent PEs (eqs. (3) / (4)).
+
+        Both equations count upstream tasks until the downstream's
+        first IFM tile is assembled; the row/col prefix term extends
+        them to upstream grids finer than the downstream's first input
+        window (each earlier row/col tile costs a full channel sweep).
+        """
         n_ifm_up = upstream.n_ifm_channel_tiles
+        n_ofm_up = upstream.n_ofm_channel_tiles
         ofm_tiles_needed = math.ceil(downstream.tiling.tn / upstream.tiling.tm)
-        ofm_tiles_needed = min(ofm_tiles_needed, upstream.n_ofm_channel_tiles)
+        ofm_tiles_needed = min(ofm_tiles_needed, n_ofm_up)
         et_up = upstream.execution_time
+        rc_prefix = FnasAnalyzer._last_rc_tile_needed(
+            upstream, downstream, rc_mapping
+        ) * n_ifm_up * n_ofm_up
         if upstream_reuse == OFM_REUSE:
-            return n_ifm_up * ofm_tiles_needed * et_up
+            return (rc_prefix + n_ifm_up * ofm_tiles_needed) * et_up
         if upstream_reuse == IFM_REUSE:
-            n_ofm_up = upstream.n_ofm_channel_tiles
-            return ((n_ifm_up - 1) * n_ofm_up + ofm_tiles_needed) * et_up
+            return (rc_prefix + (n_ifm_up - 1) * n_ofm_up
+                    + ofm_tiles_needed) * et_up
         raise ValueError(f"unknown reuse strategy {upstream_reuse!r}")
+
+    @staticmethod
+    def _last_rc_tile_needed(
+        upstream: LayerDesign, downstream: LayerDesign, rc_mapping: str
+    ) -> int:
+        """Index of the last upstream row/col tile feeding the
+        downstream's first IFM tile (0 when the grids map one-to-one)."""
+        mode = resolve_rc_mapping(upstream, downstream, rc_mapping)
+        if mode == "identity":
+            return 0
+        return max(rc_dependencies(upstream, downstream, 0))

@@ -157,6 +157,7 @@ class Conv2D(Layer):
         return max(1, MAX_COL_ELEMENTS // max(per_example, 1))
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """SAME-padded strided convolution via im2col + one BLAS matmul."""
         n, c, h, w = x.shape
         if c != self.in_channels:
             raise ValueError(
@@ -187,6 +188,7 @@ class Conv2D(Layer):
         return out.reshape(n, self.out_channels, out_h, out_w)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias grads and return the input grad."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_shape, xp, (top, left), (out_h, out_w), col = self._cache
@@ -231,9 +233,11 @@ class Conv2D(Layer):
         return d_xp[:, :, top:top + h, left:left + w]
 
     def params(self) -> list[np.ndarray]:
+        """Learnable tensors: kernel weights and per-channel bias."""
         return [self.weight, self.bias]
 
     def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`params`."""
         return [self.d_weight, self.d_bias]
 
 
@@ -244,10 +248,12 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """``max(x, 0)``, caching the activation mask for backward."""
         self._mask = x > 0
         return np.where(self._mask, x, x.dtype.type(0))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Pass gradient through where the input was positive."""
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return grad * self._mask
@@ -263,6 +269,7 @@ class MaxPool2D(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Windowed max over ``pool x pool`` blocks (argmax cached)."""
         n, c, h, w = x.shape
         p = self.pool
         out_h, out_w = -(-h // p), -(-w // p)
@@ -278,6 +285,7 @@ class MaxPool2D(Layer):
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Route gradient back to the max positions of each window."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_shape, xp_shape, mask = self._cache
@@ -295,10 +303,12 @@ class GlobalAvgPool(Layer):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Mean over H and W."""
         self._shape = x.shape
         return x.mean(axis=(2, 3))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Spread each channel's gradient uniformly over its pixels."""
         if self._shape is None:
             raise RuntimeError("backward called before forward")
         n, c, h, w = self._shape
@@ -314,10 +324,12 @@ class Flatten(Layer):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Collapse all non-batch dims."""
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Restore the cached input shape."""
         if self._shape is None:
             raise RuntimeError("backward called before forward")
         return grad.reshape(self._shape)
@@ -352,6 +364,8 @@ class BatchNorm2D(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Normalise per channel; batch stats when training, running
+        statistics at inference."""
         if x.ndim != 4 or x.shape[1] != self.channels:
             raise ValueError(
                 f"expected (N, {self.channels}, H, W) input, got {x.shape}"
@@ -374,6 +388,8 @@ class BatchNorm2D(Layer):
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Standard batch-norm backward (full batch-statistics terms
+        in training mode, affine-only at inference)."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_hat, inv_std, training, shape = self._cache
@@ -391,9 +407,11 @@ class BatchNorm2D(Layer):
         return (d_xhat - mean_d - x_hat * mean_dx) * inv_std[None, :, None, None]
 
     def params(self) -> list[np.ndarray]:
+        """Learnable tensors: per-channel scale and shift."""
         return [self.gamma, self.beta]
 
     def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`params`."""
         return [self.d_gamma, self.d_beta]
 
 
@@ -408,6 +426,7 @@ class Dropout(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Zero a random ``rate`` fraction, scaling survivors up."""
         if not training or self.rate == 0.0:
             self._mask = None
             return x
@@ -418,6 +437,7 @@ class Dropout(Layer):
         return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Apply the cached keep mask (identity at inference)."""
         if self._mask is None:
             return grad
         return grad * self._mask
@@ -448,6 +468,7 @@ class Dense(Layer):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Affine map ``x @ W + b``."""
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"expected (N, {self.in_features}) input, got {x.shape}"
@@ -456,6 +477,7 @@ class Dense(Layer):
         return self._x @ self.weight + self.bias
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias grads and return the input grad."""
         if self._x is None:
             raise RuntimeError("backward called before forward")
         grad = grad.astype(self.dtype, copy=False)
@@ -464,7 +486,9 @@ class Dense(Layer):
         return grad @ self.weight.T
 
     def params(self) -> list[np.ndarray]:
+        """Learnable tensors: weight matrix and bias."""
         return [self.weight, self.bias]
 
     def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`params`."""
         return [self.d_weight, self.d_bias]

@@ -50,6 +50,7 @@ class SGD(Optimizer):
         self.velocity = [np.zeros_like(p) for p in params]
 
     def step(self) -> None:
+        """One momentum-SGD update over all registered parameters."""
         for p, g, v in zip(self.params, self.grads, self.velocity):
             update = g + self.weight_decay * p
             v *= self.momentum
@@ -83,6 +84,7 @@ class Adam(Optimizer):
         self.v = [np.zeros_like(p) for p in params]
 
     def step(self) -> None:
+        """One bias-corrected Adam update over all registered parameters."""
         self.t += 1
         bias1 = 1.0 - self.beta1**self.t
         bias2 = 1.0 - self.beta2**self.t

@@ -1,0 +1,53 @@
+"""Search orchestration: checkpointable, sharded, resumable campaigns.
+
+The layer that turns single search runs into durable fleets:
+
+* checkpoint/resume itself lives on the search loops
+  (:meth:`repro.core.search.Search.resume`) with its serialization
+  substrate in :mod:`repro.core.serialization`;
+* :mod:`repro.orchestration.shards` defines the unit of distribution --
+  a :class:`ShardSpec` is plain data from which any process can rebuild
+  the exact search -- and the grid builder;
+* :mod:`repro.orchestration.campaign` fans shard grids across a process
+  pool, re-queues shards whose workers die (resuming from their last
+  checkpoints), and merges everything into a campaign-level result with
+  an accuracy-latency Pareto frontier.
+
+Exposed via the ``repro sweep`` CLI verb and the
+``campaign_dir`` / ``shard_workers`` parameters of
+:func:`repro.experiments.runner.run_paired_search`.
+"""
+
+from repro.orchestration.campaign import (
+    Campaign,
+    CampaignEvent,
+    CampaignResult,
+    merge_outcomes,
+    run_campaign,
+    save_campaign_result,
+)
+from repro.orchestration.shards import (
+    FNAS_KIND,
+    NAS_KIND,
+    ShardOutcome,
+    ShardSpec,
+    build_search,
+    run_shard,
+    shard_grid,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignEvent",
+    "CampaignResult",
+    "FNAS_KIND",
+    "NAS_KIND",
+    "ShardOutcome",
+    "ShardSpec",
+    "build_search",
+    "merge_outcomes",
+    "run_campaign",
+    "run_shard",
+    "save_campaign_result",
+    "shard_grid",
+]

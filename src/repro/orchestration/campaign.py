@@ -1,0 +1,355 @@
+"""Campaign runner: durable, sharded search fleets.
+
+A :class:`Campaign` takes a grid of :class:`~repro.orchestration.shards.ShardSpec`
+shards and runs them to completion:
+
+* **fan-out** -- shards execute across a process pool (``max_workers``),
+  each worker rebuilding its search from the spec alone;
+* **durability** -- with a ``checkpoint_dir``, every shard snapshots
+  atomically as it runs, and a shard re-queued after a worker death
+  *resumes* from its last snapshot instead of restarting;
+* **recovery** -- a broken pool (worker OOM-killed, interpreter crash)
+  is rebuilt up to ``max_pool_restarts`` times; shards that still have
+  no result then fall back to in-process execution, so a campaign
+  always terminates with a complete result set;
+* **merging** -- finished shards merge deterministically in grid order
+  into a :class:`CampaignResult`: per-shard ledgers plus the
+  campaign-level accuracy-latency Pareto frontier
+  (:func:`repro.experiments.pareto.frontier_from_trials`).  The merged
+  result is identical whatever order workers finish in, so ``N`` shards
+  in parallel equal the same shards run serially.
+
+Progress streams through an optional callback as typed
+:class:`CampaignEvent` records -- the CLI prints them, tests assert on
+them, services can forward them to their own telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.search import SearchResult
+from repro.core.serialization import atomic_write_json, search_result_to_dict
+from repro.experiments.pareto import ParetoFront, frontier_from_trials
+from repro.experiments.reporting import format_table
+from repro.orchestration.shards import (
+    ShardOutcome,
+    ShardSpec,
+    run_shard,
+)
+
+#: Campaign artifact schema tag.
+CAMPAIGN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One progress notification from a running campaign.
+
+    ``kind`` is one of ``"start"``, ``"finish"``, ``"requeue"``,
+    ``"fallback"``; ``shard_id`` is empty for campaign-level events.
+    """
+
+    kind: str
+    shard_id: str
+    message: str
+
+
+ProgressCallback = Callable[[CampaignEvent], None]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced.
+
+    Attributes:
+        outcomes: one entry per shard, in deterministic grid order.
+        frontier: campaign-level Pareto frontier merged over every
+            trained trial of every shard.
+        wall_seconds: end-to-end campaign wall time.
+    """
+
+    outcomes: list[ShardOutcome]
+    frontier: ParetoFront
+    wall_seconds: float = 0.0
+
+    @property
+    def total_trials(self) -> int:
+        """Trials summed over shards."""
+        return sum(len(o.result.trials) for o in self.outcomes)
+
+    @property
+    def requeued_shards(self) -> int:
+        """Shards that survived at least one worker death."""
+        return sum(1 for o in self.outcomes if o.requeues > 0)
+
+    def outcome(self, shard_id: str) -> ShardOutcome:
+        """Look up one shard's outcome by id."""
+        for candidate in self.outcomes:
+            if candidate.spec.shard_id == shard_id:
+                return candidate
+        known = ", ".join(o.spec.shard_id for o in self.outcomes)
+        raise KeyError(f"unknown shard {shard_id!r}; known: {known}")
+
+    def best_accuracy(self) -> float:
+        """Highest trained accuracy across the whole campaign."""
+        best = max(
+            (p.accuracy for p in self.frontier.points), default=None
+        )
+        if best is None:
+            raise ValueError("campaign trained no children")
+        return best
+
+    def format(self) -> str:
+        """Per-shard summary table plus the merged frontier size."""
+        headers = ["Shard", "Trials", "Trained", "Pruned", "BestAcc",
+                   "BestLat(ms)", "Requeues"]
+        rows = []
+        for outcome in self.outcomes:
+            result = outcome.result
+            trained = [
+                t for t in result.trials
+                if t.accuracy is not None and t.latency_ms is not None
+            ]
+            best = (max(trained, key=lambda t: t.accuracy)
+                    if trained else None)
+            rows.append([
+                outcome.spec.shard_id,
+                str(len(result.trials)),
+                str(result.trained_count),
+                str(result.pruned_count),
+                "-" if best is None else f"{100 * best.accuracy:.2f}%",
+                "-" if best is None else f"{best.latency_ms:.2f}",
+                str(outcome.requeues),
+            ])
+        table = format_table(headers, rows)
+        return (f"{table}\ncampaign frontier: {len(self.frontier.points)} "
+                f"non-dominated points from {self.frontier.evaluated_count} "
+                "trained trials")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (the campaign artifact)."""
+        from repro.core.serialization import architecture_to_dict
+
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "wall_seconds": self.wall_seconds,
+            "shards": [
+                {
+                    "spec": o.spec.to_dict(),
+                    "requeues": o.requeues,
+                    "resumed_from": o.resumed_from,
+                    "result": search_result_to_dict(o.result),
+                }
+                for o in self.outcomes
+            ],
+            "frontier": [
+                {
+                    "latency_ms": p.latency_ms,
+                    "accuracy": p.accuracy,
+                    "architecture": architecture_to_dict(p.architecture),
+                }
+                for p in self.frontier.points
+            ],
+        }
+
+
+def save_campaign_result(result: CampaignResult, path: str | Path) -> None:
+    """Atomically write the campaign artifact JSON."""
+    atomic_write_json(result.to_dict(), path)
+
+
+def merge_outcomes(outcomes: list[ShardOutcome]) -> ParetoFront:
+    """Campaign-level frontier over every shard's trained trials.
+
+    Deterministic in the order of ``outcomes`` (ties resolve to the
+    earlier shard), which the campaign fixes to grid order -- never to
+    worker completion order.
+    """
+    trials = [t for outcome in outcomes for t in outcome.result.trials]
+    return frontier_from_trials(trials)
+
+
+class Campaign:
+    """Run a grid of shards to completion, durably and in parallel.
+
+    Parameters:
+        shards: the grid, typically from
+            :func:`~repro.orchestration.shards.shard_grid`.
+        checkpoint_dir: where shards snapshot; ``None`` disables
+            checkpointing (shards then restart from scratch on
+            re-queue, still correct but wasteful).
+        checkpoint_every: snapshot cadence in trials (default: ~10 per
+            shard).
+        max_pool_restarts: how many broken-pool rebuilds to attempt
+            before falling back to in-process execution.
+        progress: optional :class:`CampaignEvent` callback.
+    """
+
+    def __init__(
+        self,
+        shards: list[ShardSpec],
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int | None = None,
+        max_pool_restarts: int = 2,
+        progress: ProgressCallback | None = None,
+    ):
+        if not shards:
+            raise ValueError("a campaign needs at least one shard")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError("shard ids must be unique within a campaign")
+        if max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every without a checkpoint_dir would snapshot "
+                "nowhere; pass both"
+            )
+        self.shards = list(shards)
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else str(checkpoint_dir)
+        )
+        self.checkpoint_every = checkpoint_every
+        self.max_pool_restarts = max_pool_restarts
+        self.progress = progress
+
+    def run(self, max_workers: int = 1) -> CampaignResult:
+        """Execute every shard and merge the results.
+
+        ``max_workers <= 1`` runs shards serially in-process (still
+        checkpointed); larger values fan shards across a process pool.
+        Worker death re-queues the affected shards -- resuming from
+        their last checkpoints -- onto a rebuilt pool, falling back to
+        serial execution once ``max_pool_restarts`` is exhausted.
+        """
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        started = time.perf_counter()
+        if self.checkpoint_dir is not None:
+            Path(self.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        pending: dict[str, ShardSpec] = {
+            s.shard_id: s for s in self.shards
+        }
+        requeues: dict[str, int] = {s.shard_id: 0 for s in self.shards}
+        outcomes: dict[str, ShardOutcome] = {}
+        if max_workers > 1 and len(pending) > 1:
+            self._run_pooled(pending, outcomes, requeues, max_workers)
+        for shard_id, spec in list(pending.items()):
+            self._emit("start", shard_id, "running in-process")
+            payload = run_shard(
+                spec, self.checkpoint_dir, self.checkpoint_every
+            )
+            outcomes[shard_id] = ShardOutcome.from_payload(
+                payload, requeues=requeues[shard_id]
+            )
+            del pending[shard_id]
+            self._emit("finish", shard_id,
+                       f"{len(outcomes[shard_id].result.trials)} trials")
+        ordered = [outcomes[s.shard_id] for s in self.shards]
+        return CampaignResult(
+            outcomes=ordered,
+            frontier=merge_outcomes(ordered),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_pooled(
+        self,
+        pending: dict[str, ShardSpec],
+        outcomes: dict[str, ShardOutcome],
+        requeues: dict[str, int],
+        max_workers: int,
+    ) -> None:
+        """Drain ``pending`` through process pools, rebuilding on death.
+
+        Shards whose results arrive are moved to ``outcomes``; anything
+        still pending when the restart budget runs out is left for the
+        caller's serial fallback.  Exceptions raised *by a shard itself*
+        (bad spec reaching a worker, evaluator bugs) propagate -- only
+        pool infrastructure failure triggers re-queuing.
+        """
+        restarts = 0
+        while pending:
+            try:
+                self._drain_one_pool(pending, outcomes, requeues, max_workers)
+                return
+            except BrokenProcessPool:
+                restarts += 1
+                if restarts > self.max_pool_restarts:
+                    self._emit(
+                        "fallback", "",
+                        f"pool died {restarts} times; running the "
+                        f"remaining {len(pending)} shard(s) in-process",
+                    )
+                    return
+                for shard_id in pending:
+                    requeues[shard_id] += 1
+                    self._emit(
+                        "requeue", shard_id,
+                        "worker died; re-queuing from last checkpoint"
+                        if self.checkpoint_dir is not None
+                        else "worker died; re-queuing from scratch",
+                    )
+
+    def _drain_one_pool(
+        self,
+        pending: dict[str, ShardSpec],
+        outcomes: dict[str, ShardOutcome],
+        requeues: dict[str, int],
+        max_workers: int,
+    ) -> None:
+        """Run all pending shards on one pool; raises BrokenProcessPool."""
+        workers = min(max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for shard_id, spec in pending.items():
+                futures[pool.submit(
+                    run_shard, spec, self.checkpoint_dir,
+                    self.checkpoint_every,
+                )] = shard_id
+                self._emit("start", shard_id, f"submitted to {workers}-worker pool")
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard_id = futures[future]
+                    payload = future.result()  # raises BrokenProcessPool
+                    outcomes[shard_id] = ShardOutcome.from_payload(
+                        payload, requeues=requeues[shard_id]
+                    )
+                    del pending[shard_id]
+                    self._emit(
+                        "finish", shard_id,
+                        f"{len(outcomes[shard_id].result.trials)} trials"
+                        + (" (resumed)" if outcomes[shard_id].resumed_from
+                           else ""),
+                    )
+
+    def _emit(self, kind: str, shard_id: str, message: str) -> None:
+        if self.progress is not None:
+            self.progress(CampaignEvent(kind, shard_id, message))
+
+
+def run_campaign(
+    shards: list[ShardSpec],
+    max_workers: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`Campaign`."""
+    return Campaign(
+        shards,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        progress=progress,
+    ).run(max_workers=max_workers)

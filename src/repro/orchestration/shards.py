@@ -1,0 +1,357 @@
+"""Shard specifications: one self-contained search per shard.
+
+A :class:`ShardSpec` is plain, JSON-serializable data -- dataset and
+catalog device names, seeds, trial budget -- from which
+:func:`build_search` reconstructs the exact search object in any
+process.  That property is what makes campaigns shardable: a worker
+process receives only the spec, builds the search locally, and the
+trajectory it produces is fully determined by the spec (the surrogate
+landscape, controller initialisation and RNG stream are all seeded from
+it).  It is also what makes shards recoverable: a re-queued spec plus
+the shard's last checkpoint reproduce the exact run the dead worker was
+executing.
+
+:func:`shard_grid` expands the (seed x platform x search-config) cross
+product the paper-scale campaigns sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.configs import get_config
+from repro.core.controller import LstmController
+from repro.core.evaluator import ParallelEvaluator, SurrogateAccuracyEvaluator
+from repro.core.search import FnasSearch, NasSearch, Search, SearchResult
+from repro.core.search_space import SearchSpace
+from repro.core.serialization import search_result_from_dict, search_result_to_dict
+from repro.fpga.device import get_device
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+#: Shard kinds: the two search loops.
+NAS_KIND = "nas"
+FNAS_KIND = "fnas"
+
+#: Default checkpoint cadence when a campaign enables checkpointing
+#: without choosing one: roughly ten snapshots per shard.
+DEFAULT_CHECKPOINT_FRACTION = 10
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a campaign: a fully-determined search run.
+
+    Attributes:
+        dataset: Table 2 dataset name (``mnist`` / ``cifar10`` /
+            ``imagenet``).
+        device: FPGA catalog name (see :mod:`repro.fpga.device`).
+        boards: how many copies of ``device`` form the platform.
+        kind: ``"nas"`` or ``"fnas"``.
+        spec_ms: FNAS timing specification; must be ``None`` for NAS.
+        seed: controller-initialisation and RNG-stream seed.
+        surrogate_seed: seed of the surrogate accuracy landscape;
+            shards meant to be comparable must share it.
+        trials: children to search (``None``: the dataset's Table 2
+            count).
+        batch_size: candidates per controller step (PR 1 semantics).
+        eval_workers: process-pool workers for child evaluation inside
+            the shard (1 = in-process).
+        min_latency_fallback: FNAS-only; train the smallest child when
+            no sampled one meets the spec.
+    """
+
+    dataset: str
+    device: str
+    boards: int = 1
+    kind: str = FNAS_KIND
+    spec_ms: float | None = None
+    seed: int = 0
+    surrogate_seed: int = 0
+    trials: int | None = None
+    batch_size: int = 1
+    eval_workers: int = 1
+    min_latency_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NAS_KIND, FNAS_KIND):
+            raise ValueError(
+                f"unknown shard kind {self.kind!r}; expected "
+                f"{NAS_KIND!r} or {FNAS_KIND!r}"
+            )
+        if self.kind == FNAS_KIND and self.spec_ms is None:
+            raise ValueError("fnas shards need a spec_ms")
+        if self.kind == NAS_KIND and self.spec_ms is not None:
+            raise ValueError("nas shards must not set spec_ms")
+        if self.boards <= 0:
+            raise ValueError(f"boards must be positive, got {self.boards}")
+        if self.batch_size <= 0:
+            raise ValueError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+        if self.eval_workers <= 0:
+            raise ValueError(
+                f"eval_workers must be positive, got {self.eval_workers}"
+            )
+        # Fail early on unknown names, in the submitting process rather
+        # than in a worker.
+        get_config(self.dataset)
+        get_device(self.device)
+
+    @property
+    def shard_id(self) -> str:
+        """Stable unique name; doubles as the checkpoint file stem."""
+        parts = [self.dataset, self.device]
+        if self.boards > 1:
+            parts[-1] += f"x{self.boards}"
+        if self.kind == FNAS_KIND:
+            parts.append(f"fnas{self.spec_ms:g}ms")
+        else:
+            parts.append(NAS_KIND)
+        parts.append(f"s{self.seed}")
+        if self.surrogate_seed != self.seed:
+            parts.append(f"ss{self.surrogate_seed}")
+        if self.batch_size > 1:
+            parts.append(f"b{self.batch_size}")
+        return "-".join(parts)
+
+    @property
+    def resolved_trials(self) -> int:
+        """Trial budget with the Table 2 default applied."""
+        if self.trials is not None:
+            return self.trials
+        return get_config(self.dataset).trials
+
+    def checkpoint_path(self, checkpoint_dir: str | Path) -> Path:
+        """Where this shard's snapshot lives under ``checkpoint_dir``."""
+        return Path(checkpoint_dir) / f"{self.shard_id}.checkpoint.json"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for campaign artifacts."""
+        return {
+            "dataset": self.dataset,
+            "device": self.device,
+            "boards": self.boards,
+            "kind": self.kind,
+            "spec_ms": self.spec_ms,
+            "seed": self.seed,
+            "surrogate_seed": self.surrogate_seed,
+            "trials": self.trials,
+            "batch_size": self.batch_size,
+            "eval_workers": self.eval_workers,
+            "min_latency_fallback": self.min_latency_fallback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def shard_grid(
+    datasets: Sequence[str],
+    devices: Sequence[str],
+    seeds: Sequence[int],
+    specs_ms: Sequence[float] | None = None,
+    include_nas: bool = False,
+    boards: int = 1,
+    trials: int | None = None,
+    batch_size: int = 1,
+    eval_workers: int = 1,
+    surrogate_seed: int | None = None,
+) -> list[ShardSpec]:
+    """The (dataset x device x seed x search-config) shard cross product.
+
+    ``specs_ms`` adds one FNAS shard per timing spec; ``include_nas``
+    adds the accuracy-only baseline.  ``surrogate_seed=None`` keeps one
+    shared landscape (seed 0) across all shards so their results are
+    comparable; pass a value to pin a different shared landscape.
+    Shards come back in deterministic grid order -- the order campaign
+    merging uses regardless of which worker finishes first.
+    """
+    if not specs_ms and not include_nas:
+        raise ValueError("a grid needs specs_ms and/or include_nas")
+    for axis, values in (("datasets", datasets), ("devices", devices),
+                         ("seeds", seeds)):
+        if not values:
+            raise ValueError(f"a grid needs at least one entry in {axis}")
+    landscape = 0 if surrogate_seed is None else surrogate_seed
+    shards: list[ShardSpec] = []
+    for dataset in datasets:
+        for device in devices:
+            for seed in seeds:
+                common = dict(
+                    dataset=dataset,
+                    device=device,
+                    boards=boards,
+                    seed=seed,
+                    surrogate_seed=landscape,
+                    trials=trials,
+                    batch_size=batch_size,
+                    eval_workers=eval_workers,
+                )
+                if include_nas:
+                    shards.append(ShardSpec(kind=NAS_KIND, **common))
+                for spec in specs_ms or ():
+                    shards.append(
+                        ShardSpec(kind=FNAS_KIND, spec_ms=spec, **common)
+                    )
+    _check_unique(shards)
+    return shards
+
+
+def _check_unique(shards: Iterable[ShardSpec]) -> None:
+    seen: set[str] = set()
+    for shard in shards:
+        if shard.shard_id in seen:
+            raise ValueError(f"duplicate shard id {shard.shard_id!r}")
+        seen.add(shard.shard_id)
+
+
+def build_search(spec: ShardSpec) -> Search:
+    """Reconstruct the shard's search object from its spec.
+
+    Everything is derived deterministically from the spec, so any
+    process -- the submitting one, a pool worker, or a worker picking
+    up after a crash -- builds the identical search.
+    """
+    config = get_config(spec.dataset)
+    space = SearchSpace.from_config(config)
+    evaluator = SurrogateAccuracyEvaluator(
+        space, config=config, seed=spec.surrogate_seed
+    )
+    if spec.eval_workers > 1:
+        evaluator = ParallelEvaluator(evaluator, max_workers=spec.eval_workers)
+    platform = Platform.replicated(get_device(spec.device), spec.boards)
+    estimator = LatencyEstimator(platform)
+    controller = LstmController(space, seed=spec.seed)
+    if spec.kind == NAS_KIND:
+        return NasSearch(
+            space,
+            evaluator,
+            controller=controller,
+            latency_estimator=estimator,
+        )
+    return FnasSearch(
+        space,
+        evaluator,
+        estimator,
+        required_latency_ms=spec.spec_ms,
+        controller=controller,
+        min_latency_fallback=spec.min_latency_fallback,
+    )
+
+
+def run_shard(
+    spec: ShardSpec,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+) -> dict[str, Any]:
+    """Execute one shard to completion (pool-worker entry point).
+
+    With a ``checkpoint_dir``, the shard snapshots its state every
+    ``checkpoint_every`` trials (default: ~10 snapshots per run) and --
+    crucially -- *resumes* from an existing snapshot instead of
+    restarting, which is how a re-queued shard continues where a dead
+    worker left off.  Returns a JSON-compatible payload so results
+    cross the process boundary as plain data.
+    """
+    search = build_search(spec)
+    trials = spec.resolved_trials
+    resumed_from = None
+    try:
+        if checkpoint_dir is None:
+            if checkpoint_every is not None:
+                raise ValueError(
+                    "checkpoint_every without a checkpoint_dir would "
+                    "snapshot nowhere; pass both (mirrors Search.run)"
+                )
+            result = search.run(
+                trials, np.random.default_rng(spec.seed),
+                batch_size=spec.batch_size,
+            )
+        else:
+            path = spec.checkpoint_path(checkpoint_dir)
+            if checkpoint_every is None:
+                checkpoint_every = max(
+                    1, trials // DEFAULT_CHECKPOINT_FRACTION
+                )
+            if path.exists():
+                snapshot = _check_snapshot_matches_spec(path, spec, trials)
+                result = search.resume(path, snapshot=snapshot)
+                resumed_from = str(path)
+            else:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                result = search.run(
+                    trials, np.random.default_rng(spec.seed),
+                    batch_size=spec.batch_size,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_path=path,
+                )
+    finally:
+        # Reclaim the eval_workers pool (when one was built): in serial
+        # campaign mode or the post-pool-death fallback, shards run in
+        # the submitting process, which would otherwise accumulate one
+        # idle worker pool per shard.
+        closer = getattr(search.evaluator, "close", None)
+        if closer is not None:
+            closer()
+    return {
+        "shard_id": spec.shard_id,
+        "spec": spec.to_dict(),
+        "result": search_result_to_dict(result),
+        "resumed_from": resumed_from,
+    }
+
+
+def _check_snapshot_matches_spec(
+    path: Path, spec: ShardSpec, trials: int
+) -> dict[str, Any]:
+    """Refuse to resume a checkpoint written under a different budget.
+
+    The shard id (hence the checkpoint filename) does not encode the
+    trial budget, so re-running a campaign with a changed ``trials``
+    against an old checkpoint directory would otherwise silently return
+    the *old* budget's result.  Returns the parsed snapshot so the
+    caller can hand it to :meth:`~repro.core.search.Search.resume`
+    without re-reading the file.
+    """
+    snapshot = json.loads(path.read_text())
+    saved_trials = snapshot.get("trials_total")
+    saved_batch = snapshot.get("batch_size")
+    if saved_trials != trials or saved_batch != spec.batch_size:
+        raise ValueError(
+            f"checkpoint {path} was written for trials={saved_trials}, "
+            f"batch_size={saved_batch} but shard {spec.shard_id!r} now "
+            f"requests trials={trials}, batch_size={spec.batch_size}; "
+            "point the campaign at a fresh checkpoint directory (or "
+            "delete the stale snapshot) to change the budget"
+        )
+    return snapshot
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One finished shard: its spec, ledger, and how it got there."""
+
+    spec: ShardSpec
+    result: SearchResult
+    resumed_from: str | None = None
+    requeues: int = 0
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any], requeues: int = 0
+    ) -> "ShardOutcome":
+        """Decode a :func:`run_shard` payload."""
+        return cls(
+            spec=ShardSpec.from_dict(payload["spec"]),
+            result=search_result_from_dict(payload["result"]),
+            resumed_from=payload.get("resumed_from"),
+            requeues=requeues,
+        )

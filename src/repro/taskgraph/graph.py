@@ -177,27 +177,20 @@ class TaskGraphGenerator:
         ifm_sources: dict[IfmTile, list[OfmTile]],
     ) -> None:
         """Record intra-layer dependencies across one layer boundary."""
-        mode = self.rc_mapping
-        if mode == "auto":
-            grids_match = (
-                upstream.n_rc_tiles == downstream.n_rc_tiles
-                and upstream.n_row_tiles == downstream.n_row_tiles
-                and downstream.spec.stride == 1
-            )
-            mode = "identity" if grids_match else "overlap"
+        mode = resolve_rc_mapping(upstream, downstream, self.rc_mapping)
         if mode == "identity" and upstream.n_rc_tiles != downstream.n_rc_tiles:
             raise ValueError(
                 f"identity rc mapping needs equal tile grids at layer "
                 f"boundary {consumer_idx - 1}->{consumer_idx}: "
                 f"{upstream.n_rc_tiles} vs {downstream.n_rc_tiles} tiles"
             )
-        channel_map = self._channel_dependencies(upstream, downstream)
+        channel_map = channel_dependencies(upstream, downstream)
         for j, upstream_ks in enumerate(channel_map):
             for m in range(downstream.n_rc_tiles):
                 if mode == "identity":
                     rc_sources = [m]
                 else:
-                    rc_sources = self._rc_dependencies(upstream, downstream, m)
+                    rc_sources = rc_dependencies(upstream, downstream, m)
                 tile = IfmTile(consumer_idx, j, m)
                 ifm_sources[tile] = [
                     OfmTile(consumer_idx - 1, k, src_m)
@@ -205,71 +198,91 @@ class TaskGraphGenerator:
                     for k in upstream_ks
                 ]
 
-    @staticmethod
-    def _channel_dependencies(
-        upstream: LayerDesign, downstream: LayerDesign
-    ) -> list[list[int]]:
-        """For each downstream IFM channel tile, the upstream OFM tiles.
+def resolve_rc_mapping(
+    upstream: LayerDesign, downstream: LayerDesign, rc_mapping: str = "auto"
+) -> str:
+    """Concrete row/col mapping mode for one layer boundary.
 
-        The channel axis is shared (layer ``i``'s output channels are
-        layer ``i+1``'s input channels); a dependency exists iff the two
-        tiles' channel intervals overlap.
-        """
-        total = upstream.spec.out_channels
-        if downstream.spec.in_channels != total:
-            raise ValueError(
-                f"channel mismatch across layer boundary: upstream produces "
-                f"{total}, downstream consumes {downstream.spec.in_channels}"
+    ``"auto"`` resolves to ``"identity"`` when the two layers' tile
+    grids agree and the downstream layer has stride 1 (the paper's
+    matched-grid assumption), and to ``"overlap"`` otherwise.  Shared by
+    FNAS-GG and the closed-form analyzer so both model the same
+    dependency structure.
+    """
+    if rc_mapping != "auto":
+        return rc_mapping
+    grids_match = (
+        upstream.n_rc_tiles == downstream.n_rc_tiles
+        and upstream.n_row_tiles == downstream.n_row_tiles
+        and downstream.spec.stride == 1
+    )
+    return "identity" if grids_match else "overlap"
+
+
+def channel_dependencies(
+    upstream: LayerDesign, downstream: LayerDesign
+) -> list[list[int]]:
+    """For each downstream IFM channel tile, the upstream OFM tiles.
+
+    The channel axis is shared (layer ``i``'s output channels are
+    layer ``i+1``'s input channels); a dependency exists iff the two
+    tiles' channel intervals overlap.
+    """
+    total = upstream.spec.out_channels
+    if downstream.spec.in_channels != total:
+        raise ValueError(
+            f"channel mismatch across layer boundary: upstream produces "
+            f"{total}, downstream consumes {downstream.spec.in_channels}"
+        )
+    result: list[list[int]] = []
+    for j in range(downstream.n_ifm_channel_tiles):
+        ifm_span = channel_range(j, downstream.tiling.tn, total)
+        ks = [
+            k
+            for k in range(upstream.n_ofm_channel_tiles)
+            if ranges_overlap(
+                ifm_span, channel_range(k, upstream.tiling.tm, total)
             )
-        result: list[list[int]] = []
-        for j in range(downstream.n_ifm_channel_tiles):
-            ifm_span = channel_range(j, downstream.tiling.tn, total)
-            ks = [
-                k
-                for k in range(upstream.n_ofm_channel_tiles)
-                if ranges_overlap(
-                    ifm_span, channel_range(k, upstream.tiling.tm, total)
-                )
-            ]
-            result.append(ks)
-        return result
+        ]
+        result.append(ks)
+    return result
 
-    @staticmethod
-    def _rc_dependencies(
-        upstream: LayerDesign, downstream: LayerDesign, rc_tile: int
-    ) -> list[int]:
-        """Upstream row/col tiles feeding one downstream row/col tile.
 
-        The downstream tile covers an output region; its input window
-        (after stride and kernel halo) is intersected with the upstream
-        tile grid over the shared feature map (upstream's OFM == the
-        downstream layer's IFM).
-        """
-        d_spec, d_til = downstream.spec, downstream.tiling
-        row_tile = rc_tile // downstream.n_col_tiles
-        col_tile = rc_tile % downstream.n_col_tiles
-        out_r0 = row_tile * d_til.tr
-        out_r1 = min(d_spec.out_rows, out_r0 + d_til.tr)
-        out_c0 = col_tile * d_til.tc
-        out_c1 = min(d_spec.out_cols, out_c0 + d_til.tc)
-        # Input window with same-padding halo, clamped to the map.
-        pad = (d_spec.kernel - 1) // 2
-        in_r0 = max(0, out_r0 * d_spec.stride - pad)
-        in_r1 = min(d_spec.in_rows, (out_r1 - 1) * d_spec.stride - pad
-                    + d_spec.kernel)
-        in_c0 = max(0, out_c0 * d_spec.stride - pad)
-        in_c1 = min(d_spec.in_cols, (out_c1 - 1) * d_spec.stride - pad
-                    + d_spec.kernel)
-        u_til = upstream.tiling
-        sources = []
-        for ur in range(upstream.n_row_tiles):
-            r0, r1 = ur * u_til.tr, min(upstream.spec.out_rows,
-                                        (ur + 1) * u_til.tr)
-            if not (r0 < in_r1 and in_r0 < r1):
-                continue
-            for uc in range(upstream.n_col_tiles):
-                c0, c1 = uc * u_til.tc, min(upstream.spec.out_cols,
-                                            (uc + 1) * u_til.tc)
-                if c0 < in_c1 and in_c0 < c1:
-                    sources.append(ur * upstream.n_col_tiles + uc)
-        return sources
+def rc_dependencies(
+    upstream: LayerDesign, downstream: LayerDesign, rc_tile: int
+) -> list[int]:
+    """Upstream row/col tiles feeding one downstream row/col tile.
+
+    The downstream tile covers an output region; its input window
+    (after stride and kernel halo) is intersected with the upstream
+    tile grid over the shared feature map (upstream's OFM == the
+    downstream layer's IFM).
+    """
+    d_spec, d_til = downstream.spec, downstream.tiling
+    row_tile = rc_tile // downstream.n_col_tiles
+    col_tile = rc_tile % downstream.n_col_tiles
+    out_r0 = row_tile * d_til.tr
+    out_r1 = min(d_spec.out_rows, out_r0 + d_til.tr)
+    out_c0 = col_tile * d_til.tc
+    out_c1 = min(d_spec.out_cols, out_c0 + d_til.tc)
+    # Input window with same-padding halo, clamped to the map.
+    pad = (d_spec.kernel - 1) // 2
+    in_r0 = max(0, out_r0 * d_spec.stride - pad)
+    in_r1 = min(d_spec.in_rows, (out_r1 - 1) * d_spec.stride - pad
+                + d_spec.kernel)
+    in_c0 = max(0, out_c0 * d_spec.stride - pad)
+    in_c1 = min(d_spec.in_cols, (out_c1 - 1) * d_spec.stride - pad
+                + d_spec.kernel)
+    u_til = upstream.tiling
+    sources = []
+    for ur in range(upstream.n_row_tiles):
+        r0, r1 = ur * u_til.tr, min(upstream.spec.out_rows,
+                                    (ur + 1) * u_til.tr)
+        if not (r0 < in_r1 and in_r0 < r1):
+            continue
+        for uc in range(upstream.n_col_tiles):
+            c0, c1 = uc * u_til.tc, min(upstream.spec.out_cols,
+                                        (uc + 1) * u_til.tc)
+            if c0 < in_c1 and in_c0 < c1:
+                sources.append(ur * upstream.n_col_tiles + uc)
+    return sources

@@ -159,3 +159,60 @@ class TestPairedSearch:
         assert 0 < outcome.nas_best_accuracy <= 1
         assert outcome.nas_best_latency_ms > 0
         assert math.isfinite(outcome.nas_best_latency_ms)
+
+
+class TestCampaignMode:
+    """Campaign mode is an execution policy, not a different experiment:
+    its ledgers must match the in-process mode trial for trial."""
+
+    KWARGS = dict(dataset="mnist", specs_ms=[10.0, 5.0], trials=6, seed=0)
+
+    @staticmethod
+    def tokens_of(result):
+        return [t.tokens for t in result.trials]
+
+    def test_campaign_matches_serial_ledgers(self, tmp_path):
+        platform = Platform.single(XC7Z020)
+        serial = run_paired_search(platform=platform, **self.KWARGS)
+        campaign = run_paired_search(
+            platform=platform, campaign_dir=tmp_path, shard_workers=2,
+            **self.KWARGS,
+        )
+        assert self.tokens_of(campaign.nas) == self.tokens_of(serial.nas)
+        for spec in self.KWARGS["specs_ms"]:
+            assert self.tokens_of(campaign.fnas[spec]) == \
+                   self.tokens_of(serial.fnas[spec])
+            assert [t.reward for t in campaign.fnas[spec].trials] == \
+                   [t.reward for t in serial.fnas[spec].trials]
+
+    def test_reinvocation_resumes_from_checkpoints(self, tmp_path):
+        platform = Platform.single(XC7Z020)
+        first = run_paired_search(
+            platform=platform, campaign_dir=tmp_path, **self.KWARGS,
+        )
+        assert list(tmp_path.glob("*.checkpoint.json"))
+        second = run_paired_search(
+            platform=platform, campaign_dir=tmp_path, **self.KWARGS,
+        )
+        assert self.tokens_of(second.nas) == self.tokens_of(first.nas)
+
+    def test_campaign_rejects_custom_evaluator(self, tmp_path):
+        from repro.core.evaluator import SurrogateAccuracyEvaluator
+        from repro.core.search_space import SearchSpace
+        from repro.experiments.configs import get_config
+
+        space = SearchSpace.from_config(get_config("mnist"))
+        with pytest.raises(ValueError, match="evaluator"):
+            run_paired_search(
+                platform=Platform.single(XC7Z020),
+                evaluator=SurrogateAccuracyEvaluator(space),
+                campaign_dir=tmp_path, **self.KWARGS,
+            )
+
+    def test_campaign_rejects_non_catalog_device(self, tmp_path):
+        custom = XC7Z020.scaled(0.5, name="half-zynq")
+        with pytest.raises(ValueError, match="catalog"):
+            run_paired_search(
+                platform=Platform.single(custom), campaign_dir=tmp_path,
+                **self.KWARGS,
+            )

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.architecture import Architecture
 from repro.fpga.device import PYNQ_Z1, XCZU9EG
@@ -136,24 +136,12 @@ class TestAnalyzerVsSimulator:
         result = self.simulate(design)
         assert report.total_cycles <= result.makespan
 
-    #: The 3 (of 117) MNIST-space shapes where the analyzer's start-delta
-    #: accumulation under-counts a stall-free makespan -- a pre-existing
-    #: model gap, tracked in ROADMAP.md's open items.  Excluded from the
-    #: exactness property and pinned by the strict-xfail test below so a
-    #: fix surfaces immediately.
-    KNOWN_START_DELTA_GAPS = (
-        (36, 9, 9, 9),
-        (36, 9, 9, 18),
-        (36, 18, 9, 18),
-    )
-
     @settings(deadline=None, max_examples=10)
     @given(
         counts=st.lists(st.sampled_from([9, 18, 36]), min_size=2,
                         max_size=4),
     )
     def test_exact_on_mnist_space_shapes(self, counts):
-        assume(tuple(counts) not in self.KNOWN_START_DELTA_GAPS)
         design = design_of(counts, size=28, kernel=5)
         report = FnasAnalyzer().analyze(design)
         result = self.simulate(design)
@@ -162,14 +150,21 @@ class TestAnalyzerVsSimulator:
         else:
             assert report.total_cycles <= result.makespan
 
-    @pytest.mark.parametrize("counts", KNOWN_START_DELTA_GAPS)
-    def test_known_start_delta_gaps_are_still_gaps(self, counts):
-        """Pin the documented divergence precisely: these shapes must
-        remain *stall-free* yet under-counted.  If either assertion
-        fails, the ROADMAP open item and the exclusion above are stale
-        -- fix or update them."""
+    #: Wide-then-narrow channel transitions where the pre-fix analyzer
+    #: under-counted the start deltas (the upstream spatial grid is
+    #: finer than the downstream's first input window); pinned exact so
+    #: the row/col prefix term of ``start_delta`` cannot regress.
+    FORMER_START_DELTA_GAPS = (
+        (36, 9, 9, 9),
+        (36, 9, 9, 18),
+        (36, 18, 9, 18),
+    )
+
+    @pytest.mark.parametrize("counts", FORMER_START_DELTA_GAPS)
+    def test_wide_then_narrow_transitions_are_exact(self, counts):
         design = design_of(list(counts), size=28, kernel=5)
         report = FnasAnalyzer().analyze(design)
         result = self.simulate(design)
         assert result.total_stall_cycles == 0
-        assert report.total_cycles < result.makespan
+        assert report.total_cycles == result.makespan
+        assert report.start_times == tuple(result.start_times)

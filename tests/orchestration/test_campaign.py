@@ -1,0 +1,261 @@
+"""Campaign runner: merge determinism, Pareto merging, worker recovery.
+
+The acceptance criterion under test: ``N > 1`` shards merge to the same
+campaign result as the serial order -- and a shard whose worker dies is
+re-queued and *resumed* from its last checkpoint, still converging to
+that same result.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.search import TrialRecord
+from repro.experiments.pareto import frontier_from_trials
+from repro.orchestration import (
+    Campaign,
+    CampaignResult,
+    ShardOutcome,
+    ShardSpec,
+    merge_outcomes,
+    run_campaign,
+    run_shard,
+    save_campaign_result,
+    shard_grid,
+)
+from repro.orchestration.shards import build_search
+
+
+def small_grid(trials=6):
+    return shard_grid(["mnist"], ["pynq-z1"], seeds=[0, 1],
+                      specs_ms=[5.0], include_nas=True, trials=trials)
+
+
+def stable_dict(result: CampaignResult) -> str:
+    """Campaign payload minus wall-clock noise and execution metadata
+    (how a shard got to its result -- requeues, resume provenance -- is
+    allowed to differ; the result itself is not)."""
+    payload = result.to_dict()
+    payload.pop("wall_seconds")
+    for shard in payload["shards"]:
+        shard["result"].pop("wall_seconds")
+        shard.pop("requeues")
+        shard.pop("resumed_from")
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestCampaignValidation:
+    def test_needs_shards(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Campaign([])
+
+    def test_rejects_duplicate_ids(self):
+        spec = ShardSpec(dataset="mnist", device="pynq-z1", kind="nas")
+        with pytest.raises(ValueError, match="unique"):
+            Campaign([spec, spec])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            Campaign(small_grid()).run(max_workers=0)
+
+    def test_rejects_cadence_without_directory(self):
+        """checkpoint_every with nowhere to snapshot is a silent no-op
+        waiting to lose someone's progress; fail fast instead."""
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            Campaign(small_grid(), checkpoint_every=5)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_shard(small_grid()[0], checkpoint_dir=None,
+                      checkpoint_every=5)
+
+
+class TestMergeDeterminism:
+    def test_parallel_equals_serial(self, tmp_path):
+        """The acceptance criterion, head-on."""
+        shards = small_grid()
+        serial = run_campaign(shards, max_workers=1)
+        pooled = run_campaign(shards, max_workers=3,
+                              checkpoint_dir=tmp_path / "ck")
+        assert stable_dict(serial) == stable_dict(pooled)
+
+    def test_merge_ignores_outcome_arrival_order(self):
+        """merge_outcomes is a pure fold over grid order: feeding it the
+        outcomes is enough; no completion-order state leaks in."""
+        shards = small_grid()
+        outcomes = [
+            ShardOutcome.from_payload(run_shard(spec)) for spec in shards
+        ]
+        frontier_fwd = merge_outcomes(outcomes)
+        frontier_same = merge_outcomes(list(outcomes))
+        assert [(p.latency_ms, p.accuracy) for p in frontier_fwd.points] == \
+               [(p.latency_ms, p.accuracy) for p in frontier_same.points]
+
+    def test_outcomes_stay_in_grid_order(self):
+        shards = small_grid()
+        result = run_campaign(shards, max_workers=3)
+        assert [o.spec.shard_id for o in result.outcomes] == \
+               [s.shard_id for s in shards]
+
+
+class TestParetoMerging:
+    def _trial(self, space, index, latency, accuracy):
+        arch = space.decode([0] * space.num_decisions)
+        return TrialRecord(index=index, tokens=(0,), architecture=arch,
+                           latency_ms=latency, accuracy=accuracy,
+                           reward=0.0, trained=accuracy is not None,
+                           sim_seconds=1.0)
+
+    def test_frontier_from_trials_dominance(self):
+        from repro.configs import MNIST_CONFIG
+        from repro.core.search_space import SearchSpace
+
+        space = SearchSpace.from_config(MNIST_CONFIG)
+        trials = [
+            self._trial(space, 0, 4.0, 0.99),
+            self._trial(space, 1, 2.0, 0.98),
+            self._trial(space, 2, 3.0, 0.97),   # dominated by trial 1
+            self._trial(space, 3, 6.0, 0.95),   # dominated by trial 0
+            self._trial(space, 4, 5.0, None),   # pruned: not a candidate
+            self._trial(space, 5, None, 0.99),  # no latency: skipped
+        ]
+        frontier = frontier_from_trials(trials)
+        assert [(p.latency_ms, p.accuracy) for p in frontier.points] == [
+            (2.0, 0.98), (4.0, 0.99),
+        ]
+        assert frontier.evaluated_count == 4
+        assert not frontier.exhaustive
+
+    def test_shard_merge_equals_concatenated_ledger_frontier(self):
+        """Merging shard-by-shard must equal one frontier over the
+        concatenation of every shard's trials."""
+        shards = small_grid(trials=8)
+        outcomes = [
+            ShardOutcome.from_payload(run_shard(spec)) for spec in shards
+        ]
+        merged = merge_outcomes(outcomes)
+        concatenated = frontier_from_trials(
+            [t for o in outcomes for t in o.result.trials]
+        )
+        assert [(p.latency_ms, p.accuracy) for p in merged.points] == \
+               [(p.latency_ms, p.accuracy) for p in concatenated.points]
+        # And the frontier is genuinely non-dominated.
+        points = merged.points
+        for earlier, later in zip(points, points[1:]):
+            assert later.latency_ms >= earlier.latency_ms
+            assert later.accuracy > earlier.accuracy
+
+
+#: Module-level config for the dying worker stubs below.  Pool
+#: submission pickles callables by module path, so the stubs must be
+#: module-level; forked workers inherit this dict's values.
+_DEATH_CONFIG: dict = {}
+
+
+def _die_once_run_shard(spec, ck_dir=None, ck_every=None):
+    """Run ``spec`` normally, except: the configured victim shard makes
+    some checkpoints and then hard-kills its worker -- once."""
+    sentinel = _DEATH_CONFIG["sentinel"]
+    if spec.shard_id == _DEATH_CONFIG["victim"] and not sentinel.exists():
+        # Die *after* some checkpoints exist so the re-queued shard
+        # actually exercises the resume path.
+        import numpy as np
+        search = build_search(spec)
+        path = spec.checkpoint_path(ck_dir)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            search.run(
+                spec.resolved_trials, np.random.default_rng(spec.seed),
+                checkpoint_every=4, checkpoint_path=path,
+            )
+        finally:
+            sentinel.write_text("dead once")
+            os._exit(1)
+    return run_shard(spec, ck_dir, ck_every)
+
+
+def _die_in_workers_run_shard(spec, ck_dir=None, ck_every=None):
+    """Kill every pool worker; run normally in the submitting process
+    (so the campaign's serial fallback can still succeed)."""
+    if os.getpid() != _DEATH_CONFIG["parent_pid"]:
+        os._exit(1)
+    return run_shard(spec, ck_dir, ck_every)
+
+
+class TestWorkerDeathRecovery:
+    def test_dead_worker_shard_is_requeued_and_resumed(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill the worker mid-shard (hard ``os._exit``, as OOM killers
+        do); the campaign must rebuild the pool, re-queue the shard, and
+        the resumed shard must produce the exact uninterrupted ledger."""
+        shards = small_grid(trials=10)
+        victim = shards[1].shard_id
+        sentinel = tmp_path / "already-died"
+        checkpoint_dir = tmp_path / "ck"
+        monkeypatch.setitem(_DEATH_CONFIG, "victim", victim)
+        monkeypatch.setitem(_DEATH_CONFIG, "sentinel", sentinel)
+
+        from repro.orchestration import campaign as campaign_mod
+        monkeypatch.setattr(campaign_mod, "run_shard", _die_once_run_shard)
+
+        events = []
+        result = Campaign(
+            shards, checkpoint_dir=checkpoint_dir, checkpoint_every=4,
+            progress=events.append,
+        ).run(max_workers=2)
+
+        assert sentinel.exists(), "victim worker never died"
+        requeued = [e for e in events if e.kind == "requeue"]
+        assert any(e.shard_id == victim for e in requeued)
+        victim_outcome = result.outcome(victim)
+        assert victim_outcome.requeues >= 1
+        assert victim_outcome.resumed_from is not None
+
+        # The recovered campaign equals a never-interrupted serial one.
+        monkeypatch.setattr(campaign_mod, "run_shard", run_shard)
+        clean = run_campaign(shards, max_workers=1)
+        assert stable_dict(result) == stable_dict(clean)
+
+    def test_pool_exhaustion_falls_back_to_in_process(
+        self, tmp_path, monkeypatch
+    ):
+        """When the pool keeps dying, the campaign must still finish --
+        serially, in the submitting process."""
+        shards = small_grid(trials=6)
+        monkeypatch.setitem(_DEATH_CONFIG, "parent_pid", os.getpid())
+
+        from repro.orchestration import campaign as campaign_mod
+        monkeypatch.setattr(campaign_mod, "run_shard",
+                            _die_in_workers_run_shard)
+
+        events = []
+        result = Campaign(
+            shards, checkpoint_dir=tmp_path / "ck", max_pool_restarts=1,
+            progress=events.append,
+        ).run(max_workers=2)
+        assert len(result.outcomes) == len(shards)
+        assert any(e.kind == "fallback" for e in events)
+        assert all(o.requeues >= 1 for o in result.outcomes)
+
+
+class TestCampaignArtifacts:
+    def test_artifact_round_trip(self, tmp_path):
+        result = run_campaign(small_grid(), max_workers=1)
+        path = tmp_path / "campaign.json"
+        save_campaign_result(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["shards"]) == len(result.outcomes)
+        assert len(payload["frontier"]) == len(result.frontier.points)
+        specs = [ShardSpec.from_dict(s["spec"]) for s in payload["shards"]]
+        assert [s.shard_id for s in specs] == \
+               [o.spec.shard_id for o in result.outcomes]
+
+    def test_summary_accessors(self):
+        result = run_campaign(small_grid(trials=5), max_workers=1)
+        assert result.total_trials == 5 * len(result.outcomes)
+        assert result.requeued_shards == 0
+        assert 0.9 < result.best_accuracy() <= 1.0
+        assert "campaign frontier" in result.format()
+        with pytest.raises(KeyError, match="unknown shard"):
+            result.outcome("nope")

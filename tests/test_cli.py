@@ -60,3 +60,50 @@ class TestCommands:
     def test_unknown_device_raises(self):
         with pytest.raises(KeyError):
             main(["estimate", "3", "4", "--device", "virtex"])
+
+
+class TestSweep:
+    def test_sweep_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--datasets", "mnist,cifar10", "--seeds", "0,1,2",
+            "--specs", "5,2.5", "--include-nas", "--shard-workers", "4",
+        ])
+        assert args.datasets == ["mnist", "cifar10"]
+        assert args.seeds == [0, 1, 2]
+        assert args.specs == [5.0, 2.5]
+        assert args.include_nas
+        assert args.shard_workers == 4
+
+    def test_sweep_runs_campaign(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--seeds", "0,1", "--specs", "5", "--trials", "5",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+            "--output", str(tmp_path / "campaign.json"), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign frontier" in out
+        assert "mnist-pynq-z1-fnas5ms-s0" in out
+        assert (tmp_path / "campaign.json").exists()
+        assert list((tmp_path / "ck").glob("*.checkpoint.json"))
+
+    def test_sweep_without_work_errors(self, capsys):
+        assert main(["sweep", "--seeds", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_unknown_dataset_errors(self, capsys):
+        assert main(["sweep", "--datasets", "svhn", "--specs", "5"]) == 2
+        assert "svhn" in capsys.readouterr().err
+
+    def test_sweep_empty_axis_errors_cleanly(self, capsys):
+        """An empty grid axis must take the clean error path (exit 2),
+        not surface as a raw Campaign traceback."""
+        assert main(["sweep", "--datasets", "", "--specs", "5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_table1_campaign_mode(self, capsys, tmp_path):
+        assert main(["table1", "--trials", "5",
+                     "--campaign-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "NAS" in out and "FNAS" in out
+        assert list(tmp_path.glob("*.checkpoint.json"))

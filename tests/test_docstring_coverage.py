@@ -1,0 +1,63 @@
+"""Docstring-coverage gate over the public API of ``src/repro``.
+
+CI additionally runs ``interrogate --fail-under`` (see
+``.github/workflows/ci.yml``); this AST-based check enforces the same
+bar inside tier-1 with zero extra dependencies, so coverage cannot rot
+between CI configurations.  Scope mirrors interrogate's settings:
+private names (single leading underscore), dunders and nested
+functions are exempt; every public module, class, function and method
+must carry a docstring.
+"""
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Coverage floor (percent).  Keep in sync with the interrogate
+#: ``--fail-under`` value in .github/workflows/ci.yml.
+FAIL_UNDER = 100.0
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _collect(tree: ast.Module, path: Path):
+    """Yield (location, documented) for every public definition."""
+    yield f"{path}:1 <module>", ast.get_docstring(tree) is not None
+
+    def walk(node, qualifier, inside_function):
+        for child in ast.iter_child_nodes(node):
+            is_def = isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            if not is_def:
+                continue
+            is_function = not isinstance(child, ast.ClassDef)
+            if _is_public(child.name) and not (is_function and inside_function):
+                yield (
+                    f"{path}:{child.lineno} {qualifier}{child.name}",
+                    ast.get_docstring(child) is not None,
+                )
+            yield from walk(
+                child, f"{qualifier}{child.name}.",
+                inside_function or is_function,
+            )
+
+    yield from walk(tree, "", inside_function=False)
+
+
+def test_public_api_is_documented():
+    entries = []
+    for source in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(source.read_text())
+        entries.extend(_collect(tree, source.relative_to(SRC_ROOT.parent)))
+    assert entries, "no sources found -- is the tree layout intact?"
+    documented = sum(1 for _, ok in entries if ok)
+    coverage = 100.0 * documented / len(entries)
+    missing = [location for location, ok in entries if not ok]
+    assert coverage >= FAIL_UNDER, (
+        f"public docstring coverage {coverage:.1f}% is below "
+        f"{FAIL_UNDER:.0f}%; missing:\n  " + "\n  ".join(missing)
+    )
