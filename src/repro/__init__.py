@@ -6,6 +6,15 @@ Search" (DAC 2019).
 
 Public API tour:
 
+* ``repro.plans``      -- the declarative RunPlan tree (``SearchPlan``,
+  ``ExecutionPolicy``, ``ScenarioPlan``): one serializable description
+  of any run, JSON round-trippable.
+* ``repro.api``        -- the ``Session`` facade executing plans, with
+  progress-event subscription, plus the registry-driven component
+  builders.
+* ``repro.registry``   -- string-keyed registries for controllers,
+  evaluators, estimators, datasets and devices; third-party components
+  register via a decorator and become addressable from any plan.
 * ``repro.core``       -- architectures, search space, RNN controller,
   the NAS baseline and the FNAS search loop.
 * ``repro.fpga``       -- FPGA device models, multi-FPGA platforms and
@@ -25,6 +34,7 @@ Public API tour:
   its merged Pareto frontier).
 """
 
+from repro.api import Session, SessionEvent, run_plan
 from repro.core import (
     Architecture,
     ConvLayerSpec,
@@ -49,12 +59,43 @@ from repro.fpga import (
     get_device,
 )
 from repro.latency import FnasAnalyzer, LatencyEstimator
+from repro.plans import (
+    ExecutionPolicy,
+    RunPlan,
+    ScenarioPlan,
+    SearchPlan,
+    load_plan,
+    save_plan,
+)
+from repro.registry import (
+    CONTROLLERS,
+    DATASETS,
+    DEVICES,
+    ESTIMATORS,
+    EVALUATORS,
+    Registry,
+)
 from repro.scheduling import FixedScheduler, FnasScheduler, PipelineSimulator
 from repro.taskgraph import TaskGraphGenerator
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "CONTROLLERS",
+    "DATASETS",
+    "DEVICES",
+    "ESTIMATORS",
+    "EVALUATORS",
+    "ExecutionPolicy",
+    "Registry",
+    "RunPlan",
+    "ScenarioPlan",
+    "SearchPlan",
+    "Session",
+    "SessionEvent",
+    "load_plan",
+    "run_plan",
+    "save_plan",
     "Architecture",
     "ConvLayerSpec",
     "FnasReward",

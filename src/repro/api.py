@@ -1,0 +1,384 @@
+"""The Session facade: run any declarative plan through one front door.
+
+:class:`Session` executes a :class:`~repro.plans.RunPlan`::
+
+    from repro.api import Session
+    from repro.plans import RunPlan, SearchPlan
+
+    plan = RunPlan(workload="table1", search=SearchPlan(trials=10, seed=3))
+    result = Session.from_plan(plan).run()
+    print(result.format())
+
+Every public entry point of the repo -- the CLI verbs, the table/figure
+runners, sweep campaigns, the orchestration shards -- lowers to a plan
+and funnels through here, so there is exactly one way a run is built:
+the component **builders** below resolve the plan's registry keys
+(:mod:`repro.registry`) into live controller / evaluator / estimator /
+platform objects.  Third-party components therefore plug into every
+workload by registering a key; no signature changes anywhere.
+
+Sessions also expose a progress stream: :meth:`Session.subscribe`
+callbacks receive typed :class:`SessionEvent` records -- workload
+start/finish plus the campaign runtime's per-shard events when the
+execution policy fans out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.configs import ExperimentConfig, get_config
+from repro.core.evaluator import AccuracyEvaluator, ParallelEvaluator
+from repro.core.search import FnasSearch, NasSearch, Search
+from repro.core.search_space import SearchSpace
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+from repro.registry import CONTROLLERS, DEVICES, ESTIMATORS, EVALUATORS
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One progress notification from a running session.
+
+    ``kind`` is ``"start"`` / ``"finish"`` for workload phases, or a
+    campaign event kind (``"requeue"``, ``"fallback"``, ...) forwarded
+    from the sharded runtime; ``scope`` names the workload, search or
+    shard the event belongs to (empty for session-level events).
+    """
+
+    kind: str
+    scope: str
+    message: str
+
+
+ProgressCallback = Callable[[SessionEvent], None]
+
+#: Workloads whose in-process engine accepts a live evaluator override
+#: (everything else rebuilds evaluators from the plan's registry key).
+_EVALUATOR_OVERRIDE_WORKLOADS = ("table1", "figure6", "figure7", "paired")
+
+
+# --- Component builders ----------------------------------------------------
+
+
+def build_controller(search: SearchPlan, space: SearchSpace,
+                     seed: int | None = None):
+    """Resolve the plan's controller key into a live controller.
+
+    ``seed`` overrides the plan seed (paired runs derive one controller
+    per search as ``seed + spec offset``).
+    """
+    factory = CONTROLLERS[search.controller]
+    return factory(space, search.seed if seed is None else seed)
+
+
+def build_evaluator(
+    search: SearchPlan,
+    space: SearchSpace,
+    config: ExperimentConfig,
+    seed: int,
+) -> AccuracyEvaluator:
+    """Resolve the plan's evaluator key into a live evaluator."""
+    factory = EVALUATORS[search.evaluator]
+    return factory(space, config, seed)
+
+
+def build_estimator(search: SearchPlan, platform: Platform) -> LatencyEstimator:
+    """Resolve the plan's estimator key into a live latency estimator."""
+    factory = ESTIMATORS[search.estimator]
+    return factory(platform)
+
+
+def build_platform(scenario: ScenarioPlan, device: str | None = None) -> Platform:
+    """Build the (multi-board) platform a scenario targets.
+
+    ``device`` picks one of the scenario's devices (default: its
+    first); ``scenario.boards`` replicates it.
+    """
+    if device is None:
+        if not scenario.devices:
+            raise ValueError("the scenario names no devices")
+        device = scenario.devices[0]
+    return Platform.replicated(DEVICES[device], scenario.boards)
+
+
+def landscape_seed(plan: RunPlan) -> int:
+    """The surrogate-landscape seed a plan pins.
+
+    ``scenario.surrogate_seed`` when set; otherwise the search seed, so
+    a single run's landscape follows its seed by default.
+    """
+    if plan.scenario.surrogate_seed is not None:
+        return plan.scenario.surrogate_seed
+    return plan.search.seed
+
+
+def build_search(plan: RunPlan) -> Search:
+    """Build the single search a one-scenario plan describes.
+
+    The scenario must name exactly one dataset and one device, and
+    either one timing spec (an FNAS search) or none with
+    ``include_nas`` (the NAS baseline).  Everything is derived
+    deterministically from the plan, so any process builds the
+    identical search -- the property shard distribution rests on.
+    """
+    scenario = plan.scenario
+    if len(scenario.datasets) != 1 or len(scenario.devices) != 1:
+        raise ValueError(
+            "build_search needs a single-scenario plan (one dataset, one "
+            f"device), got datasets={scenario.datasets} "
+            f"devices={scenario.devices}"
+        )
+    if len(scenario.specs_ms) > 1:
+        raise ValueError(
+            f"build_search builds one search; got specs {scenario.specs_ms}"
+        )
+    if not scenario.specs_ms and not scenario.include_nas:
+        raise ValueError(
+            "a single-search scenario needs one timing spec (FNAS) or "
+            "include_nas=True (the NAS baseline)"
+        )
+    search = plan.search
+    config = get_config(scenario.datasets[0])
+    space = SearchSpace.from_config(config)
+    evaluator = build_evaluator(search, space, config, landscape_seed(plan))
+    if plan.execution.eval_workers > 1:
+        evaluator = ParallelEvaluator(
+            evaluator, max_workers=plan.execution.eval_workers
+        )
+    platform = build_platform(scenario)
+    estimator = build_estimator(search, platform)
+    controller = build_controller(search, space)
+    if not scenario.specs_ms:
+        return NasSearch(
+            space,
+            evaluator,
+            controller=controller,
+            latency_estimator=estimator,
+        )
+    return FnasSearch(
+        space,
+        evaluator,
+        estimator,
+        required_latency_ms=scenario.specs_ms[0],
+        controller=controller,
+        min_latency_fallback=search.min_latency_fallback,
+    )
+
+
+# --- The facade ------------------------------------------------------------
+
+
+class Session:
+    """One run of one plan, with progress-event subscription.
+
+    Parameters:
+        plan: the declarative run description.
+        evaluator: optional live evaluator overriding the plan's
+            registry key -- the escape hatch for component instances
+            that cannot be named by a string (a pre-trained evaluator,
+            a test double).  Only valid for in-process execution; the
+            campaign runtime rebuilds components from the plan alone.
+    """
+
+    def __init__(self, plan: RunPlan, evaluator: AccuracyEvaluator | None = None):
+        self.plan = plan
+        self._evaluator = evaluator
+        self._subscribers: list[ProgressCallback] = []
+
+    @classmethod
+    def from_plan(
+        cls, plan: RunPlan, evaluator: AccuracyEvaluator | None = None
+    ) -> "Session":
+        """The canonical constructor: ``Session.from_plan(plan).run()``."""
+        return cls(plan, evaluator=evaluator)
+
+    def subscribe(self, callback: ProgressCallback) -> ProgressCallback:
+        """Register a progress callback; returns it for unsubscribing."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: ProgressCallback) -> None:
+        """Remove a previously subscribed callback."""
+        self._subscribers.remove(callback)
+
+    def emit(self, kind: str, scope: str, message: str) -> None:
+        """Deliver one event to every subscriber (in subscribe order)."""
+        if self._subscribers:
+            event = SessionEvent(kind=kind, scope=scope, message=message)
+            for callback in self._subscribers:
+                callback(event)
+
+    def run(self) -> Any:
+        """Execute the plan's workload and return its result object.
+
+        Result types by workload: ``table1`` -> ``Table1Result``,
+        ``figure6`` -> ``Figure6Result``, ``figure7`` ->
+        ``Figure7Result``, ``figure8`` -> ``Figure8Result``,
+        ``ablations`` -> ``(ReuseAblationResult, PruningAblationResult)``,
+        ``report`` -> the markdown text (also written to
+        ``plan.output`` when set), ``sweep`` -> ``CampaignResult``
+        (artifact written to ``plan.output`` when set), ``paired`` ->
+        ``PairedSearchOutcome``, ``search`` -> ``SearchResult``.
+        """
+        workload = self.plan.workload
+        if (self._evaluator is not None
+                and workload not in _EVALUATOR_OVERRIDE_WORKLOADS):
+            raise ValueError(
+                f"the {workload!r} workload rebuilds its evaluator from the "
+                "plan's registry key and cannot honor a live evaluator "
+                "override; register the evaluator "
+                "(repro.registry.EVALUATORS) and name it in the plan instead"
+            )
+        self.emit("start", workload, "session started")
+        runner = getattr(self, f"_run_{workload}")
+        result = runner()
+        self.emit("finish", workload, "session finished")
+        return result
+
+    # -- workload runners ----------------------------------------------------
+
+    def _run_table1(self):
+        from repro.experiments.table1 import run_table1_plan
+
+        return run_table1_plan(self.plan, evaluator=self._evaluator,
+                               emit=self.emit)
+
+    def _run_figure6(self):
+        from repro.experiments.figure6 import run_figure6_plan
+
+        return run_figure6_plan(self.plan, evaluator=self._evaluator,
+                                emit=self.emit)
+
+    def _run_figure7(self):
+        from repro.experiments.figure7 import run_figure7_plan
+
+        return run_figure7_plan(self.plan, evaluator=self._evaluator,
+                                emit=self.emit)
+
+    def _run_figure8(self):
+        from repro.experiments.figure8 import run_figure8
+
+        return run_figure8()
+
+    def _run_ablations(self):
+        from repro.experiments.ablation import (
+            run_pruning_ablation,
+            run_reuse_ablation,
+        )
+
+        reuse = run_reuse_ablation()
+        pruning = run_pruning_ablation(
+            trials=self.plan.search.trials,
+            seed=self.plan.search.seed,
+            batch_size=self.plan.execution.batch_size,
+        )
+        return reuse, pruning
+
+    def _run_report(self):
+        from pathlib import Path
+
+        from repro.experiments.report import generate_report_plan
+
+        text = generate_report_plan(self.plan, emit=self.emit)
+        if self.plan.output is not None:
+            Path(self.plan.output).write_text(text)
+        return text
+
+    def _run_sweep(self):
+        from repro.orchestration import (
+            plan_shards,
+            run_campaign,
+            save_campaign_result,
+        )
+
+        shards = plan_shards(self.plan)
+        self.emit("start", "sweep",
+                  f"{len(shards)} shard(s), "
+                  f"{self.plan.execution.shard_workers} worker(s)")
+        result = run_campaign(
+            shards,
+            max_workers=self.plan.execution.shard_workers,
+            checkpoint_dir=self.plan.execution.checkpoint_dir,
+            checkpoint_every=self.plan.execution.checkpoint_every,
+            progress=self._campaign_progress,
+        )
+        if self.plan.output is not None:
+            save_campaign_result(result, self.plan.output)
+        return result
+
+    def _run_paired(self):
+        from repro.experiments.runner import run_paired_plan
+
+        return run_paired_plan(self.plan, evaluator=self._evaluator,
+                               emit=self.emit)
+
+    def _run_search(self):
+        from repro.core.serialization import search_result_from_dict
+        from repro.orchestration.shards import ShardSpec, run_shard
+
+        spec = ShardSpec.from_plan(self.plan)
+        payload = run_shard(
+            spec,
+            self.plan.execution.checkpoint_dir,
+            self.plan.execution.checkpoint_every,
+        )
+        return search_result_from_dict(payload["result"])
+
+    # -- internals -----------------------------------------------------------
+
+    def _campaign_progress(self, event) -> None:
+        """Forward a campaign's typed events into the session stream."""
+        self.emit(event.kind, event.shard_id, event.message)
+
+
+def run_plan(plan: RunPlan, evaluator: AccuracyEvaluator | None = None) -> Any:
+    """One-call convenience: ``Session.from_plan(plan).run()``."""
+    return Session.from_plan(plan, evaluator=evaluator).run()
+
+
+def resolve_execution(
+    batch_size: int = 1,
+    eval_workers: int | None = None,
+    shard_workers: int = 1,
+    checkpoint_dir: Any = None,
+    checkpoint_every: int | None = None,
+    parallel_workers: int | None = None,  # deprecated alias: eval_workers
+    campaign_dir: Any = None,  # deprecated alias: checkpoint_dir
+) -> "ExecutionPolicy":
+    """Merge legacy kwarg spellings into one :class:`ExecutionPolicy`.
+
+    The deprecation shim behind the pre-plan entry points: canonical
+    names win when both spellings are given, deprecated ones warn.
+    """
+    import warnings
+
+    from repro.plans import ExecutionPolicy
+
+    if parallel_workers not in (None, 1):  # deprecated: silent at the default
+        warnings.warn(
+            "parallel_workers is deprecated; use eval_workers "  # deprecated
+            "(ExecutionPolicy.eval_workers)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if eval_workers is None:
+            eval_workers = parallel_workers  # deprecated alias wins only alone
+    if campaign_dir is not None:  # deprecated alias
+        warnings.warn(
+            "campaign_dir is deprecated; use checkpoint_dir "  # deprecated
+            "(ExecutionPolicy.checkpoint_dir)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if checkpoint_dir is None:
+            checkpoint_dir = campaign_dir  # deprecated alias wins only alone
+    return ExecutionPolicy(
+        batch_size=batch_size,
+        eval_workers=1 if eval_workers is None else eval_workers,
+        shard_workers=shard_workers,
+        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+        checkpoint_every=checkpoint_every,
+    )

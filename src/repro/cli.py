@@ -9,29 +9,75 @@
     python -m repro ablations             # reuse + pruning ablations
     python -m repro estimate 5,7,5,7 9,18,18,36 --device pynq-z1
     python -m repro sweep --seeds 0,1,2 --specs 5,2 --shard-workers 4
+    python -m repro table1 --dump-plan plan.json   # ...and run it again:
+    python -m repro run plan.json
 
-Every experiment accepts ``--seed`` and ``--trials`` so reruns and
-sensitivity checks are one flag away.  ``sweep`` runs a sharded,
-checkpointed campaign over a (dataset x device x seed x spec) grid;
-the paired experiments (``table1``/``figure6``/``figure7``/``report``)
-accept ``--campaign-dir`` / ``--shard-workers`` to run their searches
-as a resumable campaign too.
+Every search command lowers its flags onto one declarative
+:class:`~repro.plans.RunPlan` executed through
+:class:`repro.api.Session` -- ``--dump-plan PATH`` writes that plan as
+JSON (the run still happens), and ``repro run PATH`` replays a dumped
+plan, reproducing the original run's trial ledgers byte for byte.
+
+Flags are named after :class:`~repro.plans.ExecutionPolicy` fields:
+``--batch-size``, ``--eval-workers``, ``--shard-workers``,
+``--checkpoint-dir``, ``--checkpoint-every``.  The pre-plan spellings
+``--workers`` and ``--campaign-dir`` remain as hidden deprecated
+aliases.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.core.architecture import Architecture
-from repro.experiments.ablation import run_pruning_ablation, run_reuse_ablation
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.figure7 import run_figure7
-from repro.experiments.figure8 import run_figure8
-from repro.experiments.table1 import run_table1
 from repro.fpga.device import get_device
 from repro.fpga.platform import Platform
 from repro.latency.estimator import LatencyEstimator
+from repro.plans import (
+    ExecutionPolicy,
+    RunPlan,
+    ScenarioPlan,
+    SearchPlan,
+    load_plan,
+    save_plan,
+)
+
+#: Commands that lower to a RunPlan (everything but ``estimate``/``run``).
+PLAN_COMMANDS = ("table1", "figure6", "figure7", "figure8", "ablations",
+                 "report", "sweep")
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The canonical ExecutionPolicy-derived flag set."""
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="candidates per controller step; 1 (default) "
+                             "reproduces the sequential published "
+                             "trajectories, >1 drives the vectorized "
+                             "batched runtime")
+    parser.add_argument("--eval-workers", type=int, default=None,
+                        help="process-pool workers for child evaluation "
+                             "(default 1 = in-process; useful with real "
+                             "training evaluators)")
+    parser.add_argument("--workers",  # deprecated: --eval-workers
+                        dest="workers_alias", type=int,
+                        default=None,
+                        help=argparse.SUPPRESS)  # deprecated: --eval-workers
+    parser.add_argument("--shard-workers", type=int, default=1,
+                        help="process-pool workers for whole search shards "
+                             "in campaign mode (default 1 = serial)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="snapshot searches under this directory; "
+                             "re-running with the same directory resumes "
+                             "interrupted searches")
+    parser.add_argument("--campaign-dir",  # deprecated: --checkpoint-dir
+                        dest="campaign_dir_alias",  # deprecated alias
+                        default=None,
+                        help=argparse.SUPPRESS)  # deprecated: --checkpoint-dir
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="trials between snapshots (default: ~10 per "
+                             "search)")
 
 
 def _add_search_flags(parser: argparse.ArgumentParser) -> None:
@@ -39,23 +85,14 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
                         help="RNG seed for the searches (default 0)")
     parser.add_argument("--trials", type=int, default=None,
                         help="children per search (default: Table 2's 60)")
-    parser.add_argument("--batch-size", type=int, default=1,
-                        help="candidates per controller step; 1 (default) "
-                             "reproduces the sequential published "
-                             "trajectories, >1 drives the vectorized "
-                             "batched runtime")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="process-pool workers for child evaluation "
-                             "(default 1 = in-process; useful with real "
-                             "training evaluators)")
-    parser.add_argument("--campaign-dir", default=None,
-                        help="run the experiment's searches as a "
-                             "checkpointed campaign under this directory; "
-                             "re-running with the same directory resumes "
-                             "interrupted searches")
-    parser.add_argument("--shard-workers", type=int, default=1,
-                        help="process-pool workers for whole search shards "
-                             "in campaign mode (default 1 = serial)")
+    _add_execution_flags(parser)
+    _add_dump_plan_flag(parser)
+
+
+def _add_dump_plan_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dump-plan", default=None, metavar="PATH",
+                        help="also write this invocation's RunPlan as JSON "
+                             "to PATH; `repro run PATH` replays it")
 
 
 def _int_list(text: str) -> list[int]:
@@ -86,8 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         _add_search_flags(p)
 
-    sub.add_parser("figure8", help="Figure 8: FNAS-Sched vs fixed "
-                                   "scheduling over 16 architectures")
+    p = sub.add_parser("figure8", help="Figure 8: FNAS-Sched vs fixed "
+                                       "scheduling over 16 architectures")
+    _add_dump_plan_flag(p)
 
     p = sub.add_parser("ablations", help="reuse-strategy and early-pruning "
                                          "ablations")
@@ -122,23 +160,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "platform (default 1)")
     p.add_argument("--trials", type=int, default=None,
                    help="children per shard (default: Table 2's 60)")
-    p.add_argument("--batch-size", type=int, default=1,
-                   help="candidates per controller step within each shard")
-    p.add_argument("--eval-workers", type=int, default=1,
-                   help="child-evaluation workers inside each shard "
-                        "(default 1)")
-    p.add_argument("--shard-workers", type=int, default=1,
-                   help="how many shards run concurrently (default 1)")
-    p.add_argument("--checkpoint-dir", default=None,
-                   help="snapshot shards here; re-running resumes "
-                        "interrupted shards from their checkpoints")
-    p.add_argument("--checkpoint-every", type=int, default=None,
-                   help="trials between snapshots (default: ~10 per shard)")
+    _add_execution_flags(p)
+    _add_dump_plan_flag(p)
     p.add_argument("--output", default=None,
                    help="also write the merged campaign artifact (JSON, "
                         "per-shard ledgers + Pareto frontier) here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-shard progress lines")
+
+    p = sub.add_parser(
+        "run",
+        help="execute a RunPlan JSON file written by --dump-plan",
+    )
+    p.add_argument("plan", help="path to the plan JSON")
+    p.add_argument("--output", default=None,
+                   help="override the plan's artifact output path")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines")
 
     p = sub.add_parser(
         "estimate",
@@ -162,50 +200,135 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.orchestration import (
-        run_campaign,
-        save_campaign_result,
-        shard_grid,
+def _execution_from_args(args: argparse.Namespace) -> ExecutionPolicy:
+    """Merge canonical flags and deprecated aliases into one policy."""
+    eval_workers = getattr(args, "eval_workers", None)
+    if getattr(args, "workers_alias", None) is not None:
+        print("note: --workers is deprecated; use --eval-workers",
+              file=sys.stderr)
+        if eval_workers is None:
+            eval_workers = args.workers_alias
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if getattr(args, "campaign_dir_alias", None) is not None:  # deprecated
+        print("note: --campaign-dir is deprecated; use --checkpoint-dir",
+              file=sys.stderr)
+        if checkpoint_dir is None:
+            checkpoint_dir = args.campaign_dir_alias  # deprecated alias
+    return ExecutionPolicy(
+        batch_size=getattr(args, "batch_size", 1),
+        eval_workers=1 if eval_workers is None else eval_workers,
+        shard_workers=getattr(args, "shard_workers", 1),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=getattr(args, "checkpoint_every", None),
     )
 
-    progress = None
-    if not args.quiet:
-        def progress(event):
-            label = f" {event.shard_id}" if event.shard_id else ""
-            print(f"[{event.kind}]{label}: {event.message}",
-                  file=sys.stderr)
+
+def plan_from_args(args: argparse.Namespace) -> RunPlan:
+    """Lower a parsed command line onto its declarative RunPlan."""
+    if args.command == "figure8":
+        return RunPlan(workload="figure8")
+    execution = _execution_from_args(args)
+    if args.command == "sweep":
+        return RunPlan(
+            workload="sweep",
+            search=SearchPlan(trials=args.trials),
+            execution=execution,
+            scenario=ScenarioPlan(
+                datasets=tuple(args.datasets),
+                devices=tuple(args.devices),
+                boards=args.boards,
+                seeds=tuple(args.seeds),
+                specs_ms=tuple(args.specs),
+                include_nas=args.include_nas,
+            ),
+            output=args.output,
+        )
+    if args.command == "table1":
+        from repro.experiments.table1 import table1_plan
+
+        return table1_plan(trials=args.trials, seed=args.seed,
+                           execution=execution)
+    if args.command == "figure6":
+        from repro.experiments.figure6 import figure6_plan
+
+        return figure6_plan(trials=args.trials, seed=args.seed,
+                            execution=execution)
+    if args.command == "figure7":
+        from repro.experiments.figure7 import figure7_plan
+
+        return figure7_plan(trials=args.trials, seed=args.seed,
+                            execution=execution)
+    if args.command == "report":
+        from repro.experiments.report import report_plan
+
+        return report_plan(trials=args.trials, seed=args.seed,
+                           execution=execution, output=args.output)
+    if args.command == "ablations":
+        return RunPlan(
+            workload="ablations",
+            search=SearchPlan(seed=args.seed, trials=args.trials),
+            execution=execution,
+        )
+    raise ValueError(f"command {args.command!r} does not lower to a plan")
+
+
+def _print_result(plan: RunPlan, result) -> None:
+    """Render a workload result exactly as its command always has."""
+    workload = plan.workload
+    if workload in ("table1", "figure6", "figure7"):
+        print(result.format())
+    elif workload == "figure8":
+        print(result.format())
+        print(f"mean improvement: {result.mean_improvement_percent:.2f}%")
+    elif workload == "ablations":
+        reuse, pruning = result
+        print(reuse.format())
+        print(pruning.format())
+    elif workload == "report":
+        if plan.output is None:
+            print(f"report generated ({len(result.splitlines())} lines); "
+                  "no output path in the plan, nothing written")
+        else:
+            print(f"wrote {plan.output} ({len(result.splitlines())} lines)")
+    elif workload == "sweep":
+        print(result.format())
+        print(f"wall time: {result.wall_seconds:.2f}s; "
+              f"{result.requeued_shards} shard(s) re-queued")
+        if plan.output is not None:
+            print(f"wrote {plan.output}")
+    elif workload == "search":
+        print(f"{result.name}: {len(result.trials)} trials, "
+              f"best accuracy {100 * result.best().accuracy:.2f}%")
+    else:  # paired
+        print(f"paired outcome: NAS {len(result.nas.trials)} trials, "
+              f"{len(result.fnas)} FNAS spec(s)")
+
+
+def _execute_plan(plan: RunPlan, quiet: bool = True) -> int:
+    """Run a plan through a Session and print its result."""
+    from repro.api import Session
+
+    session = Session.from_plan(plan)
+    if not quiet:
+        def printer(event):
+            label = f" {event.scope}" if event.scope else ""
+            print(f"[{event.kind}]{label}: {event.message}", file=sys.stderr)
+        session.subscribe(printer)
+    result = session.run()
+    _print_result(plan, result)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """``repro run plan.json``: replay a dumped plan."""
     try:
-        shards = shard_grid(
-            datasets=args.datasets,
-            devices=args.devices,
-            seeds=args.seeds,
-            specs_ms=args.specs,
-            include_nas=args.include_nas,
-            boards=args.boards,
-            trials=args.trials,
-            batch_size=args.batch_size,
-            eval_workers=args.eval_workers,
-        )
-        print(f"campaign: {len(shards)} shard(s), "
-              f"{args.shard_workers} worker(s)", file=sys.stderr)
-        result = run_campaign(
-            shards,
-            max_workers=args.shard_workers,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-            progress=progress,
-        )
-    except (KeyError, ValueError) as exc:
+        plan = load_plan(args.plan)
+        if args.output is not None:
+            plan = dataclasses.replace(plan, output=args.output)
+        return _execute_plan(plan, quiet=args.quiet)
+    except (KeyError, ValueError, TypeError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result.format())
-    print(f"wall time: {result.wall_seconds:.2f}s; "
-          f"{result.requeued_shards} shard(s) re-queued")
-    if args.output is not None:
-        save_campaign_result(result, args.output)
-        print(f"wrote {args.output}")
-    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -238,66 +361,46 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_notes(command: str, execution: ExecutionPolicy) -> None:
+    """Pre-run advisory notes (kept from the kwarg-era CLI)."""
+    if (command != "sweep" and execution.eval_workers > 1
+            and execution.batch_size == 1):
+        print("note: --eval-workers only takes effect with --batch-size > 1 "
+              "(the sequential path evaluates one child at a time)",
+              file=sys.stderr)
+    if command == "ablations":
+        if execution.eval_workers > 1:
+            print("note: --eval-workers does not apply to the ablations "
+                  "(surrogate evaluation is in-process)", file=sys.stderr)
+        if execution.campaign_mode:
+            print("note: checkpoint/shard flags do not apply to the "
+                  "ablations (they run in-process, without "
+                  "checkpointing)", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if (getattr(args, "workers", 1) > 1
-            and getattr(args, "batch_size", 1) == 1):
-        print("note: --workers only takes effect with --batch-size > 1 "
-              "(the sequential path evaluates one child at a time)",
-              file=sys.stderr)
-    if args.command == "table1":
-        print(run_table1(trials=args.trials, seed=args.seed,
-                         batch_size=args.batch_size,
-                         parallel_workers=args.workers,
-                         campaign_dir=args.campaign_dir,
-                         shard_workers=args.shard_workers).format())
-    elif args.command == "figure6":
-        print(run_figure6(trials=args.trials, seed=args.seed,
-                          batch_size=args.batch_size,
-                          parallel_workers=args.workers,
-                          campaign_dir=args.campaign_dir,
-                          shard_workers=args.shard_workers).format())
-    elif args.command == "figure7":
-        print(run_figure7(trials=args.trials, seed=args.seed,
-                          batch_size=args.batch_size,
-                          parallel_workers=args.workers,
-                          campaign_dir=args.campaign_dir,
-                          shard_workers=args.shard_workers).format())
-    elif args.command == "sweep":
-        return _cmd_sweep(args)
-    elif args.command == "figure8":
-        result = run_figure8()
-        print(result.format())
-        print(f"mean improvement: {result.mean_improvement_percent:.2f}%")
-    elif args.command == "ablations":
-        if args.workers > 1:
-            print("note: --workers does not apply to the ablations "
-                  "(surrogate evaluation is in-process)", file=sys.stderr)
-        if args.campaign_dir is not None or args.shard_workers > 1:
-            print("note: --campaign-dir/--shard-workers do not apply to "
-                  "the ablations (they run in-process, without "
-                  "checkpointing)", file=sys.stderr)
-        reuse = run_reuse_ablation()
-        print(reuse.format())
-        pruning = run_pruning_ablation(trials=args.trials, seed=args.seed,
-                                       batch_size=args.batch_size)
-        print(pruning.format())
-    elif args.command == "report":
-        from pathlib import Path
-
-        from repro.experiments.report import generate_report
-
-        text = generate_report(trials=args.trials, seed=args.seed,
-                               batch_size=args.batch_size,
-                               parallel_workers=args.workers,
-                               campaign_dir=args.campaign_dir,
-                               shard_workers=args.shard_workers)
-        Path(args.output).write_text(text)
-        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
-    elif args.command == "estimate":
+    if args.command == "estimate":
         return _cmd_estimate(args)
-    return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    try:
+        plan = plan_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_notes(args.command, plan.execution)
+    if args.dump_plan is not None:
+        save_plan(plan, args.dump_plan)
+        print(f"wrote plan {args.dump_plan}", file=sys.stderr)
+    if args.command == "sweep":
+        try:
+            return _execute_plan(plan, quiet=args.quiet)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return _execute_plan(plan)
 
 
 if __name__ == "__main__":

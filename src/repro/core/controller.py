@@ -751,3 +751,30 @@ class TabularController:
         for target, source in zip(self.logits, state["logits"]):
             _copy_into(target, source, "logits")
         self._adam.load_state_dict(state["adam"])
+
+
+# --- Registry entries -----------------------------------------------------
+#
+# Factory contract: factory(space, seed) -> Controller.  Plans name
+# controllers by these keys (see repro.plans.SearchPlan.controller).
+
+from repro.registry import CONTROLLERS
+
+
+@CONTROLLERS.register("lstm")
+def _lstm_factory(space: SearchSpace, seed: int) -> LstmController:
+    """The paper's LSTM policy (the default across all experiments)."""
+    return LstmController(space, seed=seed)
+
+
+@CONTROLLERS.register("tabular")
+def _tabular_factory(space: SearchSpace, seed: int) -> TabularController:
+    """Independent per-step softmax logits (controller ablation)."""
+    return TabularController(space, seed=seed)
+
+
+@CONTROLLERS.register("random")
+def _random_factory(space: SearchSpace, seed: int) -> RandomController:
+    """Uniform random policy (no-learning baseline; seed unused)."""
+    del seed  # stateless policy: sampling draws from the run's RNG stream
+    return RandomController(space)

@@ -262,3 +262,37 @@ class ParallelEvaluator:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# --- Registry entries -----------------------------------------------------
+#
+# Factory contract: factory(space, config, seed) -> AccuracyEvaluator.
+# Plans name evaluators by these keys (repro.plans.SearchPlan.evaluator).
+
+from repro.registry import EVALUATORS
+
+
+@EVALUATORS.register("surrogate")
+def _surrogate_factory(
+    space: SearchSpace, config: ExperimentConfig, seed: int
+) -> SurrogateAccuracyEvaluator:
+    """The calibrated landscape -- the paper-scale default."""
+    return SurrogateAccuracyEvaluator(space, config=config, seed=seed)
+
+
+@EVALUATORS.register("trained")
+def _trained_factory(
+    space: SearchSpace, config: ExperimentConfig, seed: int
+) -> TrainedAccuracyEvaluator:
+    """Real NumPy training on the config's synthetic dataset.
+
+    Built at laptop-friendly dataset sizes (the registry contract has
+    no size knobs); construct :class:`TrainedAccuracyEvaluator` directly
+    for Table 2-scale data.
+    """
+    del space  # the dataset, not the space, parameterises training
+    from repro.datasets.registry import load_dataset
+
+    return TrainedAccuracyEvaluator(
+        load_dataset(config.dataset, seed=seed), init_seed=seed
+    )

@@ -1,24 +1,22 @@
-"""Dataset registry: name -> generator."""
+"""Dataset registry: name -> generator.
+
+Since the RunPlan redesign the authoritative mapping is
+:data:`repro.registry.DATASETS`; the generators register themselves
+there from their defining modules.  This module keeps the historical
+``load_dataset`` / ``dataset_names`` entry points as thin views over
+that registry, so third-party datasets registered via
+``DATASETS.register("name")`` are served here too.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.datasets.base import Dataset
-from repro.datasets.synthetic_cifar import make_cifar
-from repro.datasets.synthetic_imagenet import make_imagenet
-from repro.datasets.synthetic_mnist import make_mnist
-
-_GENERATORS: dict[str, Callable[..., Dataset]] = {
-    "mnist": make_mnist,
-    "cifar10": make_cifar,
-    "imagenet": make_imagenet,
-}
+from repro.registry import DATASETS
 
 
 def dataset_names() -> list[str]:
     """Registered dataset names."""
-    return sorted(_GENERATORS)
+    return DATASETS.names()
 
 
 def load_dataset(
@@ -30,9 +28,5 @@ def load_dataset(
     laptop-friendly scale; pass the Table 2 sizes (see
     ``repro.experiments.configs``) for paper-scale runs.
     """
-    try:
-        generator = _GENERATORS[name]
-    except KeyError:
-        known = ", ".join(dataset_names())
-        raise KeyError(f"unknown dataset {name!r}; known: {known}")
+    generator = DATASETS[name]
     return generator(train_size=train_size, val_size=val_size, seed=seed)

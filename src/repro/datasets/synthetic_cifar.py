@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.base import Dataset
+from repro.registry import DATASETS
 
 IMAGE_SIZE = 32
 NUM_CLASSES = 10
@@ -67,6 +68,7 @@ def _generate(
     return images, labels.astype(np.int64)
 
 
+@DATASETS.register("cifar10")
 def make_cifar(
     train_size: int = 2000, val_size: int = 500, seed: int = 0
 ) -> Dataset:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.base import Dataset
+from repro.registry import DATASETS
 from repro.datasets.synthetic_cifar import _class_parameters, _render
 
 IMAGE_SIZE = 32
@@ -54,6 +55,7 @@ def _draw_shape(
         image[ch][mask] = 0.65 * color[ch] + 0.35 * image[ch][mask]
 
 
+@DATASETS.register("imagenet")
 def make_imagenet(
     train_size: int = 2000, val_size: int = 500, seed: int = 0
 ) -> Dataset:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.base import Dataset
+from repro.registry import DATASETS
 
 #: 5x7 bitmap font for digits 0-9 ('#' = stroke).
 _GLYPHS = {
@@ -73,6 +74,7 @@ def _generate(count: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndar
     return images, labels.astype(np.int64)
 
 
+@DATASETS.register("mnist")
 def make_mnist(
     train_size: int = 2000, val_size: int = 500, seed: int = 0
 ) -> Dataset:

@@ -14,16 +14,51 @@ point, more so for tighter specs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.api import resolve_execution
 from repro.core.evaluator import AccuracyEvaluator
 from repro.experiments.configs import MNIST_CONFIG
 from repro.experiments.reporting import format_minutes, format_table
-from repro.experiments.runner import PairedSearchOutcome, run_paired_search
-from repro.fpga.device import XC7A50T, XC7Z020, FpgaDevice
+from repro.experiments.runner import (
+    EmitFn,
+    PairedSearchOutcome,
+    run_paired_plan,
+)
+from repro.fpga.device import XC7A50T, XC7Z020, FpgaDevice, get_device
 from repro.fpga.platform import Platform
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
 
 #: Figure 6 bar labels, loosest to tightest.
 VARIANTS = ("FNAS-loose", "FNAS-med", "FNAS-tight")
+
+#: The two device classes the paper compares (high-end, low-end).
+FIGURE6_DEVICES = (XC7Z020.name, XC7A50T.name)
+
+
+def figure6_plan(
+    trials: int | None = None,
+    seed: int = 0,
+    devices: tuple[str, ...] = FIGURE6_DEVICES,
+    execution: Any = None,
+) -> RunPlan:
+    """The declarative plan behind ``repro figure6``.
+
+    MNIST on both device classes; the per-device TS2..TS4 specs come
+    from Table 2 at run time, so the scenario leaves ``specs_ms``
+    empty.
+    """
+    plan_kwargs = {} if execution is None else {"execution": execution}
+    return RunPlan(
+        workload="figure6",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(
+            datasets=("mnist",),
+            devices=tuple(devices),
+            include_nas=True,
+        ),
+        **plan_kwargs,
+    )
 
 
 @dataclass(frozen=True)
@@ -82,37 +117,38 @@ def _device_specs(device: FpgaDevice) -> list[tuple[str, float]]:
     ]
 
 
-def run_figure6(
-    trials: int | None = None,
-    seed: int = 0,
-    devices: tuple[FpgaDevice, ...] = (XC7Z020, XC7A50T),
+def run_figure6_plan(
+    plan: RunPlan,
     evaluator: AccuracyEvaluator | None = None,
-    batch_size: int = 1,
-    parallel_workers: int = 1,
-    campaign_dir: str | None = None,
-    shard_workers: int = 1,
+    devices: tuple[FpgaDevice, ...] | None = None,
+    emit: EmitFn | None = None,
 ) -> Figure6Result:
-    """Regenerate Figure 6 (both FPGAs, four bars each).
+    """Regenerate Figure 6 from its declarative plan.
 
-    ``campaign_dir`` / ``shard_workers`` run each device's searches as
-    a resumable campaign (see :func:`run_paired_search`); shard ids
-    embed the device name, so one directory serves both devices.
+    The plan-native core: :class:`repro.api.Session` dispatches
+    ``workload="figure6"`` here.  Devices come from the plan's
+    scenario (default: both paper device classes) unless live
+    :class:`~repro.fpga.device.FpgaDevice` objects override them --
+    the escape hatch for non-catalog devices, which plan data cannot
+    name.  In campaign mode shard ids embed the device name, so one
+    checkpoint directory serves both devices.
     """
+    if devices is None:
+        names = plan.scenario.devices or FIGURE6_DEVICES
+        devices = tuple(get_device(name) for name in names)
+    dataset = (plan.scenario.datasets[0] if plan.scenario.datasets
+               else "mnist")
     bars: list[Figure6Bar] = []
     outcomes: dict[str, PairedSearchOutcome] = {}
     for device in devices:
         named_specs = _device_specs(device)
-        outcome = run_paired_search(
-            dataset="mnist",
+        outcome = run_paired_plan(
+            plan,
+            dataset=dataset,
             platform=Platform.single(device),
             specs_ms=[ms for _, ms in named_specs],
-            trials=trials,
-            seed=seed,
             evaluator=evaluator,
-            batch_size=batch_size,
-            parallel_workers=parallel_workers,
-            campaign_dir=campaign_dir,
-            shard_workers=shard_workers,
+            emit=emit,
         )
         outcomes[device.name] = outcome
         nas_best = outcome.nas.best()
@@ -128,7 +164,7 @@ def run_figure6(
             )
         )
         for name, spec in named_specs:
-            result = outcome.fnas[spec]
+            result = outcome.fnas_for(spec)
             best = result.best_valid(spec)
             assert best.latency_ms is not None
             bars.append(
@@ -143,3 +179,43 @@ def run_figure6(
                 )
             )
     return Figure6Result(bars=bars, outcomes=outcomes)
+
+
+def run_figure6(
+    trials: int | None = None,
+    seed: int = 0,
+    devices: tuple[FpgaDevice, ...] = (XC7Z020, XC7A50T),
+    evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,  # deprecated alias: eval_workers
+    campaign_dir: str | None = None,  # deprecated alias: checkpoint_dir
+    shard_workers: int = 1,
+    *,
+    eval_workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+) -> Figure6Result:
+    """Legacy kwarg entry point -- a deprecation shim over the plan API.
+
+    Lowers the arguments onto :func:`figure6_plan` and runs the
+    plan-native core, forwarding the live device objects so
+    non-catalog devices keep working.
+    """
+    from repro.registry import DEVICES
+
+    catalog = tuple(d.name for d in devices if d.name in DEVICES)
+    plan = figure6_plan(
+        trials=trials,
+        seed=seed,
+        devices=catalog if len(catalog) == len(devices) else FIGURE6_DEVICES,
+        execution=resolve_execution(
+            batch_size=batch_size,
+            eval_workers=eval_workers,
+            shard_workers=shard_workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            parallel_workers=parallel_workers,  # deprecated passthrough
+            campaign_dir=campaign_dir,  # deprecated passthrough
+        ),
+    )
+    return run_figure6_plan(plan, evaluator=evaluator, devices=tuple(devices))

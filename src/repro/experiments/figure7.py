@@ -16,13 +16,20 @@ tightens; reduction growing as the spec tightens (the paper peaks at
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.api import resolve_execution
 from repro.core.evaluator import AccuracyEvaluator
 from repro.experiments.configs import get_config
 from repro.experiments.reporting import format_table, improvement
-from repro.experiments.runner import PairedSearchOutcome, run_paired_search
+from repro.experiments.runner import (
+    EmitFn,
+    PairedSearchOutcome,
+    run_paired_plan,
+)
 from repro.fpga.device import XC7Z020, XCZU9EG
 from repro.fpga.platform import Platform
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
 
 #: Dataset -> device hosting its Figure 7 experiments.
 FIGURE7_DEVICES = {
@@ -30,6 +37,31 @@ FIGURE7_DEVICES = {
     "cifar10": XCZU9EG,
     "imagenet": XCZU9EG,
 }
+
+
+def figure7_plan(
+    trials: int | None = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist", "cifar10", "imagenet"),
+    execution: Any = None,
+) -> RunPlan:
+    """The declarative plan behind ``repro figure7``.
+
+    Three datasets on their paper-assigned devices; the per-dataset
+    TS1..TS4 specs come from Table 2 at run time, so the scenario
+    leaves ``specs_ms`` empty and the device list is derived from
+    :data:`FIGURE7_DEVICES`.
+    """
+    plan_kwargs = {} if execution is None else {"execution": execution}
+    return RunPlan(
+        workload="figure7",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(
+            datasets=tuple(datasets),
+            include_nas=True,
+        ),
+        **plan_kwargs,
+    )
 
 
 @dataclass(frozen=True)
@@ -74,45 +106,40 @@ class Figure7Result:
         return format_table(headers, rows)
 
 
-def run_figure7(
-    datasets: tuple[str, ...] = ("mnist", "cifar10", "imagenet"),
-    trials: int | None = None,
-    seed: int = 0,
+def run_figure7_plan(
+    plan: RunPlan,
     evaluator: AccuracyEvaluator | None = None,
-    batch_size: int = 1,
-    parallel_workers: int = 1,
-    campaign_dir: str | None = None,
-    shard_workers: int = 1,
+    emit: EmitFn | None = None,
 ) -> Figure7Result:
-    """Regenerate Figure 7 over ``datasets`` and TS1..TS4.
+    """Regenerate Figure 7 from its declarative plan.
 
-    ``campaign_dir`` / ``shard_workers`` run each dataset's searches as
-    a resumable campaign (see :func:`run_paired_search`); shard ids
-    embed the dataset name, so one directory serves all three.
+    The plan-native core: :class:`repro.api.Session` dispatches
+    ``workload="figure7"`` here.  Datasets come from the plan's
+    scenario (default: all three); each runs on its paper-assigned
+    device from :data:`FIGURE7_DEVICES`.  In campaign mode shard ids
+    embed the dataset name, so one checkpoint directory serves all
+    three.
     """
+    datasets = plan.scenario.datasets or ("mnist", "cifar10", "imagenet")
     points: list[Figure7Point] = []
     outcomes: dict[str, PairedSearchOutcome] = {}
     for dataset in datasets:
         config = get_config(dataset)
         device = FIGURE7_DEVICES[dataset]
         named_specs = config.timing_specs.as_list()
-        outcome = run_paired_search(
+        outcome = run_paired_plan(
+            plan,
             dataset=dataset,
             platform=Platform.single(device),
             specs_ms=[ms for _, ms in named_specs],
-            trials=trials,
-            seed=seed,
             evaluator=evaluator,
-            batch_size=batch_size,
-            parallel_workers=parallel_workers,
-            campaign_dir=campaign_dir,
-            shard_workers=shard_workers,
+            emit=emit,
         )
         outcomes[dataset] = outcome
         nas_accuracy = outcome.nas_best_accuracy
         nas_elapsed = outcome.nas.simulated_seconds
         for spec_name, spec_ms in named_specs:
-            result = outcome.fnas[spec_ms]
+            result = outcome.fnas_for(spec_ms)
             try:
                 best = result.best_valid(spec_ms)
                 loss = nas_accuracy - best.accuracy
@@ -136,3 +163,41 @@ def run_figure7(
                 )
             )
     return Figure7Result(points=points, outcomes=outcomes)
+
+
+def run_figure7(
+    datasets: tuple[str, ...] = ("mnist", "cifar10", "imagenet"),
+    trials: int | None = None,
+    seed: int = 0,
+    evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,  # deprecated alias: eval_workers
+    campaign_dir: str | None = None,  # deprecated alias: checkpoint_dir
+    shard_workers: int = 1,
+    *,
+    eval_workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+) -> Figure7Result:
+    """Legacy kwarg entry point -- a deprecation shim over the plan API.
+
+    Lowers the arguments onto :func:`figure7_plan` and runs it through
+    :class:`repro.api.Session`.
+    """
+    from repro.api import Session
+
+    plan = figure7_plan(
+        trials=trials,
+        seed=seed,
+        datasets=tuple(datasets),
+        execution=resolve_execution(
+            batch_size=batch_size,
+            eval_workers=eval_workers,
+            shard_workers=shard_workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            parallel_workers=parallel_workers,  # deprecated passthrough
+            campaign_dir=campaign_dir,  # deprecated passthrough
+        ),
+    )
+    return Session.from_plan(plan, evaluator=evaluator).run()

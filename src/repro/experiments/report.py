@@ -1,64 +1,82 @@
 """One-shot reproduction report generator.
 
-``generate_report()`` runs every experiment (Table 1, Figures 6-8, the
-ablations) and renders a single markdown document mirroring
-EXPERIMENTS.md's structure -- useful for refreshing the committed
-results after model changes, or via ``python -m repro report``.
+``generate_report_plan()`` runs every experiment (Table 1, Figures 6-8,
+the ablations) from one declarative plan and renders a single markdown
+document mirroring EXPERIMENTS.md's structure -- useful for refreshing
+the committed results after model changes, or via
+``python -m repro report``.  The search-based sections share the plan's
+search and execution policy, so a checkpointing policy makes the whole
+report resumable: interrupting and re-running with the same checkpoint
+directory picks every search up from its last snapshot.
 """
 
 from __future__ import annotations
 
 import io
 import time
+from typing import Any
 
+from repro.api import resolve_execution
 from repro.experiments.ablation import run_pruning_ablation, run_reuse_ablation
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure6 import figure6_plan, run_figure6_plan
+from repro.experiments.figure7 import figure7_plan, run_figure7_plan
 from repro.experiments.figure8 import run_figure8
-from repro.experiments.table1 import run_table1
+from repro.experiments.runner import EmitFn
+from repro.experiments.table1 import run_table1_plan, table1_plan
+from repro.plans import RunPlan, SearchPlan
 
 
-def generate_report(
+def report_plan(
     trials: int | None = None,
     seed: int = 0,
-    batch_size: int = 1,
-    parallel_workers: int = 1,
-    campaign_dir: str | None = None,
-    shard_workers: int = 1,
-) -> str:
-    """Run everything and return the markdown report text.
+    execution: Any = None,
+    output: str | None = None,
+) -> RunPlan:
+    """The declarative plan behind ``repro report``."""
+    plan_kwargs = {} if execution is None else {"execution": execution}
+    return RunPlan(
+        workload="report",
+        search=SearchPlan(seed=seed, trials=trials),
+        output=output,
+        **plan_kwargs,
+    )
 
-    ``campaign_dir`` / ``shard_workers`` run the search-based sections
-    (Table 1, Figures 6/7) as resumable campaigns: interrupting the
-    report and re-running with the same directory picks up every search
-    from its last checkpoint.
+
+def generate_report_plan(plan: RunPlan, emit: EmitFn | None = None) -> str:
+    """Run everything the plan describes and return the markdown text.
+
+    The plan-native core: :class:`repro.api.Session` dispatches
+    ``workload="report"`` here (and writes ``plan.output`` when set).
     """
+    search = plan.search
     out = io.StringIO()
     write = out.write
     write("# FNAS reproduction report\n\n")
-    write(f"seed={seed}, trials={'Table 2 default' if trials is None else trials}\n\n")
+    write(f"seed={search.seed}, trials="
+          f"{'Table 2 default' if search.trials is None else search.trials}\n\n")
+
+    def section_plan(builder):
+        sub = builder(trials=search.trials, seed=search.seed,
+                      execution=plan.execution)
+        # Carry the full search plan (controller/evaluator/estimator
+        # keys) into each section, not just seed and trials.
+        return RunPlan(
+            workload=sub.workload, search=search, execution=sub.execution,
+            scenario=sub.scenario,
+        )
 
     started = time.perf_counter()
-    table1 = run_table1(trials=trials, seed=seed, batch_size=batch_size,
-                        parallel_workers=parallel_workers,
-                        campaign_dir=campaign_dir,
-                        shard_workers=shard_workers)
+    table1 = run_table1_plan(section_plan(table1_plan), emit=emit)
     write("## Table 1 — MNIST on PYNQ\n\n```\n")
     write(table1.format())
     write("\n```\n\n")
 
-    figure6 = run_figure6(trials=trials, seed=seed, batch_size=batch_size,
-                          parallel_workers=parallel_workers,
-                          campaign_dir=campaign_dir,
-                          shard_workers=shard_workers)
+    figure6 = run_figure6_plan(section_plan(figure6_plan), emit=emit)
     write("## Figure 6 — two FPGAs\n\n```\n")
     write(figure6.format())
     write("\n```\n\n")
 
-    figure7 = run_figure7(trials=trials, seed=seed, batch_size=batch_size,
-                          parallel_workers=parallel_workers,
-                          campaign_dir=campaign_dir,
-                          shard_workers=shard_workers)
+    figure7 = run_figure7_plan(section_plan(figure7_plan), emit=emit)
     write("## Figure 7 — three datasets\n\n```\n")
     write(figure7.format())
     write("\n```\n\n")
@@ -74,10 +92,45 @@ def generate_report(
     write(reuse.format())
     write("\n```\n\n")
 
-    pruning = run_pruning_ablation(trials=trials, seed=seed)
+    pruning = run_pruning_ablation(trials=search.trials, seed=search.seed)
     write("## Ablation — early pruning\n\n```\n")
     write(pruning.format())
     write("\n```\n\n")
 
     write(f"_generated in {time.perf_counter() - started:.1f}s_\n")
     return out.getvalue()
+
+
+def generate_report(
+    trials: int | None = None,
+    seed: int = 0,
+    batch_size: int = 1,
+    parallel_workers: int = 1,  # deprecated alias: eval_workers
+    campaign_dir: str | None = None,  # deprecated alias: checkpoint_dir
+    shard_workers: int = 1,
+    *,
+    eval_workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+) -> str:
+    """Legacy kwarg entry point -- a deprecation shim over the plan API.
+
+    Lowers the arguments onto :func:`report_plan` and runs it through
+    :class:`repro.api.Session`.
+    """
+    from repro.api import Session
+
+    plan = report_plan(
+        trials=trials,
+        seed=seed,
+        execution=resolve_execution(
+            batch_size=batch_size,
+            eval_workers=eval_workers,
+            shard_workers=shard_workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            parallel_workers=parallel_workers,  # deprecated passthrough
+            campaign_dir=campaign_dir,  # deprecated passthrough
+        ),
+    )
+    return Session.from_plan(plan).run()

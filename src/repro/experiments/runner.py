@@ -1,39 +1,52 @@
-"""Shared experiment plumbing: paired NAS / FNAS runs on one setup.
+"""The paired-search engine: one NAS baseline plus FNAS runs per spec.
 
-:func:`run_paired_search` is the engine behind Table 1 and Figures 6/7.
-It has two execution modes:
+:func:`run_paired_plan` is the engine behind Table 1 and Figures 6/7.
+It consumes a declarative :class:`~repro.plans.RunPlan` -- the search
+configuration (controller / evaluator / estimator registry keys, seed,
+trials) comes from ``plan.search`` and the execution policy (batching,
+evaluation workers, checkpointing, shard fan-out) from
+``plan.execution`` -- and has two execution modes:
 
 * the default in-process mode, which runs the NAS baseline and each
-  FNAS spec sequentially (with PR 1's batched/parallel options), and
-* **campaign mode** (``campaign_dir`` and/or ``shard_workers > 1``),
-  which expresses the same runs as orchestration shards: each search
-  becomes a checkpointed, resumable shard, optionally fanned across a
-  process pool.  Re-invoking with the same ``campaign_dir`` resumes
-  interrupted searches from their snapshots, making every table/figure
-  regeneration a durable campaign.  Both modes produce identical trial
-  ledgers (pinned by tests), so campaign mode is purely an execution
-  policy.
+  FNAS spec sequentially (with the batched/parallel options), and
+* **campaign mode** (``plan.execution.campaign_mode``), which expresses
+  the same runs as orchestration shards: each search becomes a
+  checkpointed, resumable shard, optionally fanned across a process
+  pool.  Re-invoking with the same checkpoint directory resumes
+  interrupted searches.  Both modes produce identical trial ledgers
+  (pinned by tests), so campaign mode is purely an execution policy.
+
+:func:`run_paired_search` remains as the legacy kwarg entry point -- a
+thin deprecation shim that lowers its arguments onto a plan and calls
+the engine.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.controller import Controller, LstmController
-from repro.core.evaluator import (
-    AccuracyEvaluator,
-    ParallelEvaluator,
-    SurrogateAccuracyEvaluator,
+from repro.api import (
+    build_controller,
+    build_estimator,
+    build_evaluator,
+    landscape_seed,
+    resolve_execution,
 )
+from repro.core.evaluator import AccuracyEvaluator, ParallelEvaluator
 from repro.core.search import FnasSearch, NasSearch, SearchResult
 from repro.core.search_space import SearchSpace
 from repro.experiments.configs import ExperimentConfig, get_config
 from repro.fpga.device import DEVICE_CATALOG
 from repro.fpga.platform import Platform
-from repro.latency.estimator import LatencyEstimator
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan, spec_key
+
+#: Signature of the progress emitter threaded through the engine
+#: (kind, scope, message) -- :meth:`repro.api.Session.emit` satisfies it.
+EmitFn = Callable[[str, str, str], None]
 
 
 @dataclass
@@ -57,10 +70,161 @@ class PairedSearchOutcome:
         assert latency is not None  # runner always attaches an estimator
         return latency
 
+    def fnas_for(self, spec_ms: float | str) -> SearchResult:
+        """Tolerant FNAS lookup by timing spec.
 
-def make_controller(space: SearchSpace, seed: int) -> Controller:
-    """The default controller used across experiments."""
-    return LstmController(space, seed=seed)
+        ``fnas`` is keyed by raw floats, which is exact-match hostile:
+        JSON round-trips stringify keys, and a spec recomputed through
+        string formatting may differ in the last ulp.  This accepts a
+        float or its string form and matches with a relative tolerance,
+        raising a listing ``KeyError`` when nothing is close.
+        """
+        target = float(spec_ms)
+        result = self.fnas.get(target)
+        if result is not None:
+            return result
+        for key, candidate in self.fnas.items():
+            if math.isclose(key, target, rel_tol=1e-9, abs_tol=1e-12):
+                return candidate
+        known = ", ".join(spec_key(k) for k in sorted(self.fnas))
+        raise KeyError(f"no FNAS run at {spec_ms!r} ms; specs: {known}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form with stable *string* spec keys.
+
+        FNAS results are keyed by :func:`repro.plans.spec_key` strings
+        (``"2.5"``, ``"10"``) so the document round-trips through JSON
+        without float-key mangling; :meth:`from_dict` restores the
+        float-keyed mapping.
+        """
+        from repro.core.serialization import search_result_to_dict
+
+        return {
+            "dataset": self.config.dataset,
+            "devices": [d.name for d in self.platform.devices],
+            "nas": search_result_to_dict(self.nas),
+            "fnas": {
+                spec_key(spec): search_result_to_dict(result)
+                for spec, result in self.fnas.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PairedSearchOutcome":
+        """Rebuild an outcome from :meth:`to_dict` (catalog platforms)."""
+        from repro.core.serialization import search_result_from_dict
+        from repro.fpga.device import get_device
+
+        devices = [get_device(name) for name in data["devices"]]
+        return cls(
+            config=get_config(data["dataset"]),
+            platform=Platform(devices=tuple(devices)),
+            nas=search_result_from_dict(data["nas"]),
+            fnas={
+                float(key): search_result_from_dict(result)
+                for key, result in data["fnas"].items()
+            },
+        )
+
+
+def make_controller(space: SearchSpace, seed: int):
+    """The default controller used across experiments (registry ``lstm``)."""
+    return build_controller(SearchPlan(seed=seed), space)
+
+
+def run_paired_plan(
+    plan: RunPlan,
+    dataset: str | None = None,
+    platform: Platform | None = None,
+    specs_ms: list[float] | None = None,
+    evaluator: AccuracyEvaluator | None = None,
+    emit: EmitFn | None = None,
+) -> PairedSearchOutcome:
+    """Run NAS once and FNAS once per timing spec on one dataset/platform.
+
+    The plan's scenario supplies the dataset, device and specs unless
+    the explicit arguments override them (the figure runners iterate
+    over devices/datasets and pass each explicitly; overrides also
+    admit non-catalog :class:`~repro.fpga.platform.Platform` objects,
+    which plain plan data cannot name).
+
+    Each search gets its own controller and RNG stream (all derived
+    from ``plan.search.seed``) so runs are independent, reproducible
+    and comparable -- the protocol behind Table 1 and Figures 6/7.
+    ``evaluator`` overrides the plan's evaluator key with a live
+    instance (in-process mode only).  ``emit`` receives per-search
+    progress events.
+    """
+    scenario = plan.scenario
+    if dataset is None:
+        if not scenario.datasets:
+            raise ValueError("the plan's scenario names no datasets")
+        dataset = scenario.datasets[0]
+    if platform is None:
+        from repro.api import build_platform
+
+        platform = build_platform(scenario)
+    if specs_ms is None:
+        specs_ms = list(scenario.specs_ms)
+    if plan.execution.campaign_mode:
+        return _run_paired_campaign(
+            plan, dataset, platform, specs_ms, evaluator, emit
+        )
+    search_plan = plan.search
+    config = get_config(dataset)
+    space = SearchSpace.from_config(config)
+    seed = search_plan.seed
+    n_trials = (search_plan.trials if search_plan.trials is not None
+                else config.trials)
+    if evaluator is None:
+        evaluator = build_evaluator(
+            search_plan, space, config, landscape_seed(plan)
+        )
+    pool: ParallelEvaluator | None = None
+    if plan.execution.eval_workers > 1:
+        evaluator = pool = ParallelEvaluator(
+            evaluator, max_workers=plan.execution.eval_workers
+        )
+    estimator = build_estimator(search_plan, platform)
+
+    def _notify(kind: str, name: str, message: str) -> None:
+        if emit is not None:
+            emit(kind, name, message)
+
+    try:
+        _notify("start", "nas", f"{n_trials} trials on {dataset}")
+        nas = NasSearch(
+            space,
+            evaluator,
+            controller=build_controller(search_plan, space, seed),
+            latency_estimator=estimator,
+        ).run(n_trials, np.random.default_rng(seed),
+              batch_size=plan.execution.batch_size)
+        _notify("finish", "nas", f"{len(nas.trials)} trials")
+
+        fnas_results: dict[float, SearchResult] = {}
+        for offset, spec in enumerate(specs_ms, start=1):
+            name = f"fnas-{spec_key(spec)}ms"
+            _notify("start", name, f"{n_trials} trials on {dataset}")
+            search = FnasSearch(
+                space,
+                evaluator,
+                estimator,
+                required_latency_ms=spec,
+                controller=build_controller(search_plan, space, seed + offset),
+                min_latency_fallback=search_plan.min_latency_fallback,
+            )
+            fnas_results[spec] = search.run(
+                n_trials, np.random.default_rng(seed + offset),
+                batch_size=plan.execution.batch_size,
+            )
+            _notify("finish", name, f"{len(fnas_results[spec].trials)} trials")
+    finally:
+        if pool is not None:
+            pool.close()
+    return PairedSearchOutcome(
+        config=config, platform=platform, nas=nas, fnas=fnas_results
+    )
 
 
 def run_paired_search(
@@ -71,76 +235,65 @@ def run_paired_search(
     seed: int = 0,
     evaluator: AccuracyEvaluator | None = None,
     batch_size: int = 1,
-    parallel_workers: int = 1,
-    campaign_dir: str | Path | None = None,
+    parallel_workers: int = 1,  # deprecated alias: eval_workers
+    campaign_dir: Any = None,  # deprecated alias: checkpoint_dir
     shard_workers: int = 1,
+    *,
+    eval_workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> PairedSearchOutcome:
-    """Run NAS once and FNAS once per timing spec on one dataset/platform.
+    """Legacy kwarg entry point -- a deprecation shim over the plan API.
 
-    Each search gets its own controller and RNG stream (all derived from
-    ``seed``) so runs are independent, reproducible, and comparable --
-    the protocol behind Table 1 and Figures 6/7.
-
-    ``trials`` defaults to the dataset's Table 2 trial count;
-    ``evaluator`` defaults to the calibrated surrogate (pass a
-    :class:`~repro.core.evaluator.TrainedAccuracyEvaluator` for real
-    NumPy training).  ``batch_size`` drives the searches' batched
-    runtime (1 reproduces the published sequential trajectories);
-    ``parallel_workers > 1`` additionally fans each batch's child
-    evaluations across a process pool.
-
-    ``campaign_dir`` and/or ``shard_workers > 1`` switch to campaign
-    mode: the NAS baseline and each FNAS spec become orchestration
-    shards -- checkpointed under ``campaign_dir``, resumable by
-    re-invoking with the same directory, and fanned across
-    ``shard_workers`` processes.  Ledgers are identical to the default
-    mode's; campaign mode requires the default surrogate evaluator and
-    a single-catalog-device platform.
+    Lowers its arguments onto a :class:`~repro.plans.RunPlan` and calls
+    :func:`run_paired_plan`; prefer building the plan yourself and
+    running it through :class:`repro.api.Session`.  The old
+    ``parallel_workers`` / ``campaign_dir`` spellings (deprecated) work but
+    warn; ``eval_workers`` / ``checkpoint_dir`` are the canonical
+    names (:class:`~repro.plans.ExecutionPolicy` fields).
     """
-    if campaign_dir is not None or shard_workers > 1:
-        return _run_paired_campaign(
-            dataset, platform, specs_ms, trials, seed, evaluator,
-            batch_size, parallel_workers, campaign_dir, shard_workers,
-        )
-    config = get_config(dataset)
-    space = SearchSpace.from_config(config)
-    n_trials = trials if trials is not None else config.trials
-    if evaluator is None:
-        evaluator = SurrogateAccuracyEvaluator(space, config=config, seed=seed)
-    pool: ParallelEvaluator | None = None
-    if parallel_workers > 1:
-        evaluator = pool = ParallelEvaluator(
-            evaluator, max_workers=parallel_workers
-        )
-    estimator = LatencyEstimator(platform)
+    execution = resolve_execution(
+        batch_size=batch_size,
+        eval_workers=eval_workers,
+        shard_workers=shard_workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        parallel_workers=parallel_workers,  # deprecated passthrough
+        campaign_dir=campaign_dir,  # deprecated passthrough
+    )
+    plan = RunPlan(
+        workload="paired",
+        search=SearchPlan(seed=seed, trials=trials),
+        execution=execution,
+        scenario=_scenario_for(dataset, platform, specs_ms),
+    )
+    return run_paired_plan(
+        plan, dataset=dataset, platform=platform, specs_ms=list(specs_ms),
+        evaluator=evaluator,
+    )
 
-    try:
-        nas = NasSearch(
-            space,
-            evaluator,
-            controller=make_controller(space, seed),
-            latency_estimator=estimator,
-        ).run(n_trials, np.random.default_rng(seed), batch_size=batch_size)
 
-        fnas_results: dict[float, SearchResult] = {}
-        for offset, spec in enumerate(specs_ms, start=1):
-            search = FnasSearch(
-                space,
-                evaluator,
-                estimator,
-                required_latency_ms=spec,
-                controller=make_controller(space, seed + offset),
-                min_latency_fallback=True,
-            )
-            fnas_results[spec] = search.run(
-                n_trials, np.random.default_rng(seed + offset),
-                batch_size=batch_size,
-            )
-    finally:
-        if pool is not None:
-            pool.close()
-    return PairedSearchOutcome(
-        config=config, platform=platform, nas=nas, fnas=fnas_results
+def _scenario_for(
+    dataset: str, platform: Platform, specs_ms: list[float]
+) -> ScenarioPlan:
+    """Best-effort scenario for a legacy call (documents the run).
+
+    Non-catalog platforms cannot be named by plan data; the scenario
+    then records no device and the engine uses the explicit platform
+    object.
+    """
+    names = {d.name for d in platform.devices}
+    devices: tuple[str, ...] = ()
+    boards = 1
+    if len(names) == 1 and next(iter(names)) in DEVICE_CATALOG:
+        devices = (next(iter(names)),)
+        boards = len(platform.devices)
+    return ScenarioPlan(
+        datasets=(dataset,),
+        devices=devices,
+        boards=boards,
+        specs_ms=tuple(specs_ms),
+        include_nas=True,
     )
 
 
@@ -167,52 +320,62 @@ def _campaign_device(platform: Platform) -> tuple[str, int]:
 
 
 def _run_paired_campaign(
+    plan: RunPlan,
     dataset: str,
     platform: Platform,
     specs_ms: list[float],
-    trials: int | None,
-    seed: int,
     evaluator: AccuracyEvaluator | None,
-    batch_size: int,
-    parallel_workers: int,
-    campaign_dir: str | Path | None,
-    shard_workers: int,
+    emit: EmitFn | None,
 ) -> PairedSearchOutcome:
-    """Campaign-mode body of :func:`run_paired_search`.
+    """Campaign-mode body of :func:`run_paired_plan`.
 
     Builds one NAS shard plus one FNAS shard per spec with exactly the
     seeds the in-process mode uses (controller ``seed + offset``, one
-    shared surrogate landscape at ``seed``), so the merged outcome's
-    ledgers match the serial mode byte for byte.
+    shared surrogate landscape at the base seed), so the merged
+    outcome's ledgers match the serial mode byte for byte.
     """
     from repro.orchestration import Campaign, ShardSpec
 
     if evaluator is not None:
         raise ValueError(
-            "campaign mode rebuilds the surrogate evaluator inside each "
-            "shard; pass evaluator=None (or run without campaign_dir / "
-            "shard_workers)"
+            "campaign mode rebuilds the evaluator from the plan's registry "
+            "key inside each shard; pass evaluator=None (or run with an "
+            "in-process ExecutionPolicy)"
         )
     config = get_config(dataset)
     device, boards = _campaign_device(platform)
-    n_trials = trials if trials is not None else config.trials
+    search_plan = plan.search
+    seed = search_plan.seed
+    n_trials = (search_plan.trials if search_plan.trials is not None
+                else config.trials)
     common = dict(
         dataset=dataset,
         device=device,
         boards=boards,
-        surrogate_seed=seed,
+        surrogate_seed=landscape_seed(plan),
         trials=n_trials,
-        batch_size=batch_size,
-        eval_workers=max(1, parallel_workers),
+        batch_size=plan.execution.batch_size,
+        eval_workers=max(1, plan.execution.eval_workers),
+        controller=search_plan.controller,
+        evaluator=search_plan.evaluator,
+        estimator=search_plan.estimator,
+        min_latency_fallback=search_plan.min_latency_fallback,
     )
     shards = [ShardSpec(kind="nas", seed=seed, **common)]
     for offset, spec in enumerate(specs_ms, start=1):
         shards.append(
             ShardSpec(kind="fnas", spec_ms=spec, seed=seed + offset, **common)
         )
-    outcome = Campaign(shards, checkpoint_dir=campaign_dir).run(
-        max_workers=shard_workers
-    )
+    progress = None
+    if emit is not None:
+        def progress(event):
+            emit(event.kind, event.shard_id, event.message)
+    outcome = Campaign(
+        shards,
+        checkpoint_dir=plan.execution.checkpoint_dir,
+        checkpoint_every=plan.execution.checkpoint_every,
+        progress=progress,
+    ).run(max_workers=plan.execution.shard_workers)
     nas = outcome.outcomes[0].result
     fnas_results = {
         spec: outcome.outcomes[i].result

@@ -13,15 +13,45 @@ improvement), accuracy (+ degradation).  Paper values for reference::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.api import build_platform, resolve_execution
 from repro.core.evaluator import AccuracyEvaluator
 from repro.experiments.reporting import format_minutes, format_table, improvement
-from repro.experiments.runner import PairedSearchOutcome, run_paired_search
-from repro.fpga.device import PYNQ_Z1
-from repro.fpga.platform import Platform
+from repro.experiments.runner import (
+    EmitFn,
+    PairedSearchOutcome,
+    run_paired_plan,
+)
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
 
 #: The paper's three timing specifications for Table 1 (ms).
 TABLE1_SPECS_MS = (10.0, 5.0, 2.0)
+
+
+def table1_plan(
+    trials: int | None = None,
+    seed: int = 0,
+    specs_ms: tuple[float, ...] = TABLE1_SPECS_MS,
+    execution: Any = None,
+) -> RunPlan:
+    """The declarative plan behind ``repro table1``.
+
+    MNIST on the PYNQ-Z1 with the paper's three timing specs;
+    ``execution`` defaults to the in-process sequential policy.
+    """
+    plan_kwargs = {} if execution is None else {"execution": execution}
+    return RunPlan(
+        workload="table1",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(
+            datasets=("mnist",),
+            devices=("pynq-z1",),
+            specs_ms=tuple(specs_ms),
+            include_nas=True,
+        ),
+        **plan_kwargs,
+    )
 
 
 @dataclass(frozen=True)
@@ -67,32 +97,28 @@ class Table1Result:
         return format_table(headers, cells)
 
 
-def run_table1(
-    trials: int | None = None,
-    seed: int = 0,
-    specs_ms: tuple[float, ...] = TABLE1_SPECS_MS,
+def run_table1_plan(
+    plan: RunPlan,
     evaluator: AccuracyEvaluator | None = None,
-    batch_size: int = 1,
-    parallel_workers: int = 1,
-    campaign_dir: str | None = None,
-    shard_workers: int = 1,
+    emit: EmitFn | None = None,
 ) -> Table1Result:
-    """Regenerate Table 1 (MNIST on PYNQ).
+    """Regenerate Table 1 from its declarative plan.
 
-    ``campaign_dir`` / ``shard_workers`` run the four searches as a
-    resumable campaign (see :func:`run_paired_search`).
+    The plan-native core: :class:`repro.api.Session` dispatches
+    ``workload="table1"`` here.  The scenario's specs default to the
+    paper's three; its dataset/device default to MNIST on the PYNQ.
     """
-    outcome = run_paired_search(
-        dataset="mnist",
-        platform=Platform.single(PYNQ_Z1),
+    scenario = plan.scenario
+    dataset = scenario.datasets[0] if scenario.datasets else "mnist"
+    device = scenario.devices[0] if scenario.devices else "pynq-z1"
+    specs_ms = scenario.specs_ms or TABLE1_SPECS_MS
+    outcome = run_paired_plan(
+        plan,
+        dataset=dataset,
+        platform=build_platform(scenario, device=device),
         specs_ms=list(specs_ms),
-        trials=trials,
-        seed=seed,
         evaluator=evaluator,
-        batch_size=batch_size,
-        parallel_workers=parallel_workers,
-        campaign_dir=campaign_dir,
-        shard_workers=shard_workers,
+        emit=emit,
     )
     nas_best = outcome.nas.best()
     nas_elapsed = outcome.nas.simulated_seconds
@@ -109,7 +135,7 @@ def run_table1(
         )
     ]
     for spec in specs_ms:
-        result = outcome.fnas[spec]
+        result = outcome.fnas_for(spec)
         best = result.best_valid(spec)
         rows.append(
             Table1Row(
@@ -128,3 +154,43 @@ def run_table1(
             )
         )
     return Table1Result(rows=rows, outcome=outcome)
+
+
+def run_table1(
+    trials: int | None = None,
+    seed: int = 0,
+    specs_ms: tuple[float, ...] = TABLE1_SPECS_MS,
+    evaluator: AccuracyEvaluator | None = None,
+    batch_size: int = 1,
+    parallel_workers: int = 1,  # deprecated alias: eval_workers
+    campaign_dir: str | None = None,  # deprecated alias: checkpoint_dir
+    shard_workers: int = 1,
+    *,
+    eval_workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+) -> Table1Result:
+    """Legacy kwarg entry point -- a deprecation shim over the plan API.
+
+    Lowers the arguments onto :func:`table1_plan` and runs it through
+    :class:`repro.api.Session`; a checkpoint directory and/or
+    ``shard_workers > 1`` run the four searches as a resumable
+    campaign.
+    """
+    from repro.api import Session
+
+    plan = table1_plan(
+        trials=trials,
+        seed=seed,
+        specs_ms=specs_ms,
+        execution=resolve_execution(
+            batch_size=batch_size,
+            eval_workers=eval_workers,
+            shard_workers=shard_workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            parallel_workers=parallel_workers,  # deprecated passthrough
+            campaign_dir=campaign_dir,  # deprecated passthrough
+        ),
+    )
+    return Session.from_plan(plan, evaluator=evaluator).run()

@@ -27,6 +27,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.registry import DEVICES
+
 
 @dataclass(frozen=True)
 class FpgaDevice:
@@ -144,9 +146,15 @@ XCZU9EG = FpgaDevice(
 """Zynq UltraScale+ ZU9EG used for the CIFAR-10 / ImageNet experiments."""
 
 
-DEVICE_CATALOG: dict[str, FpgaDevice] = {
-    d.name: d for d in (XC7A50T, XC7Z020, PYNQ_Z1, XCZU9EG)
-}
+#: The catalog is the :data:`repro.registry.DEVICES` registry itself (a
+#: read-only mapping of name -> :class:`FpgaDevice`), so third-party
+#: devices registered via ``DEVICES.register(name, device)`` show up in
+#: every lookup, plan validation and CLI flag automatically.
+DEVICE_CATALOG = DEVICES
+
+for _device in (XC7A50T, XC7Z020, PYNQ_Z1, XCZU9EG):
+    DEVICES.register(_device.name, _device)
+del _device
 
 
 def get_device(name: str) -> FpgaDevice:
@@ -154,8 +162,4 @@ def get_device(name: str) -> FpgaDevice:
 
     Raises ``KeyError`` with the list of known names on a miss.
     """
-    try:
-        return DEVICE_CATALOG[name]
-    except KeyError:
-        known = ", ".join(sorted(DEVICE_CATALOG))
-        raise KeyError(f"unknown FPGA device {name!r}; known devices: {known}")
+    return DEVICES[name]

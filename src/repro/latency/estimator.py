@@ -212,3 +212,23 @@ class LatencyEstimator:
             design=design,
             report=analytical_report,
         )
+
+
+# --- Registry entries -----------------------------------------------------
+#
+# Factory contract: factory(platform) -> LatencyEstimator.  Plans name
+# estimation back-ends by these keys (repro.plans.SearchPlan.estimator).
+
+from repro.registry import ESTIMATORS
+
+
+@ESTIMATORS.register(ANALYTICAL)
+def _analytical_factory(platform: Platform) -> LatencyEstimator:
+    """Closed-form FNAS-Analyzer back-end (the search-loop default)."""
+    return LatencyEstimator(platform, method=ANALYTICAL)
+
+
+@ESTIMATORS.register(SIMULATE)
+def _simulate_factory(platform: Platform) -> LatencyEstimator:
+    """Cycle-accurate simulator back-end (validation-grade, slower)."""
+    return LatencyEstimator(platform, method=SIMULATE)

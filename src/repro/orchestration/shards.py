@@ -1,18 +1,24 @@
 """Shard specifications: one self-contained search per shard.
 
 A :class:`ShardSpec` is plain, JSON-serializable data -- dataset and
-catalog device names, seeds, trial budget -- from which
+catalog device names, registry component keys, seeds, trial budget --
+and is a thin wrapper over a serialized single-search
+:class:`~repro.plans.RunPlan`: :meth:`ShardSpec.to_plan` /
+:meth:`ShardSpec.from_plan` convert losslessly, and
 :func:`build_search` reconstructs the exact search object in any
-process.  That property is what makes campaigns shardable: a worker
-process receives only the spec, builds the search locally, and the
-trajectory it produces is fully determined by the spec (the surrogate
-landscape, controller initialisation and RNG stream are all seeded from
-it).  It is also what makes shards recoverable: a re-queued spec plus
-the shard's last checkpoint reproduce the exact run the dead worker was
-executing.
+process through the same plan builders (:func:`repro.api.build_search`)
+every other entry point uses.  That property is what makes campaigns
+shardable: a worker process receives only the spec, builds the search
+locally, and the trajectory it produces is fully determined by the spec
+(the surrogate landscape, controller initialisation and RNG stream are
+all seeded from it).  It is also what makes shards recoverable: a
+re-queued spec plus the shard's last checkpoint reproduce the exact run
+the dead worker was executing.
 
-:func:`shard_grid` expands the (seed x platform x search-config) cross
-product the paper-scale campaigns sweep.
+:func:`plan_shards` expands a sweep plan's scenario -- the
+(dataset x device x seed x search-config) cross product -- into the
+shard grid; :func:`shard_grid` remains as the kwarg spelling of the
+same expansion.
 """
 
 from __future__ import annotations
@@ -25,14 +31,15 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.configs import get_config
-from repro.core.controller import LstmController
-from repro.core.evaluator import ParallelEvaluator, SurrogateAccuracyEvaluator
-from repro.core.search import FnasSearch, NasSearch, Search, SearchResult
-from repro.core.search_space import SearchSpace
+from repro.core.search import Search, SearchResult
 from repro.core.serialization import search_result_from_dict, search_result_to_dict
 from repro.fpga.device import get_device
-from repro.fpga.platform import Platform
-from repro.latency.estimator import LatencyEstimator
+from repro.plans import (
+    ExecutionPolicy,
+    RunPlan,
+    ScenarioPlan,
+    SearchPlan,
+)
 
 #: Shard kinds: the two search loops.
 NAS_KIND = "nas"
@@ -42,6 +49,10 @@ FNAS_KIND = "fnas"
 #: without choosing one: roughly ten snapshots per shard.
 DEFAULT_CHECKPOINT_FRACTION = 10
 
+#: Component keys whose (default) values stay out of shard ids, so ids
+#: from before the registry redesign remain stable.
+_DEFAULT_COMPONENTS = SearchPlan()
+
 
 @dataclass(frozen=True)
 class ShardSpec:
@@ -50,7 +61,7 @@ class ShardSpec:
     Attributes:
         dataset: Table 2 dataset name (``mnist`` / ``cifar10`` /
             ``imagenet``).
-        device: FPGA catalog name (see :mod:`repro.fpga.device`).
+        device: FPGA catalog name (see :data:`repro.registry.DEVICES`).
         boards: how many copies of ``device`` form the platform.
         kind: ``"nas"`` or ``"fnas"``.
         spec_ms: FNAS timing specification; must be ``None`` for NAS.
@@ -59,11 +70,14 @@ class ShardSpec:
             shards meant to be comparable must share it.
         trials: children to search (``None``: the dataset's Table 2
             count).
-        batch_size: candidates per controller step (PR 1 semantics).
+        batch_size: candidates per controller step.
         eval_workers: process-pool workers for child evaluation inside
             the shard (1 = in-process).
         min_latency_fallback: FNAS-only; train the smallest child when
             no sampled one meets the spec.
+        controller: :data:`repro.registry.CONTROLLERS` key.
+        evaluator: :data:`repro.registry.EVALUATORS` key.
+        estimator: :data:`repro.registry.ESTIMATORS` key.
     """
 
     dataset: str
@@ -77,6 +91,9 @@ class ShardSpec:
     batch_size: int = 1
     eval_workers: int = 1
     min_latency_fallback: bool = True
+    controller: str = _DEFAULT_COMPONENTS.controller
+    evaluator: str = _DEFAULT_COMPONENTS.evaluator
+    estimator: str = _DEFAULT_COMPONENTS.estimator
 
     def __post_init__(self) -> None:
         if self.kind not in (NAS_KIND, FNAS_KIND):
@@ -99,9 +116,11 @@ class ShardSpec:
                 f"eval_workers must be positive, got {self.eval_workers}"
             )
         # Fail early on unknown names, in the submitting process rather
-        # than in a worker.
+        # than in a worker.  Component keys are checked by the
+        # SearchPlan this spec wraps.
         get_config(self.dataset)
         get_device(self.device)
+        self._search_plan()
 
     @property
     def shard_id(self) -> str:
@@ -118,6 +137,15 @@ class ShardSpec:
             parts.append(f"ss{self.surrogate_seed}")
         if self.batch_size > 1:
             parts.append(f"b{self.batch_size}")
+        # Non-default components mark the id so grids mixing components
+        # stay collision-free (defaults keep pre-registry ids stable).
+        for label, key, default in (
+            ("c", self.controller, _DEFAULT_COMPONENTS.controller),
+            ("e", self.evaluator, _DEFAULT_COMPONENTS.evaluator),
+            ("l", self.estimator, _DEFAULT_COMPONENTS.estimator),
+        ):
+            if key != default:
+                parts.append(f"{label}-{key}")
         return "-".join(parts)
 
     @property
@@ -130,6 +158,79 @@ class ShardSpec:
     def checkpoint_path(self, checkpoint_dir: str | Path) -> Path:
         """Where this shard's snapshot lives under ``checkpoint_dir``."""
         return Path(checkpoint_dir) / f"{self.shard_id}.checkpoint.json"
+
+    def _search_plan(self) -> SearchPlan:
+        """The :class:`~repro.plans.SearchPlan` this spec wraps."""
+        return SearchPlan(
+            controller=self.controller,
+            evaluator=self.evaluator,
+            estimator=self.estimator,
+            seed=self.seed,
+            trials=self.trials,
+            min_latency_fallback=self.min_latency_fallback,
+        )
+
+    def to_plan(self) -> RunPlan:
+        """The single-search :class:`~repro.plans.RunPlan` equivalent.
+
+        ``workload="search"`` plans and shard specs are two spellings
+        of the same data: ``ShardSpec.from_plan(spec.to_plan())`` is
+        identity, and :func:`build_search` goes through the plan form.
+        """
+        return RunPlan(
+            workload="search",
+            search=self._search_plan(),
+            execution=ExecutionPolicy(
+                batch_size=self.batch_size, eval_workers=self.eval_workers
+            ),
+            scenario=ScenarioPlan(
+                datasets=(self.dataset,),
+                devices=(self.device,),
+                boards=self.boards,
+                seeds=(self.seed,),
+                specs_ms=() if self.spec_ms is None else (self.spec_ms,),
+                include_nas=self.kind == NAS_KIND,
+                surrogate_seed=self.surrogate_seed,
+            ),
+        )
+
+    @classmethod
+    def from_plan(cls, plan: RunPlan) -> "ShardSpec":
+        """Build a spec from a single-search plan (:meth:`to_plan` inverse)."""
+        scenario = plan.scenario
+        if len(scenario.datasets) != 1 or len(scenario.devices) != 1:
+            raise ValueError(
+                "a shard wraps a single-scenario plan (one dataset, one "
+                f"device); got datasets={scenario.datasets} "
+                f"devices={scenario.devices}"
+            )
+        if len(scenario.specs_ms) > 1:
+            raise ValueError(
+                f"a shard runs one search; got specs {scenario.specs_ms}"
+            )
+        if not scenario.specs_ms and not scenario.include_nas:
+            raise ValueError(
+                "a single-search scenario needs one timing spec (FNAS) or "
+                "include_nas=True (the NAS baseline)"
+            )
+        from repro.api import landscape_seed
+
+        return cls(
+            dataset=scenario.datasets[0],
+            device=scenario.devices[0],
+            boards=scenario.boards,
+            kind=NAS_KIND if not scenario.specs_ms else FNAS_KIND,
+            spec_ms=scenario.specs_ms[0] if scenario.specs_ms else None,
+            seed=plan.search.seed,
+            surrogate_seed=landscape_seed(plan),
+            trials=plan.search.trials,
+            batch_size=plan.execution.batch_size,
+            eval_workers=plan.execution.eval_workers,
+            min_latency_fallback=plan.search.min_latency_fallback,
+            controller=plan.search.controller,
+            evaluator=plan.search.evaluator,
+            estimator=plan.search.estimator,
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form for campaign artifacts."""
@@ -145,12 +246,66 @@ class ShardSpec:
             "batch_size": self.batch_size,
             "eval_workers": self.eval_workers,
             "min_latency_fallback": self.min_latency_fallback,
+            "controller": self.controller,
+            "evaluator": self.evaluator,
+            "estimator": self.estimator,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ShardSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-registry dicts)."""
         return cls(**data)
+
+
+def plan_shards(plan: RunPlan) -> list[ShardSpec]:
+    """Expand a sweep plan's scenario into its shard grid.
+
+    The (dataset x device x seed x search-config) cross product:
+    ``scenario.specs_ms`` adds one FNAS shard per timing spec and
+    ``scenario.include_nas`` the accuracy-only baseline, per cell.
+    ``scenario.seeds`` falls back to the search plan's seed;
+    ``scenario.surrogate_seed=None`` keeps one shared landscape
+    (seed 0) across all shards so their results are comparable.
+    Shards come back in deterministic grid order -- the order campaign
+    merging uses regardless of which worker finishes first.
+    """
+    scenario = plan.scenario
+    if not scenario.specs_ms and not scenario.include_nas:
+        raise ValueError("a grid needs specs_ms and/or include_nas")
+    seeds = scenario.seeds or (plan.search.seed,)
+    for axis, values in (("datasets", scenario.datasets),
+                         ("devices", scenario.devices),
+                         ("seeds", seeds)):
+        if not values:
+            raise ValueError(f"a grid needs at least one entry in {axis}")
+    landscape = (0 if scenario.surrogate_seed is None
+                 else scenario.surrogate_seed)
+    shards: list[ShardSpec] = []
+    for dataset in scenario.datasets:
+        for device in scenario.devices:
+            for seed in seeds:
+                common = dict(
+                    dataset=dataset,
+                    device=device,
+                    boards=scenario.boards,
+                    seed=seed,
+                    surrogate_seed=landscape,
+                    trials=plan.search.trials,
+                    batch_size=plan.execution.batch_size,
+                    eval_workers=plan.execution.eval_workers,
+                    min_latency_fallback=plan.search.min_latency_fallback,
+                    controller=plan.search.controller,
+                    evaluator=plan.search.evaluator,
+                    estimator=plan.search.estimator,
+                )
+                if scenario.include_nas:
+                    shards.append(ShardSpec(kind=NAS_KIND, **common))
+                for spec in scenario.specs_ms:
+                    shards.append(
+                        ShardSpec(kind=FNAS_KIND, spec_ms=spec, **common)
+                    )
+    _check_unique(shards)
+    return shards
 
 
 def shard_grid(
@@ -165,44 +320,32 @@ def shard_grid(
     eval_workers: int = 1,
     surrogate_seed: int | None = None,
 ) -> list[ShardSpec]:
-    """The (dataset x device x seed x search-config) shard cross product.
+    """Kwarg spelling of :func:`plan_shards` (the historical surface).
 
-    ``specs_ms`` adds one FNAS shard per timing spec; ``include_nas``
-    adds the accuracy-only baseline.  ``surrogate_seed=None`` keeps one
-    shared landscape (seed 0) across all shards so their results are
-    comparable; pass a value to pin a different shared landscape.
-    Shards come back in deterministic grid order -- the order campaign
-    merging uses regardless of which worker finishes first.
+    Builds the equivalent sweep plan and expands it, so both spellings
+    produce identical grids.
     """
-    if not specs_ms and not include_nas:
-        raise ValueError("a grid needs specs_ms and/or include_nas")
     for axis, values in (("datasets", datasets), ("devices", devices),
                          ("seeds", seeds)):
         if not values:
             raise ValueError(f"a grid needs at least one entry in {axis}")
-    landscape = 0 if surrogate_seed is None else surrogate_seed
-    shards: list[ShardSpec] = []
-    for dataset in datasets:
-        for device in devices:
-            for seed in seeds:
-                common = dict(
-                    dataset=dataset,
-                    device=device,
-                    boards=boards,
-                    seed=seed,
-                    surrogate_seed=landscape,
-                    trials=trials,
-                    batch_size=batch_size,
-                    eval_workers=eval_workers,
-                )
-                if include_nas:
-                    shards.append(ShardSpec(kind=NAS_KIND, **common))
-                for spec in specs_ms or ():
-                    shards.append(
-                        ShardSpec(kind=FNAS_KIND, spec_ms=spec, **common)
-                    )
-    _check_unique(shards)
-    return shards
+    plan = RunPlan(
+        workload="sweep",
+        search=SearchPlan(trials=trials),
+        execution=ExecutionPolicy(
+            batch_size=batch_size, eval_workers=eval_workers
+        ),
+        scenario=ScenarioPlan(
+            datasets=tuple(datasets),
+            devices=tuple(devices),
+            boards=boards,
+            seeds=tuple(seeds),
+            specs_ms=tuple(specs_ms or ()),
+            include_nas=include_nas,
+            surrogate_seed=surrogate_seed,
+        ),
+    )
+    return plan_shards(plan)
 
 
 def _check_unique(shards: Iterable[ShardSpec]) -> None:
@@ -216,35 +359,16 @@ def _check_unique(shards: Iterable[ShardSpec]) -> None:
 def build_search(spec: ShardSpec) -> Search:
     """Reconstruct the shard's search object from its spec.
 
+    Delegates to :func:`repro.api.build_search` on the spec's plan
+    form, so shards, ``workload="search"`` plans and the paired engine
+    all build components through the same registry-driven path.
     Everything is derived deterministically from the spec, so any
     process -- the submitting one, a pool worker, or a worker picking
     up after a crash -- builds the identical search.
     """
-    config = get_config(spec.dataset)
-    space = SearchSpace.from_config(config)
-    evaluator = SurrogateAccuracyEvaluator(
-        space, config=config, seed=spec.surrogate_seed
-    )
-    if spec.eval_workers > 1:
-        evaluator = ParallelEvaluator(evaluator, max_workers=spec.eval_workers)
-    platform = Platform.replicated(get_device(spec.device), spec.boards)
-    estimator = LatencyEstimator(platform)
-    controller = LstmController(space, seed=spec.seed)
-    if spec.kind == NAS_KIND:
-        return NasSearch(
-            space,
-            evaluator,
-            controller=controller,
-            latency_estimator=estimator,
-        )
-    return FnasSearch(
-        space,
-        evaluator,
-        estimator,
-        required_latency_ms=spec.spec_ms,
-        controller=controller,
-        min_latency_fallback=spec.min_latency_fallback,
-    )
+    from repro.api import build_search as build_search_from_plan
+
+    return build_search_from_plan(spec.to_plan())
 
 
 def run_shard(

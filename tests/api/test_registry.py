@@ -1,0 +1,123 @@
+"""Component registries: lookup, decorator registration, plan plumbing."""
+
+import pytest
+
+from repro.registry import (
+    CONTROLLERS,
+    DATASETS,
+    DEVICES,
+    ESTIMATORS,
+    EVALUATORS,
+    Registry,
+)
+
+
+class TestBuiltins:
+    def test_builtin_entries_load_lazily(self):
+        assert set(CONTROLLERS) >= {"lstm", "tabular", "random"}
+        assert set(EVALUATORS) >= {"surrogate", "trained"}
+        assert set(ESTIMATORS) >= {"analytical", "simulate"}
+        assert set(DATASETS) >= {"mnist", "cifar10", "imagenet"}
+        assert set(DEVICES) >= {"pynq-z1", "xc7a50t", "xc7z020", "xczu9eg"}
+
+    def test_device_catalog_is_the_registry(self):
+        from repro.fpga.device import DEVICE_CATALOG
+
+        assert DEVICE_CATALOG is DEVICES
+
+    def test_dataset_names_served_from_registry(self):
+        from repro.datasets import dataset_names
+
+        assert dataset_names() == DATASETS.names()
+
+    def test_miss_lists_known_names(self):
+        with pytest.raises(KeyError, match="lstm"):
+            CONTROLLERS["gru"]
+
+
+class TestMappingProtocol:
+    def test_len_iter_contains(self):
+        assert len(DEVICES) >= 4
+        assert "pynq-z1" in DEVICES
+        assert "virtex" not in DEVICES
+        assert sorted(DEVICES) == DEVICES.names()
+
+    def test_items_and_get(self):
+        assert DEVICES.get("virtex") is None
+        assert dict(DEVICES.items())["pynq-z1"] is DEVICES["pynq-z1"]
+
+
+class TestThirdPartyRegistration:
+    def test_decorator_registration_and_unregister(self):
+        registry = Registry("widget")
+
+        @registry.register("one")
+        def make_one():
+            return 1
+
+        assert registry["one"] is make_one
+        registry.unregister("one")
+        assert "one" not in registry
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry("widget")
+        registry.register("w", object())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("w", object())
+
+    def test_same_object_reregistration_is_noop(self):
+        registry = Registry("widget")
+        sentinel = object()
+        registry.register("w", sentinel)
+        registry.register("w", sentinel)  # e.g. a module re-import
+        assert registry["w"] is sentinel
+
+    def test_replace_overrides(self):
+        registry = Registry("widget")
+        registry.register("w", 1)
+        registry.register("w", 2, replace=True)
+        assert registry["w"] == 2
+
+    def test_bad_names_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(ValueError, match="non-empty"):
+            registry.register("", object())
+
+    def test_registered_device_reaches_plans_and_shards(self):
+        """The extension story end to end: a third-party device becomes
+        addressable from plan data with no signature changes."""
+        from repro.fpga.device import XC7Z020
+        from repro.orchestration import ShardSpec
+        from repro.plans import ScenarioPlan
+
+        custom = XC7Z020.scaled(0.5, name="half-zynq")
+        DEVICES.register("half-zynq", custom)
+        try:
+            scenario = ScenarioPlan(devices=("half-zynq",))
+            assert scenario.devices == ("half-zynq",)
+            spec = ShardSpec(dataset="mnist", device="half-zynq",
+                             kind="nas", trials=3)
+            assert spec.to_plan().scenario.devices == ("half-zynq",)
+        finally:
+            DEVICES.unregister("half-zynq")
+
+    def test_registered_controller_builds_searches(self):
+        """A third-party controller registered under a new key drives a
+        real (tiny) search via the plan builders."""
+        import numpy as np
+
+        from repro.core.controller import RandomController
+        from repro.orchestration import ShardSpec, build_search
+
+        @CONTROLLERS.register("test-random-clone")
+        def _factory(space, seed):
+            del seed
+            return RandomController(space)
+
+        try:
+            spec = ShardSpec(dataset="mnist", device="pynq-z1", kind="nas",
+                             trials=3, controller="test-random-clone")
+            result = build_search(spec).run(3, np.random.default_rng(0))
+            assert len(result.trials) == 3
+        finally:
+            CONTROLLERS.unregister("test-random-clone")

@@ -81,7 +81,7 @@ class TestParallelEvaluator:
         evaluator.close()
 
     def test_paired_runner_wraps_and_closes_pool(self, space):
-        """run_paired_search(parallel_workers=2) must produce the same
+        """run_paired_search(eval_workers=2) must produce the same
         ledgers as the serial run (evaluators are deterministic)."""
         from repro.experiments.runner import run_paired_search
 
@@ -93,7 +93,7 @@ class TestParallelEvaluator:
                 trials=8,
                 seed=0,
                 batch_size=4,
-                parallel_workers=workers,
+                eval_workers=workers,
             )
 
         serial, pooled = run(1), run(2)

@@ -175,7 +175,7 @@ class TestCampaignMode:
         platform = Platform.single(XC7Z020)
         serial = run_paired_search(platform=platform, **self.KWARGS)
         campaign = run_paired_search(
-            platform=platform, campaign_dir=tmp_path, shard_workers=2,
+            platform=platform, checkpoint_dir=str(tmp_path), shard_workers=2,
             **self.KWARGS,
         )
         assert self.tokens_of(campaign.nas) == self.tokens_of(serial.nas)
@@ -188,11 +188,11 @@ class TestCampaignMode:
     def test_reinvocation_resumes_from_checkpoints(self, tmp_path):
         platform = Platform.single(XC7Z020)
         first = run_paired_search(
-            platform=platform, campaign_dir=tmp_path, **self.KWARGS,
+            platform=platform, checkpoint_dir=str(tmp_path), **self.KWARGS,
         )
         assert list(tmp_path.glob("*.checkpoint.json"))
         second = run_paired_search(
-            platform=platform, campaign_dir=tmp_path, **self.KWARGS,
+            platform=platform, checkpoint_dir=str(tmp_path), **self.KWARGS,
         )
         assert self.tokens_of(second.nas) == self.tokens_of(first.nas)
 
@@ -206,13 +206,13 @@ class TestCampaignMode:
             run_paired_search(
                 platform=Platform.single(XC7Z020),
                 evaluator=SurrogateAccuracyEvaluator(space),
-                campaign_dir=tmp_path, **self.KWARGS,
+                checkpoint_dir=str(tmp_path), **self.KWARGS,
             )
 
     def test_campaign_rejects_non_catalog_device(self, tmp_path):
         custom = XC7Z020.scaled(0.5, name="half-zynq")
         with pytest.raises(ValueError, match="catalog"):
             run_paired_search(
-                platform=Platform.single(custom), campaign_dir=tmp_path,
+                platform=Platform.single(custom), checkpoint_dir=str(tmp_path),
                 **self.KWARGS,
             )

@@ -78,6 +78,53 @@ class TestShardGrid:
         assert {s.surrogate_seed for s in shards} == {0}
 
 
+class TestPlanShards:
+    def test_plan_and_kwarg_grids_match(self):
+        """shard_grid is the kwarg spelling of plan_shards: same grid."""
+        from repro.orchestration import plan_shards
+        from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+
+        plan = RunPlan(
+            workload="sweep",
+            search=SearchPlan(trials=9),
+            scenario=ScenarioPlan(
+                datasets=("mnist",), devices=("pynq-z1", "xc7a50t"),
+                seeds=(0, 1), specs_ms=(5.0, 2.0), include_nas=True,
+            ),
+        )
+        assert plan_shards(plan) == shard_grid(
+            ["mnist"], ["pynq-z1", "xc7a50t"], seeds=[0, 1],
+            specs_ms=[5.0, 2.0], include_nas=True, trials=9,
+        )
+
+    def test_seeds_default_to_search_seed(self):
+        from repro.orchestration import plan_shards
+        from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+
+        plan = RunPlan(
+            workload="sweep",
+            search=SearchPlan(seed=7),
+            scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                                  specs_ms=(5.0,)),
+        )
+        (shard,) = plan_shards(plan)
+        assert shard.seed == 7
+
+    def test_component_keys_flow_into_shards_and_ids(self):
+        from repro.orchestration import plan_shards
+        from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+
+        plan = RunPlan(
+            workload="sweep",
+            search=SearchPlan(controller="tabular"),
+            scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                                  specs_ms=(5.0,)),
+        )
+        (shard,) = plan_shards(plan)
+        assert shard.controller == "tabular"
+        assert "c-tabular" in shard.shard_id
+
+
 class TestBuildAndRun:
     def test_build_search_kind_dispatch(self):
         nas = build_search(ShardSpec(dataset="mnist", device="pynq-z1",

@@ -103,7 +103,124 @@ class TestSweep:
 
     def test_table1_campaign_mode(self, capsys, tmp_path):
         assert main(["table1", "--trials", "5",
-                     "--campaign-dir", str(tmp_path)]) == 0
+                     "--checkpoint-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "NAS" in out and "FNAS" in out
         assert list(tmp_path.glob("*.checkpoint.json"))
+
+
+class TestPlanFlow:
+    """--dump-plan / `repro run` and the canonical flag set."""
+
+    def test_dump_plan_then_run_reproduces_table1(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        assert main(["table1", "--trials", "4", "--seed", "2",
+                     "--dump-plan", str(plan_path)]) == 0
+        first = capsys.readouterr().out
+        assert plan_path.exists()
+        assert main(["run", str(plan_path)]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical stdout artifact
+
+    def test_dump_plan_then_run_reproduces_sweep(self, capsys, tmp_path):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        assert main([
+            "sweep", "--seeds", "0", "--specs", "5", "--trials", "4",
+            "--output", str(tmp_path / "a.json"),
+            "--dump-plan", str(plan_path), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["run", str(plan_path), "--quiet",
+                     "--output", str(tmp_path / "b.json")]) == 0
+        a = json.loads((tmp_path / "a.json").read_text())
+        b = json.loads((tmp_path / "b.json").read_text())
+        a.pop("wall_seconds"), b.pop("wall_seconds")
+        for doc in (a, b):
+            for shard in doc["shards"]:
+                shard["result"].pop("wall_seconds")
+        assert a == b
+
+    def test_dumped_plan_captures_flags(self, capsys, tmp_path):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        assert main(["sweep", "--seeds", "0,1", "--specs", "5,2",
+                     "--trials", "4", "--batch-size", "2",
+                     "--eval-workers", "1", "--quiet",
+                     "--dump-plan", str(plan_path)]) == 0
+        plan = json.loads(plan_path.read_text())
+        assert plan["workload"] == "sweep"
+        assert plan["scenario"]["seeds"] == [0, 1]
+        assert plan["scenario"]["specs_ms"] == [5.0, 2.0]
+        assert plan["execution"]["batch_size"] == 2
+
+    def test_run_invalid_plan_errors_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"workload": "figure9"}')
+        assert main(["run", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_missing_plan_file_errors_cleanly(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_wrong_typed_field_errors_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"workload": "table1", "search": {"trials": "5"}}')
+        assert main(["run", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_checkpoint_every_without_dir_errors_cleanly(self, capsys):
+        assert main(["table1", "--trials", "3",
+                     "--checkpoint-every", "2"]) == 2
+        assert "checkpoint_dir" in capsys.readouterr().err
+
+    def test_run_report_plan_without_output_reports_honestly(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "workload": "report",
+            "search": {"trials": 3},
+        }))
+        assert main(["run", str(plan_path)]) == 0
+        out = capsys.readouterr().out
+        assert "nothing written" in out
+        assert not (tmp_path / "reproduction_report.md").exists()
+
+    def test_deprecated_workers_alias_warns_and_works(self, capsys):
+        assert main(["table1", "--trials", "3", "--batch-size", "2",
+                     "--workers", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "--workers is deprecated" in captured.err
+        assert "NAS" in captured.out
+
+    def test_deprecated_campaign_dir_alias_warns_and_works(
+        self, capsys, tmp_path
+    ):
+        assert main(["table1", "--trials", "3",
+                     "--campaign-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "--campaign-dir is deprecated" in captured.err
+        assert list(tmp_path.glob("*.checkpoint.json"))
+
+    def test_canonical_flags_do_not_warn(self, capsys, tmp_path):
+        assert main(["table1", "--trials", "3",
+                     "--checkpoint-dir", str(tmp_path)]) == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_alias_and_canonical_conflict_resolves_to_canonical(
+        self, capsys, tmp_path
+    ):
+        canonical = tmp_path / "canonical"
+        legacy = tmp_path / "legacy"
+        assert main(["table1", "--trials", "3",
+                     "--checkpoint-dir", str(canonical),
+                     "--campaign-dir", str(legacy)]) == 0
+        assert list(canonical.glob("*.checkpoint.json"))
+        assert not legacy.exists()
