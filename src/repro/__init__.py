@@ -35,6 +35,7 @@ Public API tour:
 """
 
 from repro.api import Session, SessionEvent, run_plan
+from repro.events import Event, EventBus
 from repro.core import (
     Architecture,
     ConvLayerSpec,
@@ -65,8 +66,10 @@ from repro.plans import (
     ScenarioPlan,
     SearchPlan,
     load_plan,
+    plan_hash,
     save_plan,
 )
+from repro.service import SearchService
 from repro.registry import (
     CONTROLLERS,
     DATASETS,
@@ -86,14 +89,18 @@ __all__ = [
     "DEVICES",
     "ESTIMATORS",
     "EVALUATORS",
+    "Event",
+    "EventBus",
     "ExecutionPolicy",
     "Registry",
     "RunPlan",
     "ScenarioPlan",
     "SearchPlan",
+    "SearchService",
     "Session",
     "SessionEvent",
     "load_plan",
+    "plan_hash",
     "run_plan",
     "save_plan",
     "Architecture",

@@ -10,54 +10,49 @@
     print(result.format())
 
 Every public entry point of the repo -- the CLI verbs, the table/figure
-runners, sweep campaigns, the orchestration shards -- lowers to a plan
-and funnels through here, so there is exactly one way a run is built:
-the component **builders** below resolve the plan's registry keys
-(:mod:`repro.registry`) into live controller / evaluator / estimator /
-platform objects.  Third-party components therefore plug into every
-workload by registering a key; no signature changes anywhere.
+runners, sweep campaigns, the orchestration shards, the job service --
+lowers to a plan and funnels through here, so there is exactly one way
+a run is built: the component **builders** below resolve the plan's
+registry keys (:mod:`repro.registry`) into live controller / evaluator /
+estimator / platform objects.  Third-party components therefore plug
+into every workload by registering a key; no signature changes
+anywhere.
+
+Since the service redesign, :meth:`Session.run` is a thin synchronous
+wrapper over a one-job :class:`~repro.service.SearchService`: the
+session submits its plan, blocks on the job, and re-raises any
+failure -- so the interactive path and the queued path share one
+execution engine (:func:`repro.service.executor.execute_plan`).
 
 Sessions also expose a progress stream: :meth:`Session.subscribe`
-callbacks receive typed :class:`SessionEvent` records -- workload
-start/finish plus the campaign runtime's per-shard events when the
-execution policy fans out.
+callbacks receive the typed :mod:`repro.events` records -- workload
+start/finish, per-search and per-shard events, and the service's job
+lifecycle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.configs import ExperimentConfig, get_config
 from repro.core.evaluator import AccuracyEvaluator, ParallelEvaluator
 from repro.core.search import FnasSearch, NasSearch, Search
 from repro.core.search_space import SearchSpace
+from repro.events import Event, legacy_event
 from repro.fpga.platform import Platform
 from repro.latency.estimator import LatencyEstimator
 from repro.plans import RunPlan, ScenarioPlan, SearchPlan
 from repro.registry import CONTROLLERS, DEVICES, ESTIMATORS, EVALUATORS
 
+#: Progress notifications are typed :mod:`repro.events` records now;
+#: the pre-service ``SessionEvent`` name remains as an alias of the
+#: shared base class.  Events keep ``.kind`` / ``.scope`` /
+#: ``.message``, so callbacks reading them are unaffected; code that
+#: constructed SessionEvents must build the typed classes instead
+#: (``kind`` is a class attribute now, not a constructor argument).
+SessionEvent = Event
 
-@dataclass(frozen=True)
-class SessionEvent:
-    """One progress notification from a running session.
-
-    ``kind`` is ``"start"`` / ``"finish"`` for workload phases, or a
-    campaign event kind (``"requeue"``, ``"fallback"``, ...) forwarded
-    from the sharded runtime; ``scope`` names the workload, search or
-    shard the event belongs to (empty for session-level events).
-    """
-
-    kind: str
-    scope: str
-    message: str
-
-
-ProgressCallback = Callable[[SessionEvent], None]
-
-#: Workloads whose in-process engine accepts a live evaluator override
-#: (everything else rebuilds evaluators from the plan's registry key).
-_EVALUATOR_OVERRIDE_WORKLOADS = ("table1", "figure6", "figure7", "paired")
+ProgressCallback = Callable[[Event], None]
 
 
 # --- Component builders ----------------------------------------------------
@@ -205,14 +200,23 @@ class Session:
         self._subscribers.remove(callback)
 
     def emit(self, kind: str, scope: str, message: str) -> None:
-        """Deliver one event to every subscriber (in subscribe order)."""
-        if self._subscribers:
-            event = SessionEvent(kind=kind, scope=scope, message=message)
-            for callback in self._subscribers:
-                callback(event)
+        """Deliver one string-kind event to every subscriber.
+
+        Kept from the pre-typed-events surface; builds the matching
+        typed event (:func:`repro.events.legacy_event`) and delivers
+        it in subscribe order.
+        """
+        self._deliver(legacy_event(kind, scope, message))
 
     def run(self) -> Any:
         """Execute the plan's workload and return its result object.
+
+        A thin synchronous wrapper over a one-job
+        :class:`~repro.service.SearchService`: the plan is submitted,
+        the session blocks on the job, progress events stream to the
+        session's subscribers, and a failed job re-raises its original
+        exception.  Result caching is off -- an interactive run always
+        executes.
 
         Result types by workload: ``table1`` -> ``Table1Result``,
         ``figure6`` -> ``Figure6Result``, ``figure7`` ->
@@ -223,115 +227,22 @@ class Session:
         (artifact written to ``plan.output`` when set), ``paired`` ->
         ``PairedSearchOutcome``, ``search`` -> ``SearchResult``.
         """
-        workload = self.plan.workload
-        if (self._evaluator is not None
-                and workload not in _EVALUATOR_OVERRIDE_WORKLOADS):
-            raise ValueError(
-                f"the {workload!r} workload rebuilds its evaluator from the "
-                "plan's registry key and cannot honor a live evaluator "
-                "override; register the evaluator "
-                "(repro.registry.EVALUATORS) and name it in the plan instead"
-            )
-        self.emit("start", workload, "session started")
-        runner = getattr(self, f"_run_{workload}")
-        result = runner()
-        self.emit("finish", workload, "session finished")
-        return result
+        from repro.service import SearchService
 
-    # -- workload runners ----------------------------------------------------
-
-    def _run_table1(self):
-        from repro.experiments.table1 import run_table1_plan
-
-        return run_table1_plan(self.plan, evaluator=self._evaluator,
-                               emit=self.emit)
-
-    def _run_figure6(self):
-        from repro.experiments.figure6 import run_figure6_plan
-
-        return run_figure6_plan(self.plan, evaluator=self._evaluator,
-                                emit=self.emit)
-
-    def _run_figure7(self):
-        from repro.experiments.figure7 import run_figure7_plan
-
-        return run_figure7_plan(self.plan, evaluator=self._evaluator,
-                                emit=self.emit)
-
-    def _run_figure8(self):
-        from repro.experiments.figure8 import run_figure8
-
-        return run_figure8()
-
-    def _run_ablations(self):
-        from repro.experiments.ablation import (
-            run_pruning_ablation,
-            run_reuse_ablation,
-        )
-
-        reuse = run_reuse_ablation()
-        pruning = run_pruning_ablation(
-            trials=self.plan.search.trials,
-            seed=self.plan.search.seed,
-            batch_size=self.plan.execution.batch_size,
-        )
-        return reuse, pruning
-
-    def _run_report(self):
-        from pathlib import Path
-
-        from repro.experiments.report import generate_report_plan
-
-        text = generate_report_plan(self.plan, emit=self.emit)
-        if self.plan.output is not None:
-            Path(self.plan.output).write_text(text)
-        return text
-
-    def _run_sweep(self):
-        from repro.orchestration import (
-            plan_shards,
-            run_campaign,
-            save_campaign_result,
-        )
-
-        shards = plan_shards(self.plan)
-        self.emit("start", "sweep",
-                  f"{len(shards)} shard(s), "
-                  f"{self.plan.execution.shard_workers} worker(s)")
-        result = run_campaign(
-            shards,
-            max_workers=self.plan.execution.shard_workers,
-            checkpoint_dir=self.plan.execution.checkpoint_dir,
-            checkpoint_every=self.plan.execution.checkpoint_every,
-            progress=self._campaign_progress,
-        )
-        if self.plan.output is not None:
-            save_campaign_result(result, self.plan.output)
-        return result
-
-    def _run_paired(self):
-        from repro.experiments.runner import run_paired_plan
-
-        return run_paired_plan(self.plan, evaluator=self._evaluator,
-                               emit=self.emit)
-
-    def _run_search(self):
-        from repro.core.serialization import search_result_from_dict
-        from repro.orchestration.shards import ShardSpec, run_shard
-
-        spec = ShardSpec.from_plan(self.plan)
-        payload = run_shard(
-            spec,
-            self.plan.execution.checkpoint_dir,
-            self.plan.execution.checkpoint_every,
-        )
-        return search_result_from_dict(payload["result"])
+        service = SearchService(workers=1, cache_results=False)
+        service.bus.subscribe(self._deliver)
+        try:
+            handle = service.submit(self.plan, evaluator=self._evaluator)
+            return handle.result()
+        finally:
+            service.shutdown(wait=True)
 
     # -- internals -----------------------------------------------------------
 
-    def _campaign_progress(self, event) -> None:
-        """Forward a campaign's typed events into the session stream."""
-        self.emit(event.kind, event.shard_id, event.message)
+    def _deliver(self, event: Event) -> None:
+        """Fan one typed event out to the session's subscribers."""
+        for callback in list(self._subscribers):
+            callback(event)
 
 
 def run_plan(plan: RunPlan, evaluator: AccuracyEvaluator | None = None) -> Any:

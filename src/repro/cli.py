@@ -11,6 +11,8 @@
     python -m repro sweep --seeds 0,1,2 --specs 5,2 --shard-workers 4
     python -m repro table1 --dump-plan plan.json   # ...and run it again:
     python -m repro run plan.json
+    python -m repro serve --port 8765             # search-as-a-service...
+    python -m repro submit plan.json              # ...and a client for it
 
 Every search command lowers its flags onto one declarative
 :class:`~repro.plans.RunPlan` executed through
@@ -179,6 +181,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress progress lines")
 
     p = sub.add_parser(
+        "serve",
+        help="run the search service: an HTTP JSON endpoint accepting "
+             "RunPlan submissions (submit/status/events/result)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="bind port (default 8765; 0 = ephemeral)")
+    p.add_argument("--workers", type=int,  # not the deprecated search alias
+                   default=2,
+                   help="service worker threads = jobs in flight at once "
+                        "(default 2)")
+    p.add_argument("--store-dir", default=None,
+                   help="persist the content-addressed result store here "
+                        "(default: in-memory only)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="snapshot jobs whose plans name no checkpoint "
+                        "directory under this root (per plan hash), making "
+                        "cancel-then-resubmit resume")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a RunPlan JSON file to a running `repro serve`",
+    )
+    p.add_argument("plan", help="path to the plan JSON (as written by "
+                                "--dump-plan)")
+    p.add_argument("--url", default="http://127.0.0.1:8765",
+                   help="service base URL (default http://127.0.0.1:8765)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority; higher runs first (default 0)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return after queueing instead of waiting for the "
+                        "result")
+    p.add_argument("--timeout", type=float, default=3600.0,
+                   help="seconds to wait for the job (default 3600)")
+    p.add_argument("--output", default=None,
+                   help="write the job's serialized result JSON here")
+
+    p = sub.add_parser(
         "estimate",
         help="estimate one architecture's latency on a device",
     )
@@ -331,6 +372,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP job service until shutdown."""
+    from repro.service.http import make_server, run_server
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=args.store_dir,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"({args.workers} worker(s); POST /shutdown or Ctrl-C to stop)",
+          file=sys.stderr, flush=True)
+    run_server(server)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit plan.json``: hand a plan to a running service."""
+    from urllib.error import URLError
+
+    from repro.plans import load_plan
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        plan = load_plan(args.plan)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        info = client.submit(plan, priority=args.priority)
+        job_id = info["job_id"]
+        note = " (cache hit)" if info.get("cached") else (
+            " (deduplicated)" if info.get("deduped") else "")
+        print(f"job {job_id}: {info['state']}{note} "
+              f"[plan {info['plan_hash'][:12]}]")
+        if args.no_wait:
+            return 0
+        info = client.wait(job_id, timeout=args.timeout)
+        print(f"job {job_id}: {info['state']}")
+        if info["state"] == "done" and args.output is not None:
+            try:
+                blob = client.result_bytes(job_id)
+            except ServiceError as exc:
+                if exc.status != 406:  # 406: workload has no result codec
+                    raise
+                print(f"note: {info['workload']!r} results are not "
+                      "serializable; nothing written", file=sys.stderr)
+            else:
+                from pathlib import Path
+
+                Path(args.output).write_bytes(blob)
+                print(f"wrote {args.output} ({len(blob)} bytes)")
+        if info["state"] == "failed":
+            print(f"error: {info.get('error')}", file=sys.stderr)
+            return 1
+        return 0 if info["state"] == "done" else 1
+    except (ServiceError, URLError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     sizes = [int(x) for x in args.filter_sizes.split(",")]
     counts = [int(x) for x in args.filter_counts.split(",")]
@@ -385,6 +491,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_estimate(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     try:
         plan = plan_from_args(args)
     except (KeyError, ValueError) as exc:

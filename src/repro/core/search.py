@@ -163,6 +163,22 @@ class SearchResult:
         return max(valid, key=lambda t: t.accuracy)
 
 
+class SearchCancelled(RuntimeError):
+    """A cooperative stop request interrupted a search.
+
+    Raised out of :meth:`Search.run` / :meth:`Search.resume` when their
+    ``should_stop`` callable returns True between trials.  When the run
+    is checkpointed, a final snapshot is forced *before* raising, so
+    the completed trials survive and a later :meth:`Search.resume` (or
+    a service resubmit) continues exactly where the cancellation
+    landed.  ``completed`` counts the trials finished before the stop.
+    """
+
+    def __init__(self, completed: int):
+        super().__init__(f"search cancelled after {completed} trial(s)")
+        self.completed = completed
+
+
 def _check_run_args(trials: int, batch_size: int) -> None:
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -209,6 +225,17 @@ class _CheckpointPlan:
         """Snapshot if ``completed`` trials crossed the next threshold."""
         if completed < self._next:
             return
+        self.snapshot_now(completed, rng, result)
+        self._next = (completed // self.every + 1) * self.every
+
+    def snapshot_now(
+        self, completed: int, rng: np.random.Generator, result: SearchResult
+    ) -> None:
+        """Write a snapshot at ``completed`` trials unconditionally.
+
+        Cadence-independent -- cancellation uses this to persist the
+        exact stopping point before raising :class:`SearchCancelled`.
+        """
         from repro.core import serialization
 
         elapsed = self.wall_offset + (time.perf_counter() - self.started)
@@ -222,7 +249,33 @@ class _CheckpointPlan:
             elapsed_wall_seconds=elapsed,
         )
         serialization.atomic_write_json(payload, self.path)
-        self._next = (completed // self.every + 1) * self.every
+
+
+class _RunControl:
+    """Per-trial hook combining checkpointing and cooperative cancel.
+
+    Stands in for :class:`_CheckpointPlan` inside the sampling loops
+    (same ``after`` protocol).  After every completed trial (batch) it
+    first lets the checkpoint plan snapshot at its cadence, then
+    consults ``should_stop``; a stop request forces a final snapshot
+    (when checkpointing is configured) and raises
+    :class:`SearchCancelled`, so no completed work is lost.
+    """
+
+    def __init__(self, plan: _CheckpointPlan | None, should_stop):
+        self.plan = plan
+        self.should_stop = should_stop
+
+    def after(
+        self, completed: int, rng: np.random.Generator, result: SearchResult
+    ) -> None:
+        """Checkpoint at cadence, then honor a pending stop request."""
+        if self.plan is not None:
+            self.plan.after(completed, rng, result)
+        if self.should_stop is not None and self.should_stop():
+            if self.plan is not None:
+                self.plan.snapshot_now(completed, rng, result)
+            raise SearchCancelled(completed)
 
 
 class Search:
@@ -247,6 +300,7 @@ class Search:
         batch_size: int = 1,
         checkpoint_every: int | None = None,
         checkpoint_path: str | Path | None = None,
+        should_stop=None,
     ) -> SearchResult:
         """Run the search for ``trials`` children.
 
@@ -254,7 +308,10 @@ class Search:
         exactly; larger batches drive the vectorized path.  With
         ``checkpoint_every`` and ``checkpoint_path`` set, the search
         atomically snapshots its full state every that many trials --
-        see :meth:`resume`.
+        see :meth:`resume`.  ``should_stop`` (a zero-argument callable)
+        is polled after every completed trial; returning True cancels
+        the run via :class:`SearchCancelled`, snapshotting first when
+        checkpointing is on.
         """
         _check_run_args(trials, batch_size)
         result = SearchResult(name=self._result_name())
@@ -264,10 +321,12 @@ class Search:
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
             wall_offset=0.0,
+            should_stop=should_stop,
         )
 
     def resume(
-        self, path: str | Path, snapshot: dict | None = None
+        self, path: str | Path, snapshot: dict | None = None,
+        should_stop=None,
     ) -> SearchResult:
         """Continue an interrupted run from a snapshot file.
 
@@ -282,6 +341,8 @@ class Search:
         ``snapshot`` lets a caller that already read and parsed the
         file (to validate it, say) pass the dict in and skip the second
         read; snapshots can be multi-megabyte at paper scale.
+        ``should_stop`` polls for cooperative cancellation exactly as
+        in :meth:`run`.
         """
         if snapshot is None:
             snapshot = json.loads(Path(path).read_text())
@@ -319,6 +380,7 @@ class Search:
             checkpoint_every=snapshot.get("checkpoint_every"),
             checkpoint_path=path,
             wall_offset=snapshot.get("elapsed_wall_seconds", 0.0),
+            should_stop=should_stop,
         )
 
     # -- internals -----------------------------------------------------------
@@ -333,6 +395,7 @@ class Search:
         checkpoint_every: int | None,
         checkpoint_path: str | Path | None,
         wall_offset: float,
+        should_stop=None,
     ) -> SearchResult:
         """Execute the span ``[start_index, trials)`` and finalise."""
         started = time.perf_counter()
@@ -353,12 +416,17 @@ class Search:
                 self, trials, batch_size, checkpoint_every, checkpoint_path,
                 started, wall_offset, start_index,
             )
+        control = plan
+        if should_stop is not None:
+            if should_stop():
+                raise SearchCancelled(start_index)
+            control = _RunControl(plan, should_stop)
         if batch_size == 1:
             self._run_sequential(trials, rng, result, start=start_index,
-                                 plan=plan)
+                                 plan=control)
         else:
             self._run_batched(trials, rng, batch_size, result,
-                              start=start_index, plan=plan)
+                              start=start_index, plan=control)
         self._finalize(result)
         result.wall_seconds = wall_offset + (time.perf_counter() - started)
         return result

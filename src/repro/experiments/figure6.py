@@ -122,6 +122,7 @@ def run_figure6_plan(
     evaluator: AccuracyEvaluator | None = None,
     devices: tuple[FpgaDevice, ...] | None = None,
     emit: EmitFn | None = None,
+    should_stop=None,
 ) -> Figure6Result:
     """Regenerate Figure 6 from its declarative plan.
 
@@ -149,6 +150,7 @@ def run_figure6_plan(
             specs_ms=[ms for _, ms in named_specs],
             evaluator=evaluator,
             emit=emit,
+            should_stop=should_stop,
         )
         outcomes[device.name] = outcome
         nas_best = outcome.nas.best()

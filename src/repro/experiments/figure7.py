@@ -110,6 +110,7 @@ def run_figure7_plan(
     plan: RunPlan,
     evaluator: AccuracyEvaluator | None = None,
     emit: EmitFn | None = None,
+    should_stop=None,
 ) -> Figure7Result:
     """Regenerate Figure 7 from its declarative plan.
 
@@ -134,6 +135,7 @@ def run_figure7_plan(
             specs_ms=[ms for _, ms in named_specs],
             evaluator=evaluator,
             emit=emit,
+            should_stop=should_stop,
         )
         outcomes[dataset] = outcome
         nas_accuracy = outcome.nas_best_accuracy

@@ -139,6 +139,7 @@ def run_paired_plan(
     specs_ms: list[float] | None = None,
     evaluator: AccuracyEvaluator | None = None,
     emit: EmitFn | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> PairedSearchOutcome:
     """Run NAS once and FNAS once per timing spec on one dataset/platform.
 
@@ -153,7 +154,9 @@ def run_paired_plan(
     and comparable -- the protocol behind Table 1 and Figures 6/7.
     ``evaluator`` overrides the plan's evaluator key with a live
     instance (in-process mode only).  ``emit`` receives per-search
-    progress events.
+    progress events.  ``should_stop`` cancels cooperatively between
+    trials (:class:`~repro.core.search.SearchCancelled`; snapshots
+    first when the execution policy checkpoints).
     """
     scenario = plan.scenario
     if dataset is None:
@@ -168,7 +171,8 @@ def run_paired_plan(
         specs_ms = list(scenario.specs_ms)
     if plan.execution.campaign_mode:
         return _run_paired_campaign(
-            plan, dataset, platform, specs_ms, evaluator, emit
+            plan, dataset, platform, specs_ms, evaluator, emit,
+            should_stop=should_stop,
         )
     search_plan = plan.search
     config = get_config(dataset)
@@ -199,7 +203,8 @@ def run_paired_plan(
             controller=build_controller(search_plan, space, seed),
             latency_estimator=estimator,
         ).run(n_trials, np.random.default_rng(seed),
-              batch_size=plan.execution.batch_size)
+              batch_size=plan.execution.batch_size,
+              should_stop=should_stop)
         _notify("finish", "nas", f"{len(nas.trials)} trials")
 
         fnas_results: dict[float, SearchResult] = {}
@@ -217,6 +222,7 @@ def run_paired_plan(
             fnas_results[spec] = search.run(
                 n_trials, np.random.default_rng(seed + offset),
                 batch_size=plan.execution.batch_size,
+                should_stop=should_stop,
             )
             _notify("finish", name, f"{len(fnas_results[spec].trials)} trials")
     finally:
@@ -326,6 +332,7 @@ def _run_paired_campaign(
     specs_ms: list[float],
     evaluator: AccuracyEvaluator | None,
     emit: EmitFn | None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> PairedSearchOutcome:
     """Campaign-mode body of :func:`run_paired_plan`.
 
@@ -375,7 +382,8 @@ def _run_paired_campaign(
         checkpoint_dir=plan.execution.checkpoint_dir,
         checkpoint_every=plan.execution.checkpoint_every,
         progress=progress,
-    ).run(max_workers=plan.execution.shard_workers)
+    ).run(max_workers=plan.execution.shard_workers,
+          should_stop=should_stop)
     nas = outcome.outcomes[0].result
     fnas_results = {
         spec: outcome.outcomes[i].result

@@ -101,6 +101,7 @@ def run_table1_plan(
     plan: RunPlan,
     evaluator: AccuracyEvaluator | None = None,
     emit: EmitFn | None = None,
+    should_stop=None,
 ) -> Table1Result:
     """Regenerate Table 1 from its declarative plan.
 
@@ -119,6 +120,7 @@ def run_table1_plan(
         specs_ms=list(specs_ms),
         evaluator=evaluator,
         emit=emit,
+        should_stop=should_stop,
     )
     nas_best = outcome.nas.best()
     nas_elapsed = outcome.nas.simulated_seconds

@@ -33,8 +33,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.core.search import SearchResult
+from repro.core.search import SearchCancelled, SearchResult
 from repro.core.serialization import atomic_write_json, search_result_to_dict
+from repro.events import (
+    Event,
+    PoolFallback,
+    SearchFinished,
+    SearchStarted,
+    ShardRequeued,
+)
 from repro.experiments.pareto import ParetoFront, frontier_from_trials
 from repro.experiments.reporting import format_table
 from repro.orchestration.shards import (
@@ -46,21 +53,17 @@ from repro.orchestration.shards import (
 #: Campaign artifact schema tag.
 CAMPAIGN_SCHEMA = 1
 
+#: Campaign progress notifications are typed :mod:`repro.events`
+#: records now (``SearchStarted`` / ``SearchFinished`` /
+#: ``ShardRequeued`` / ``PoolFallback``); the old ``CampaignEvent``
+#: name remains as an alias of the shared base class.  Events keep
+#: ``.kind`` / ``.shard_id`` / ``.message``, so consumers *reading*
+#: them are unaffected; code that *constructed* CampaignEvents must
+#: build the typed classes instead (``kind`` is a class attribute
+#: now, not a constructor argument).
+CampaignEvent = Event
 
-@dataclass(frozen=True)
-class CampaignEvent:
-    """One progress notification from a running campaign.
-
-    ``kind`` is one of ``"start"``, ``"finish"``, ``"requeue"``,
-    ``"fallback"``; ``shard_id`` is empty for campaign-level events.
-    """
-
-    kind: str
-    shard_id: str
-    message: str
-
-
-ProgressCallback = Callable[[CampaignEvent], None]
+ProgressCallback = Callable[[Event], None]
 
 
 @dataclass
@@ -133,7 +136,12 @@ class CampaignResult:
                 "trained trials")
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-compatible form (the campaign artifact)."""
+        """JSON-compatible form (the campaign artifact).
+
+        Lossless: :meth:`from_dict` rebuilds an equal result, which is
+        how the service's content-addressed store replays cached sweep
+        results.
+        """
         from repro.core.serialization import architecture_to_dict
 
         return {
@@ -156,7 +164,43 @@ class CampaignResult:
                 }
                 for p in self.frontier.points
             ],
+            "frontier_evaluated_count": self.frontier.evaluated_count,
+            "frontier_exhaustive": self.frontier.exhaustive,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignResult":
+        """Inverse of :meth:`to_dict` (the campaign artifact reader)."""
+        from repro.core.serialization import architecture_from_dict
+        from repro.experiments.pareto import ParetoPoint
+
+        schema = data.get("schema", CAMPAIGN_SCHEMA)
+        if schema != CAMPAIGN_SCHEMA:
+            raise ValueError(f"unsupported campaign schema {schema!r}")
+        outcomes = [
+            ShardOutcome.from_payload(shard, requeues=shard.get("requeues", 0))
+            for shard in data["shards"]
+        ]
+        points = [
+            ParetoPoint(
+                architecture=architecture_from_dict(p["architecture"]),
+                latency_ms=p["latency_ms"],
+                accuracy=p["accuracy"],
+            )
+            for p in data["frontier"]
+        ]
+        frontier = ParetoFront(
+            points=points,
+            evaluated_count=data.get(
+                "frontier_evaluated_count", len(points)
+            ),
+            exhaustive=data.get("frontier_exhaustive", False),
+        )
+        return cls(
+            outcomes=outcomes,
+            frontier=frontier,
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
 
 
 def save_campaign_result(result: CampaignResult, path: str | Path) -> None:
@@ -221,7 +265,7 @@ class Campaign:
         self.max_pool_restarts = max_pool_restarts
         self.progress = progress
 
-    def run(self, max_workers: int = 1) -> CampaignResult:
+    def run(self, max_workers: int = 1, should_stop=None) -> CampaignResult:
         """Execute every shard and merge the results.
 
         ``max_workers <= 1`` runs shards serially in-process (still
@@ -229,6 +273,15 @@ class Campaign:
         Worker death re-queues the affected shards -- resuming from
         their last checkpoints -- onto a rebuilt pool, falling back to
         serial execution once ``max_pool_restarts`` is exhausted.
+
+        ``should_stop`` (a zero-argument callable) cancels the campaign
+        cooperatively: the serial path polls it between trials inside
+        each shard (snapshotting before raising, when checkpointing is
+        on); the pooled path stops scheduling new shards, waits for the
+        in-flight ones (their own cadence snapshots survive) and then
+        raises.  Cancellation surfaces as
+        :class:`~repro.core.search.SearchCancelled`, with ``completed``
+        counting finished shards.
         """
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -241,18 +294,29 @@ class Campaign:
         requeues: dict[str, int] = {s.shard_id: 0 for s in self.shards}
         outcomes: dict[str, ShardOutcome] = {}
         if max_workers > 1 and len(pending) > 1:
-            self._run_pooled(pending, outcomes, requeues, max_workers)
+            self._run_pooled(pending, outcomes, requeues, max_workers,
+                             should_stop=should_stop)
         for shard_id, spec in list(pending.items()):
-            self._emit("start", shard_id, "running in-process")
-            payload = run_shard(
-                spec, self.checkpoint_dir, self.checkpoint_every
+            self._publish(SearchStarted(shard_id, "running in-process"))
+            # Kwarg only when set, so test doubles with the historical
+            # 3-argument run_shard signature keep working.
+            stop_kwargs = (
+                {} if should_stop is None else {"should_stop": should_stop}
             )
+            try:
+                payload = run_shard(
+                    spec, self.checkpoint_dir, self.checkpoint_every,
+                    **stop_kwargs,
+                )
+            except SearchCancelled:
+                raise SearchCancelled(len(outcomes)) from None
             outcomes[shard_id] = ShardOutcome.from_payload(
                 payload, requeues=requeues[shard_id]
             )
             del pending[shard_id]
-            self._emit("finish", shard_id,
-                       f"{len(outcomes[shard_id].result.trials)} trials")
+            self._publish(SearchFinished(
+                shard_id, f"{len(outcomes[shard_id].result.trials)} trials"
+            ))
         ordered = [outcomes[s.shard_id] for s in self.shards]
         return CampaignResult(
             outcomes=ordered,
@@ -268,6 +332,7 @@ class Campaign:
         outcomes: dict[str, ShardOutcome],
         requeues: dict[str, int],
         max_workers: int,
+        should_stop=None,
     ) -> None:
         """Drain ``pending`` through process pools, rebuilding on death.
 
@@ -280,25 +345,26 @@ class Campaign:
         restarts = 0
         while pending:
             try:
-                self._drain_one_pool(pending, outcomes, requeues, max_workers)
+                self._drain_one_pool(pending, outcomes, requeues, max_workers,
+                                     should_stop=should_stop)
                 return
             except BrokenProcessPool:
                 restarts += 1
                 if restarts > self.max_pool_restarts:
-                    self._emit(
-                        "fallback", "",
+                    self._publish(PoolFallback(
+                        "",
                         f"pool died {restarts} times; running the "
                         f"remaining {len(pending)} shard(s) in-process",
-                    )
+                    ))
                     return
                 for shard_id in pending:
                     requeues[shard_id] += 1
-                    self._emit(
-                        "requeue", shard_id,
+                    self._publish(ShardRequeued(
+                        shard_id,
                         "worker died; re-queuing from last checkpoint"
                         if self.checkpoint_dir is not None
                         else "worker died; re-queuing from scratch",
-                    )
+                    ))
 
     def _drain_one_pool(
         self,
@@ -306,8 +372,15 @@ class Campaign:
         outcomes: dict[str, ShardOutcome],
         requeues: dict[str, int],
         max_workers: int,
+        should_stop=None,
     ) -> None:
-        """Run all pending shards on one pool; raises BrokenProcessPool."""
+        """Run all pending shards on one pool; raises BrokenProcessPool.
+
+        A stop request cancels the not-yet-started shards, lets the
+        in-flight ones finish (pool workers cannot be interrupted
+        mid-shard; their cadence checkpoints preserve progress) and
+        raises :class:`~repro.core.search.SearchCancelled`.
+        """
         workers = min(max_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
@@ -316,10 +389,17 @@ class Campaign:
                     run_shard, spec, self.checkpoint_dir,
                     self.checkpoint_every,
                 )] = shard_id
-                self._emit("start", shard_id, f"submitted to {workers}-worker pool")
+                self._publish(SearchStarted(
+                    shard_id, f"submitted to {workers}-worker pool"
+                ))
             not_done = set(futures)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                if should_stop is not None and should_stop():
+                    for future in not_done:
+                        future.cancel()
+                    raise SearchCancelled(len(outcomes))
+                done, not_done = wait(not_done, timeout=0.5,
+                                      return_when=FIRST_COMPLETED)
                 for future in done:
                     shard_id = futures[future]
                     payload = future.result()  # raises BrokenProcessPool
@@ -327,16 +407,17 @@ class Campaign:
                         payload, requeues=requeues[shard_id]
                     )
                     del pending[shard_id]
-                    self._emit(
-                        "finish", shard_id,
+                    self._publish(SearchFinished(
+                        shard_id,
                         f"{len(outcomes[shard_id].result.trials)} trials"
                         + (" (resumed)" if outcomes[shard_id].resumed_from
                            else ""),
-                    )
+                    ))
 
-    def _emit(self, kind: str, shard_id: str, message: str) -> None:
+    def _publish(self, event: Event) -> None:
+        """Hand one typed event to the progress callback (if any)."""
         if self.progress is not None:
-            self.progress(CampaignEvent(kind, shard_id, message))
+            self.progress(event)
 
 
 def run_campaign(

@@ -253,8 +253,10 @@ class ShardSpec:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ShardSpec":
-        """Inverse of :meth:`to_dict` (tolerates pre-registry dicts)."""
-        return cls(**data)
+        """Inverse of :meth:`to_dict`; rejects unknown keys by name."""
+        from repro.plans import _checked
+
+        return cls(**_checked(cls, data, section="shard"))
 
 
 def plan_shards(plan: RunPlan) -> list[ShardSpec]:
@@ -375,6 +377,7 @@ def run_shard(
     spec: ShardSpec,
     checkpoint_dir: str | None = None,
     checkpoint_every: int | None = None,
+    should_stop=None,
 ) -> dict[str, Any]:
     """Execute one shard to completion (pool-worker entry point).
 
@@ -382,8 +385,12 @@ def run_shard(
     ``checkpoint_every`` trials (default: ~10 snapshots per run) and --
     crucially -- *resumes* from an existing snapshot instead of
     restarting, which is how a re-queued shard continues where a dead
-    worker left off.  Returns a JSON-compatible payload so results
-    cross the process boundary as plain data.
+    worker left off.  ``should_stop`` (in-process callers only; it
+    cannot cross a pool boundary) cancels cooperatively between trials,
+    snapshotting first -- see
+    :class:`~repro.core.search.SearchCancelled`.  Returns a
+    JSON-compatible payload so results cross the process boundary as
+    plain data.
     """
     search = build_search(spec)
     trials = spec.resolved_trials
@@ -398,6 +405,7 @@ def run_shard(
             result = search.run(
                 trials, np.random.default_rng(spec.seed),
                 batch_size=spec.batch_size,
+                should_stop=should_stop,
             )
         else:
             path = spec.checkpoint_path(checkpoint_dir)
@@ -407,7 +415,8 @@ def run_shard(
                 )
             if path.exists():
                 snapshot = _check_snapshot_matches_spec(path, spec, trials)
-                result = search.resume(path, snapshot=snapshot)
+                result = search.resume(path, snapshot=snapshot,
+                                       should_stop=should_stop)
                 resumed_from = str(path)
             else:
                 path.parent.mkdir(parents=True, exist_ok=True)
@@ -416,6 +425,7 @@ def run_shard(
                     batch_size=spec.batch_size,
                     checkpoint_every=checkpoint_every,
                     checkpoint_path=path,
+                    should_stop=should_stop,
                 )
     finally:
         # Reclaim the eval_workers pool (when one was built): in serial

@@ -29,6 +29,8 @@ Execution lives elsewhere: hand a plan to
 from __future__ import annotations
 
 import dataclasses
+import difflib
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -110,7 +112,7 @@ class SearchPlan:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SearchPlan":
         """Inverse of :meth:`to_dict`; rejects unknown keys."""
-        return cls(**_checked(cls, data))
+        return cls(**_checked(cls, data, section="search"))
 
 
 @dataclass(frozen=True)
@@ -164,7 +166,7 @@ class ExecutionPolicy:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ExecutionPolicy":
         """Inverse of :meth:`to_dict`; rejects unknown keys."""
-        return cls(**_checked(cls, data))
+        return cls(**_checked(cls, data, section="execution"))
 
 
 @dataclass(frozen=True)
@@ -228,7 +230,7 @@ class ScenarioPlan:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioPlan":
         """Inverse of :meth:`to_dict`; rejects unknown keys."""
-        return cls(**_checked(cls, data))
+        return cls(**_checked(cls, data, section="scenario"))
 
 
 @dataclass(frozen=True)
@@ -281,7 +283,7 @@ class RunPlan:
                           ("scenario", ScenarioPlan)):
             if key in data and isinstance(data[key], dict):
                 data[key] = node.from_dict(data[key])
-        return cls(**_checked(cls, data))
+        return cls(**_checked(cls, data, section="plan"))
 
     def to_json(self, indent: int | None = 2) -> str:
         """The plan as a JSON string."""
@@ -310,13 +312,53 @@ def load_plan(path: str | Path) -> RunPlan:
     return RunPlan.from_json(Path(path).read_text())
 
 
-def _checked(cls: type, data: dict[str, Any]) -> dict[str, Any]:
-    """Reject keys that are not fields of ``cls`` (typo safety)."""
+def canonical_plan_json(plan: RunPlan) -> str:
+    """The plan's canonical serialized form.
+
+    One fixed rendering -- sorted keys, minimal separators -- so that
+    equal plans serialize to equal bytes whatever dict order or
+    formatting produced them.  This is the preimage of
+    :func:`plan_hash`, the key of the service's content-addressed
+    result store.
+    """
+    return json.dumps(plan.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def plan_hash(plan: RunPlan) -> str:
+    """Content hash (SHA-256 hex) of the canonical plan document.
+
+    Two plans share a hash iff their full plan documents -- workload,
+    search, execution, scenario and output -- are identical.  The
+    :class:`~repro.service.SearchService` keys its result store and its
+    in-flight dedup on this, so resubmitting a byte-identical plan
+    returns the stored result without re-running.  Note the hash
+    deliberately covers the execution policy too: it never *changes* a
+    sequential trial ledger, but batched trajectories are legitimately
+    different runs, so over-keying is the conservative choice.
+    """
+    return hashlib.sha256(canonical_plan_json(plan).encode()).hexdigest()
+
+
+def _checked(
+    cls: type, data: dict[str, Any], section: str = "plan"
+) -> dict[str, Any]:
+    """Reject keys that are not fields of ``cls`` (typo safety).
+
+    The error names each offending key and its plan section, lists the
+    section's valid fields, and suggests the closest valid field when
+    one is plausibly a typo (``eval_worker`` -> ``eval_workers``).
+    """
     fields = {f.name for f in dataclasses.fields(cls)}
-    unknown = set(data) - fields
+    unknown = sorted(set(data) - fields)
     if unknown:
+        described = []
+        for key in unknown:
+            close = difflib.get_close_matches(key, fields, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            described.append(f"{key!r}{hint}")
         raise ValueError(
-            f"unknown {cls.__name__} keys: {', '.join(sorted(unknown))}; "
-            f"expected a subset of {', '.join(sorted(fields))}"
+            f"unknown {cls.__name__} keys in the {section!r} plan section: "
+            f"{', '.join(described)}; valid fields: "
+            f"{', '.join(sorted(fields))}"
         )
     return data

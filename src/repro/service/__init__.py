@@ -1,0 +1,43 @@
+"""Search-as-a-service: queued, deduped, cancellable plan execution.
+
+This package turns the one-shot execution engine into a long-lived
+service:
+
+* :class:`SearchService` -- ``submit(plan) -> JobHandle`` with a
+  priority queue, a bounded worker pool, job lifecycle states
+  (queued / running / cancelled / failed / done), cooperative
+  cancellation that checkpoints, and in-flight dedup of identical
+  plans;
+* :class:`ResultStore` -- a content-addressed store keyed by
+  :func:`repro.plans.plan_hash`, so resubmitting an identical plan
+  returns the stored result byte-identically without re-running;
+* :func:`execute_plan` -- the single workload dispatcher every
+  execution surface shares (:meth:`repro.api.Session.run` is a thin
+  synchronous wrapper over a one-job service);
+* :func:`serve <repro.service.http.serve>` / :class:`ServiceClient` --
+  a stdlib-only HTTP JSON endpoint (``repro serve``) and its client
+  (``repro submit``).
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.executor import execute_plan
+from repro.service.service import (
+    JOB_STATES,
+    JobCancelledError,
+    JobHandle,
+    SearchService,
+    UnknownJobError,
+)
+from repro.service.store import ResultStore, is_cacheable
+
+__all__ = [
+    "JOB_STATES",
+    "JobCancelledError",
+    "JobHandle",
+    "ResultStore",
+    "SearchService",
+    "ServiceClient",
+    "UnknownJobError",
+    "execute_plan",
+    "is_cacheable",
+]

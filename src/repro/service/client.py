@@ -1,0 +1,120 @@
+"""Tiny urllib-based client for the service's HTTP endpoint.
+
+:class:`ServiceClient` mirrors the :class:`~repro.service.SearchService`
+surface over HTTP -- submit / status / events / result / cancel --
+using nothing beyond :mod:`urllib.request`.  ``repro submit`` is a thin
+shell around it, and the service-smoke CI job drives a live server with
+it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.plans import RunPlan
+
+#: Job states the client treats as terminal when waiting.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service (status + body)."""
+
+    def __init__(self, status: int, body: str):
+        super().__init__(f"service returned HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` endpoint.
+
+    Parameters:
+        base_url: e.g. ``http://127.0.0.1:8765`` (trailing slash
+            optional).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw calls -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> bytes:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                exc.code, exc.read().decode(errors="replace")
+            ) from None
+
+    def _json(self, method: str, path: str,
+              body: dict[str, Any] | None = None) -> dict[str, Any]:
+        return json.loads(self._request(method, path, body))
+
+    # -- service surface -----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """``GET /health``."""
+        return self._json("GET", "/health")
+
+    def submit(self, plan: RunPlan | dict[str, Any],
+               priority: int = 0) -> dict[str, Any]:
+        """Submit a plan (object or already-serialized dict)."""
+        plan_doc = plan.to_dict() if isinstance(plan, RunPlan) else plan
+        return self._json(
+            "POST", "/jobs", {"plan": plan_doc, "priority": priority}
+        )
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /jobs`` -> job summaries."""
+        return self._json("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/<id>``."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> dict[str, Any]:
+        """``GET /jobs/<id>/events?since=N`` (cursor in ``"next"``)."""
+        return self._json("GET", f"/jobs/{job_id}/events?since={since}")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """``GET /jobs/<id>/result`` -- the canonical stored bytes."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``POST /jobs/<id>/cancel``."""
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self) -> dict[str, Any]:
+        """``POST /shutdown`` -- drain and stop the server."""
+        return self._json("POST", "/shutdown")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.status(job_id)
+            if info["state"] in _TERMINAL:
+                return info
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {info['state']} after {timeout}s"
+                )
+            time.sleep(poll)

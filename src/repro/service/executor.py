@@ -1,0 +1,235 @@
+"""The one workload dispatcher every execution surface shares.
+
+:func:`execute_plan` is the single place a :class:`~repro.plans.RunPlan`
+turns into work.  :meth:`repro.api.Session.run` reaches it through a
+one-job :class:`~repro.service.SearchService`; the long-lived service's
+worker threads call it directly; nothing else in the codebase executes
+a plan.  That is the redesign's invariant: *exactly one execution
+engine*, so a plan produces byte-identical results whichever surface
+submitted it.
+
+Progress is reported as typed :mod:`repro.events` records through the
+``emit`` callable; the ``search`` and ``sweep`` workloads run through
+the :class:`~repro.orchestration.campaign.Campaign` runner (one shard
+for a single search), which is also what makes their event streams
+identical across surfaces and gives them cooperative cancellation with
+checkpointing (``should_stop``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.events import Event, RunFinished, RunStarted, SearchStarted, legacy_event
+from repro.plans import RunPlan
+
+#: Workloads whose in-process engine accepts a live evaluator override
+#: (everything else rebuilds evaluators from the plan's registry key).
+EVALUATOR_OVERRIDE_WORKLOADS = ("table1", "figure6", "figure7", "paired")
+
+
+def check_evaluator_override(plan: RunPlan, evaluator: Any) -> None:
+    """Reject live-evaluator overrides for workloads that rebuild them.
+
+    Raising here (synchronously, before any queueing) keeps the old
+    :meth:`Session.run` contract: an injected evaluator instance is
+    never silently dropped.
+    """
+    if evaluator is not None and plan.workload not in EVALUATOR_OVERRIDE_WORKLOADS:
+        raise ValueError(
+            f"the {plan.workload!r} workload rebuilds its evaluator from the "
+            "plan's registry key and cannot honor a live evaluator "
+            "override; register the evaluator "
+            "(repro.registry.EVALUATORS) and name it in the plan instead"
+        )
+
+
+def execute_plan(
+    plan: RunPlan,
+    emit: Callable[[Event], None] | None = None,
+    evaluator: Any = None,
+    should_stop: Callable[[], bool] | None = None,
+    fallback_checkpoint_dir: str | None = None,
+) -> Any:
+    """Execute one plan's workload and return its result object.
+
+    Parameters:
+        plan: the declarative run description.
+        emit: receives every typed progress event, in order.
+        evaluator: live evaluator override (in-process paired
+            workloads only; see :func:`check_evaluator_override`).
+        should_stop: cooperative-cancellation poll, honored between
+            trials by every search-running workload (``search``,
+            ``sweep``, ``paired``, ``table1``, ``figure6``,
+            ``figure7``); checkpointed runs snapshot before raising
+            :class:`~repro.core.search.SearchCancelled`.  ``figure8``,
+            ``ablations`` and ``report`` check only before starting.
+        fallback_checkpoint_dir: checkpoint directory used when the
+            plan's execution policy names none -- how the service makes
+            every job durable/resumable without rewriting (and thus
+            re-hashing) the submitted plan.
+
+    Result types by workload: ``table1`` -> ``Table1Result``,
+    ``figure6`` -> ``Figure6Result``, ``figure7`` -> ``Figure7Result``,
+    ``figure8`` -> ``Figure8Result``, ``ablations`` ->
+    ``(ReuseAblationResult, PruningAblationResult)``, ``report`` -> the
+    markdown text (also written to ``plan.output`` when set), ``sweep``
+    -> ``CampaignResult`` (artifact written to ``plan.output`` when
+    set), ``paired`` -> ``PairedSearchOutcome``, ``search`` ->
+    ``SearchResult``.
+    """
+    check_evaluator_override(plan, evaluator)
+
+    def publish(event: Event) -> None:
+        if emit is not None:
+            emit(event)
+
+    def publish_legacy(kind: str, scope: str, message: str) -> None:
+        publish(legacy_event(kind, scope, message))
+
+    if should_stop is not None and should_stop():
+        from repro.core.search import SearchCancelled
+
+        raise SearchCancelled(0)
+    workload = plan.workload
+    publish(RunStarted(workload, "session started"))
+    runner = _WORKLOAD_RUNNERS[workload]
+    result = runner(plan, publish, publish_legacy, evaluator, should_stop,
+                    fallback_checkpoint_dir)
+    publish(RunFinished(workload, "session finished"))
+    return result
+
+
+# -- workload runners --------------------------------------------------------
+
+
+def _run_table1(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Table 1 workload body."""
+    from repro.experiments.table1 import run_table1_plan
+
+    return run_table1_plan(plan, evaluator=evaluator, emit=legacy,
+                           should_stop=should_stop)
+
+
+def _run_figure6(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Figure 6 workload body."""
+    from repro.experiments.figure6 import run_figure6_plan
+
+    return run_figure6_plan(plan, evaluator=evaluator, emit=legacy,
+                            should_stop=should_stop)
+
+
+def _run_figure7(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Figure 7 workload body."""
+    from repro.experiments.figure7 import run_figure7_plan
+
+    return run_figure7_plan(plan, evaluator=evaluator, emit=legacy,
+                            should_stop=should_stop)
+
+
+def _run_figure8(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Figure 8 workload body."""
+    from repro.experiments.figure8 import run_figure8
+
+    return run_figure8()
+
+
+def _run_ablations(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Ablation-study workload body."""
+    from repro.experiments.ablation import (
+        run_pruning_ablation,
+        run_reuse_ablation,
+    )
+
+    reuse = run_reuse_ablation()
+    pruning = run_pruning_ablation(
+        trials=plan.search.trials,
+        seed=plan.search.seed,
+        batch_size=plan.execution.batch_size,
+    )
+    return reuse, pruning
+
+
+def _run_report(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Report workload body (writes ``plan.output`` when set)."""
+    from repro.experiments.report import generate_report_plan
+
+    text = generate_report_plan(plan, emit=legacy)
+    if plan.output is not None:
+        Path(plan.output).write_text(text)
+    return text
+
+
+def _run_sweep(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Sweep workload body: the full campaign runtime."""
+    from repro.orchestration import (
+        Campaign,
+        plan_shards,
+        save_campaign_result,
+    )
+
+    shards = plan_shards(plan)
+    publish(SearchStarted(
+        "sweep",
+        f"{len(shards)} shard(s), "
+        f"{plan.execution.shard_workers} worker(s)",
+    ))
+    result = Campaign(
+        shards,
+        checkpoint_dir=_checkpoint_dir(plan, fallback_dir),
+        checkpoint_every=plan.execution.checkpoint_every,
+        progress=publish,
+    ).run(max_workers=plan.execution.shard_workers, should_stop=should_stop)
+    if plan.output is not None:
+        save_campaign_result(result, plan.output)
+    return result
+
+
+def _run_paired(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Paired NAS+FNAS workload body."""
+    from repro.experiments.runner import run_paired_plan
+
+    return run_paired_plan(plan, evaluator=evaluator, emit=legacy,
+                           should_stop=should_stop)
+
+
+def _run_search(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+    """Single-search workload body: a one-shard campaign.
+
+    Going through :class:`~repro.orchestration.campaign.Campaign` (not
+    a bare ``run_shard``) is deliberate: the shard-level event sequence
+    and the checkpoint/resume/cancel behavior are then *identical* to a
+    campaign running the same shard -- the golden event-stream property.
+    """
+    from repro.orchestration import Campaign
+    from repro.orchestration.shards import ShardSpec
+
+    spec = ShardSpec.from_plan(plan)
+    outcome = Campaign(
+        [spec],
+        checkpoint_dir=_checkpoint_dir(plan, fallback_dir),
+        checkpoint_every=plan.execution.checkpoint_every,
+        progress=publish,
+    ).run(max_workers=1, should_stop=should_stop)
+    return outcome.outcomes[0].result
+
+
+def _checkpoint_dir(plan: RunPlan, fallback_dir: str | None) -> str | None:
+    """The plan's checkpoint directory, or the caller's fallback."""
+    if plan.execution.checkpoint_dir is not None:
+        return plan.execution.checkpoint_dir
+    return fallback_dir
+
+
+_WORKLOAD_RUNNERS = {
+    "table1": _run_table1,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "figure8": _run_figure8,
+    "ablations": _run_ablations,
+    "report": _run_report,
+    "sweep": _run_sweep,
+    "paired": _run_paired,
+    "search": _run_search,
+}

@@ -1,0 +1,231 @@
+"""Stdlib-only HTTP JSON front-end for a :class:`SearchService`.
+
+``repro serve`` binds a :class:`ServiceHTTPServer`
+(:class:`http.server.ThreadingHTTPServer` underneath -- no third-party
+dependency) over one in-process service.  The surface is deliberately
+small and plain JSON:
+
+=======  ==========================  =====================================
+Method   Path                        Meaning
+=======  ==========================  =====================================
+GET      ``/health``                 liveness + job counts
+POST     ``/jobs``                   submit ``{"plan": ..., "priority"}``
+GET      ``/jobs``                   list job summaries
+GET      ``/jobs/<id>``              one job summary
+POST     ``/jobs/<id>/cancel``       cancel (checkpoint-preserving)
+GET      ``/jobs/<id>/events``       typed events (``?since=N`` cursor)
+GET      ``/jobs/<id>/result``       stored canonical result bytes
+POST     ``/shutdown``               drain and stop the server
+=======  ==========================  =====================================
+
+``/result`` streams the result store's canonical bytes verbatim, so two
+submissions of an identical plan receive byte-identical bodies -- the
+service-smoke CI job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.plans import RunPlan
+from repro.service.service import SearchService, UnknownJobError
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to one :class:`SearchService`."""
+
+    #: Threads die with the process; ``/shutdown`` is the clean path.
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SearchService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self._shutdown_requested = threading.Event()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (from a handler thread)."""
+        self._shutdown_requested.set()
+        # shutdown() must not run on a handler thread (it joins the
+        # serve loop); a helper thread breaks the cycle.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the bound service; JSON in, JSON out."""
+
+    server: ServiceHTTPServer
+    #: Quieter than the default (no per-request stderr lines).
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppress the default per-request stderr logging."""
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Dispatch GET routes."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["health"]:
+                self._send_json(200, self._health())
+            elif parts == ["jobs"]:
+                service = self.server.service
+                self._send_json(
+                    200,
+                    {"jobs": [h._job.info() for h in service.jobs()]},
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                handle = self.server.service.job(parts[1])
+                self._send_json(200, handle._job.info())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                self._get_events(parts[1], url.query)
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                self._get_result(parts[1])
+            else:
+                self._send_json(404, {"error": f"unknown path {url.path!r}"})
+        except UnknownJobError as exc:
+            self._send_json(404, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Dispatch POST routes."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                self._post_job()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                state = self.server.service.cancel(parts[1])
+                self._send_json(
+                    200, self.server.service.job(parts[1])._job.info()
+                    | {"state": state})
+            elif parts == ["shutdown"]:
+                self._send_json(200, {"status": "shutting down"})
+                self.server.request_shutdown()
+            else:
+                self._send_json(404, {"error": f"unknown path {url.path!r}"})
+        except UnknownJobError as exc:
+            self._send_json(404, {"error": str(exc)})
+
+    # -- route bodies --------------------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        service = self.server.service
+        states: dict[str, int] = {}
+        for handle in service.jobs():
+            states[handle.state] = states.get(handle.state, 0) + 1
+        return {"status": "ok", "jobs": states,
+                "store_entries": len(service.store)}
+
+    def _post_job(self) -> None:
+        try:
+            body = self._read_body()
+            plan = RunPlan.from_dict(body["plan"])
+            priority = int(body.get("priority", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad submission: {exc}"})
+            return
+        before = {h.job_id for h in self.server.service.jobs()}
+        handle = self.server.service.submit(plan, priority=priority)
+        info = handle._job.info()
+        info["deduped"] = handle.job_id in before
+        self._send_json(200, info)
+
+    def _get_events(self, job_id: str, query: str) -> None:
+        handle = self.server.service.job(job_id)
+        params = parse_qs(query)
+        since = int(params.get("since", ["0"])[0])
+        events = handle.events(since=since)
+        self._send_json(200, {
+            "job_id": handle.job_id,
+            "state": handle.state,
+            "since": since,
+            "next": since + len(events),
+            "events": [e.to_dict() for e in events],
+        })
+
+    def _get_result(self, job_id: str) -> None:
+        handle = self.server.service.job(job_id)
+        state = handle.state
+        if state != "done":
+            self._send_json(409, {
+                "error": f"job {job_id} is {state}, not done",
+                "state": state,
+            })
+            return
+        blob = handle._job.result_bytes
+        if blob is None:
+            self._send_json(406, {
+                "error": f"workload {handle.plan.workload!r} has no result "
+                "codec; inspect the job in-process instead",
+            })
+            return
+        self._send_bytes(200, blob)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        data = json.loads(raw)
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._send_bytes(status, json.dumps(payload).encode())
+
+    def _send_bytes(self, status: int, blob: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    service: SearchService | None = None,
+    **service_kwargs: Any,
+) -> ServiceHTTPServer:
+    """Build (without starting) a bound service HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); ``service_kwargs`` go
+    to the :class:`SearchService` constructor when no service is
+    passed.
+    """
+    if service is None:
+        service = SearchService(**service_kwargs)
+    return ServiceHTTPServer((host, port), service)
+
+
+def run_server(server: ServiceHTTPServer) -> None:
+    """Serve until ``/shutdown`` or Ctrl-C, then tear down cleanly.
+
+    Blocks the calling thread; the bound service is shut down (asking
+    running jobs to stop cooperatively, then waiting) before
+    returning.  Both :func:`serve` and the ``repro serve`` CLI verb
+    run through here, so teardown semantics exist once.
+    """
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.shutdown(wait=True, cancel_running=True)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    service: SearchService | None = None,
+    **service_kwargs: Any,
+) -> None:
+    """Build a bound server and run it (see :func:`run_server`)."""
+    run_server(make_server(host, port, service=service, **service_kwargs))

@@ -1,0 +1,523 @@
+"""The asynchronous job service: queue, dedupe, run, cache, cancel.
+
+:class:`SearchService` accepts :class:`~repro.plans.RunPlan` submissions
+and executes them on a bounded pool of worker threads (each worker may
+itself fan out across process pools via the campaign runtime -- the
+thread is the *job* unit, not the *compute* unit):
+
+* **priority queue** -- higher ``priority`` runs first, FIFO within a
+  priority level;
+* **dedup** -- submissions are keyed by the canonical
+  :func:`repro.plans.plan_hash`; a plan identical to a queued/running
+  one coalesces onto that job, and one identical to a stored result is
+  answered from the :class:`~repro.service.store.ResultStore` as a
+  byte-identical cache hit, without re-running;
+* **lifecycle** -- ``queued -> running -> done | failed | cancelled``,
+  every transition published on the service's typed
+  :class:`~repro.events.EventBus` and recorded in the job's own event
+  log;
+* **cancellation that checkpoints** -- a cancelled running job stops
+  cooperatively between trials *after* forcing a snapshot (see
+  :class:`~repro.core.search.SearchCancelled`), and resubmitting the
+  same plan re-queues the job, whose shards then **resume** from those
+  snapshots instead of restarting.
+
+:meth:`repro.api.Session.run` is a one-job instance of exactly this
+machinery, so the service is not a parallel implementation -- it *is*
+the execution engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any
+
+from repro.events import (
+    CacheHit,
+    Event,
+    EventBus,
+    JobCancelled,
+    JobCompleted,
+    JobFailed,
+    JobQueued,
+    JobStarted,
+)
+from repro.plans import RunPlan, plan_hash
+from repro.service import store as store_mod
+from repro.service.executor import check_evaluator_override, execute_plan
+from repro.service.store import ResultStore
+
+#: Job lifecycle states, in rough temporal order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a submission can coalesce onto (dedup targets).
+_COALESCE_STATES = ("queued", "running", "done")
+
+
+class UnknownJobError(KeyError):
+    """Raised when a job id does not name a job of this service."""
+
+
+class JobCancelledError(RuntimeError):
+    """Raised by :meth:`JobHandle.result` when the job was cancelled."""
+
+
+class _Job:
+    """Internal mutable job record (guarded by the service lock)."""
+
+    def __init__(self, job_id: str, plan: RunPlan, digest: str,
+                 priority: int, evaluator: Any):
+        self.id = job_id
+        self.plan = plan
+        self.plan_hash = digest
+        self.priority = priority
+        self.evaluator = evaluator
+        self.state = "queued"
+        self.error: BaseException | None = None
+        self.result_obj: Any = None
+        self.result_bytes: bytes | None = None
+        self.cached = False
+        self.runs = 0
+        self.events: list[Event] = []
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+
+    def info(self) -> dict[str, Any]:
+        """JSON-compatible status summary (the HTTP ``/jobs`` shape)."""
+        return {
+            "job_id": self.id,
+            "state": self.state,
+            "plan_hash": self.plan_hash,
+            "workload": self.plan.workload,
+            "priority": self.priority,
+            "cached": self.cached,
+            "runs": self.runs,
+            "events": len(self.events),
+            "error": None if self.error is None else repr(self.error),
+        }
+
+
+class JobHandle:
+    """The caller's view of one submitted job.
+
+    Thin and safe to share: every accessor reads the live job record,
+    so a handle obtained at submit time keeps reflecting the job as it
+    progresses (and across cancel/resubmit cycles, which re-queue the
+    same job).
+    """
+
+    def __init__(self, service: "SearchService", job: _Job):
+        self._service = service
+        self._job = job
+
+    @property
+    def job_id(self) -> str:
+        """Stable job identifier (derived from the plan hash)."""
+        return self._job.id
+
+    @property
+    def plan(self) -> RunPlan:
+        """The submitted plan."""
+        return self._job.plan
+
+    @property
+    def plan_hash(self) -> str:
+        """Canonical plan hash (the store/dedup key)."""
+        return self._job.plan_hash
+
+    @property
+    def state(self) -> str:
+        """Current lifecycle state (one of :data:`JOB_STATES`)."""
+        return self._job.state
+
+    @property
+    def cached(self) -> bool:
+        """Whether the job was answered from the result store."""
+        return self._job.cached
+
+    def events(self, since: int = 0) -> list[Event]:
+        """The job's typed event log from index ``since`` onwards."""
+        return list(self._job.events[since:])
+
+    def wait(self, timeout: float | None = None) -> str:
+        """Block until the job reaches a terminal state; returns it.
+
+        Waits in short slices so the main thread stays interruptible;
+        on timeout the current (possibly non-terminal) state comes
+        back.
+        """
+        deadline = None
+        if timeout is not None:
+            import time
+
+            deadline = time.monotonic() + timeout
+        while not self._job.done_event.is_set():
+            remaining = 0.1
+            if deadline is not None:
+                import time
+
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    break
+            self._job.done_event.wait(remaining)
+        return self._job.state
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The job's result object (blocking).
+
+        Raises :class:`JobCancelledError` for cancelled jobs,
+        re-raises the original exception for failed ones, and
+        :class:`TimeoutError` when ``timeout`` elapses first.  Cache
+        hits decode the stored payload through the workload's codec.
+        """
+        state = self.wait(timeout)
+        job = self._job
+        if state == "done":
+            if job.result_obj is None and job.result_bytes is not None:
+                import json
+
+                job.result_obj = store_mod.decode_result(
+                    job.plan, json.loads(job.result_bytes)
+                )
+            return job.result_obj
+        if state == "cancelled":
+            raise JobCancelledError(
+                f"job {job.id} was cancelled; resubmit the plan to resume"
+            )
+        if state == "failed":
+            assert job.error is not None
+            raise job.error
+        raise TimeoutError(f"job {job.id} still {state} after {timeout}s")
+
+    def result_bytes(self, timeout: float | None = None) -> bytes | None:
+        """Canonical serialized result bytes (None when not cacheable).
+
+        Byte-identical across every submission of the same plan -- the
+        property the HTTP ``/result`` endpoint serves directly.
+        """
+        self.result(timeout)
+        return self._job.result_bytes
+
+    def cancel(self) -> str:
+        """Request cancellation; returns the (possibly new) state."""
+        return self._service.cancel(self.job_id)
+
+
+class SearchService:
+    """Bounded-worker, priority-queued, deduping plan execution service.
+
+    Parameters:
+        workers: worker threads (= jobs in flight at once).  Each job
+            may still fan out internally per its plan's execution
+            policy.
+        store: a :class:`~repro.service.store.ResultStore` to share;
+            default builds one (in-memory, or under ``store_dir``).
+        store_dir: persistence directory for the default store.
+        checkpoint_dir: root under which jobs whose plans name no
+            checkpoint directory snapshot (per plan hash).  Without it
+            such jobs run un-checkpointed, exactly as their plan says.
+        cache_results: store/serve results for cacheable workloads
+            (turn off to make every submit re-run).
+        bus: an :class:`~repro.events.EventBus` to share; the default
+            bus (exposed as :attr:`bus`) does not record history --
+            per-job logs live on the jobs themselves, which keeps a
+            long-lived service's footprint proportional to its jobs,
+            not its event volume.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store: ResultStore | None = None,
+        store_dir: str | None = None,
+        checkpoint_dir: str | None = None,
+        cache_results: bool = True,
+        bus: EventBus | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.bus = bus if bus is not None else EventBus()
+        self.store = store if store is not None else ResultStore(store_dir)
+        self.checkpoint_dir = checkpoint_dir
+        self.cache_results = cache_results
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._queue: list[tuple[int, int, _Job]] = []
+        self._seq = itertools.count()
+        self._jobs: dict[str, _Job] = {}
+        self._by_hash: dict[str, _Job] = {}
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"search-service-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission / lookup -------------------------------------------------
+
+    def submit(self, plan: RunPlan, priority: int = 0,
+               evaluator: Any = None) -> JobHandle:
+        """Queue a plan for execution; returns its :class:`JobHandle`.
+
+        Dedup semantics (all keyed on the canonical plan hash, skipped
+        when a live ``evaluator`` override makes the job
+        un-addressable):
+
+        * stored result -> an already-``done`` job answered from the
+          cache (:class:`~repro.events.CacheHit`), byte-identical to
+          the original;
+        * identical plan queued/running/done -> the same job (and the
+          same handle semantics);
+        * identical plan previously ``cancelled``/``failed`` -> the job
+          is re-queued, and its shards resume from their checkpoints.
+        """
+        check_evaluator_override(plan, evaluator)
+        digest = plan_hash(plan)
+        to_publish: list[Event] = []
+        try:
+            with self._lock:
+                if self._shutdown:
+                    raise RuntimeError("service is shut down")
+                if evaluator is None:
+                    existing = self._by_hash.get(digest)
+                    if (existing is not None
+                            and existing.state in _COALESCE_STATES):
+                        return JobHandle(self, existing)
+                    cached = (
+                        self.store.get_bytes(digest)
+                        if self.cache_results and store_mod.is_cacheable(plan)
+                        else None
+                    )
+                    if cached is not None:
+                        job = existing
+                        if job is None:
+                            job = _Job(self._job_id(digest, evaluator=None),
+                                       plan, digest, priority, None)
+                            self._register(job)
+                        job.state = "done"
+                        job.cached = True
+                        job.result_bytes = cached
+                        job.result_obj = None
+                        job.error = None
+                        job.done_event.set()
+                        to_publish = self._record(job, [
+                            CacheHit(
+                                job.id, "identical plan already solved; "
+                                "returning stored result", plan_hash=digest),
+                            JobCompleted(
+                                job.id, "served from the result store",
+                                plan_hash=digest),
+                        ])
+                        return JobHandle(self, job)
+                    if existing is not None:
+                        # cancelled / failed: resubmit re-queues the same
+                        # job; checkpoints written before cancellation make
+                        # the re-run a resume.  The job log entry lands
+                        # *before* the job becomes visible to workers, so
+                        # JobQueued always precedes JobStarted in it.
+                        job = existing
+                        job.state = "queued"
+                        job.priority = priority
+                        job.error = None
+                        job.cancel_event.clear()
+                        job.done_event.clear()
+                        to_publish = self._record(job, [JobQueued(
+                            job.id, "resubmitted; checkpointed shards will "
+                            "resume", plan_hash=digest)])
+                        self._enqueue(job)
+                        return JobHandle(self, job)
+                job = _Job(self._job_id(digest, evaluator), plan, digest,
+                           priority, evaluator)
+                self._register(job)
+                to_publish = self._record(job, [JobQueued(
+                    job.id, f"queued at priority {priority}",
+                    plan_hash=digest)])
+                self._enqueue(job)
+                return JobHandle(self, job)
+        finally:
+            for event in to_publish:
+                self.bus.publish(event)
+
+    def job(self, job_id: str) -> JobHandle:
+        """Look a job up by id."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            known = sorted(self._jobs)
+        if job is None:
+            listing = ", ".join(known) if known else "(no jobs submitted yet)"
+            raise UnknownJobError(f"unknown job {job_id!r}; known: {listing}")
+        return JobHandle(self, job)
+
+    def jobs(self) -> list[JobHandle]:
+        """Handles for every job, in submission order."""
+        with self._lock:
+            return [JobHandle(self, j) for j in self._jobs.values()]
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns its state after the request.
+
+        Queued jobs cancel immediately.  Running search-driven jobs
+        (``search``, ``sweep``, ``paired``, ``table1``, ``figure6``,
+        ``figure7``) stop cooperatively at the next trial boundary,
+        snapshotting first when checkpointing is configured (the worker
+        then publishes :class:`~repro.events.JobCancelled`); the
+        remaining workloads (``figure8``, ``ablations``, ``report``)
+        poll only before starting and otherwise run to completion.
+        Terminal jobs are left untouched.
+        """
+        handle = self.job(job_id)
+        job = handle._job
+        to_publish: list[Event] = []
+        with self._lock:
+            if job.state == "queued":
+                job.state = "cancelled"
+                job.cancel_event.set()
+                job.done_event.set()
+                to_publish = self._record(job, [JobCancelled(
+                    job.id, "cancelled while queued",
+                    plan_hash=job.plan_hash)])
+            elif job.state == "running":
+                job.cancel_event.set()
+        for event in to_publish:
+            self.bus.publish(event)
+        return job.state
+
+    def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
+        """Stop accepting work and wind the worker pool down.
+
+        Queued jobs are cancelled.  Running jobs finish normally unless
+        ``cancel_running`` asks them to stop cooperatively.  With
+        ``wait`` the call joins every worker thread.
+        """
+        to_publish: list[Event] = []
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            while self._queue:
+                _, _, job = heapq.heappop(self._queue)
+                if job.state == "queued":
+                    job.state = "cancelled"
+                    job.cancel_event.set()
+                    job.done_event.set()
+                    to_publish.extend(self._record(job, [JobCancelled(
+                        job.id, "service shut down while queued",
+                        plan_hash=job.plan_hash)]))
+            if cancel_running:
+                for job in self._jobs.values():
+                    if job.state == "running":
+                        job.cancel_event.set()
+            self._work_ready.notify_all()
+        for event in to_publish:
+            self.bus.publish(event)
+        if wait:
+            for thread in self._workers:
+                thread.join()
+        self.bus.close()
+
+    def __enter__(self) -> "SearchService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit shuts the service down (waiting)."""
+        self.shutdown(wait=True)
+
+    # -- internals -----------------------------------------------------------
+
+    def _job_id(self, digest: str, evaluator: Any) -> str:
+        """Derive a job id: hash-based, unique for un-addressable jobs."""
+        base = f"j-{digest[:12]}"
+        if evaluator is None:
+            return base
+        return f"{base}-live{next(self._seq)}"
+
+    def _register(self, job: _Job) -> None:
+        self._jobs[job.id] = job
+        if job.evaluator is None:
+            self._by_hash[job.plan_hash] = job
+
+    def _enqueue(self, job: _Job) -> None:
+        heapq.heappush(self._queue, (-job.priority, next(self._seq), job))
+        self._work_ready.notify()
+
+    def _record(self, job: _Job, events: list[Event]) -> list[Event]:
+        """Append events to the job's log (caller holds the lock).
+
+        Returns the events so the caller can publish them to the bus
+        *after* releasing the lock -- the job log is therefore ordered
+        even when a worker races the tail of ``submit``, and bus
+        subscribers can never deadlock the service by calling back in.
+        """
+        job.events.extend(events)
+        return list(events)
+
+    def _publish(self, job: _Job, event: Event) -> None:
+        job.events.append(event)
+        self.bus.publish(event)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while not self._queue and not self._shutdown:
+                    self._work_ready.wait()
+                if not self._queue:
+                    return  # shutdown with an empty queue
+                _, _, job = heapq.heappop(self._queue)
+                if job.state != "queued":
+                    continue  # cancelled while queued; stale heap entry
+                job.state = "running"
+                job.runs += 1
+            self._execute(job)
+
+    def _execute(self, job: _Job) -> None:
+        from repro.core.search import SearchCancelled
+
+        self._publish(job, JobStarted(
+            job.id, f"run {job.runs} started", plan_hash=job.plan_hash))
+        try:
+            result = execute_plan(
+                job.plan,
+                emit=lambda event: self._publish(job, event),
+                evaluator=job.evaluator,
+                should_stop=job.cancel_event.is_set,
+                fallback_checkpoint_dir=self._job_checkpoint_dir(job),
+            )
+        except SearchCancelled as exc:
+            job.state = "cancelled"
+            self._publish(job, JobCancelled(
+                job.id,
+                f"cancelled after {exc.completed} completed unit(s); "
+                "checkpoints (if configured) preserved",
+                plan_hash=job.plan_hash))
+        except BaseException as exc:  # noqa: BLE001 -- workers must survive
+            job.state = "failed"
+            job.error = exc
+            self._publish(job, JobFailed(
+                job.id, f"{type(exc).__name__}: {exc}",
+                plan_hash=job.plan_hash))
+        else:
+            job.result_obj = result
+            if (job.evaluator is None and self.cache_results
+                    and store_mod.is_cacheable(job.plan)):
+                payload = store_mod.encode_result(job.plan, result)
+                job.result_bytes = self.store.put(job.plan_hash, payload)
+            job.state = "done"
+            self._publish(job, JobCompleted(
+                job.id, "completed", plan_hash=job.plan_hash))
+        finally:
+            job.done_event.set()
+
+    def _job_checkpoint_dir(self, job: _Job) -> str | None:
+        """Service-level checkpoint fallback, keyed by plan hash."""
+        if self.checkpoint_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.checkpoint_dir, job.plan_hash)

@@ -1,0 +1,194 @@
+"""Content-addressed result storage keyed by canonical plan hashes.
+
+The service's dedup guarantee rests on two pieces:
+
+* **codecs** -- per-workload ``(encode, decode)`` pairs turning a
+  workload's result object into a JSON-compatible payload and back.
+  Workloads with a lossless codec are *cacheable*; the rest (the
+  matplotlib-style figure studies whose result types predate
+  serialization) simply re-run on every submit.
+* :class:`ResultStore` -- a mapping from :func:`repro.plans.plan_hash`
+  to the payload's **canonical bytes** (sorted keys, minimal
+  separators).  The bytes are stored once and returned verbatim on
+  every hit, which is what makes a duplicate submit byte-identical to
+  the first, and they optionally persist under a directory
+  (``<hash>.json``, atomic writes) so a restarted service keeps its
+  cache.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.plans import RunPlan
+
+
+def _encode_search(result: Any) -> dict[str, Any]:
+    from repro.core.serialization import search_result_to_dict
+
+    return search_result_to_dict(result)
+
+
+def _decode_search(payload: dict[str, Any]) -> Any:
+    from repro.core.serialization import search_result_from_dict
+
+    return search_result_from_dict(payload)
+
+
+def _encode_paired(result: Any) -> dict[str, Any]:
+    return result.to_dict()
+
+
+def _decode_paired(payload: dict[str, Any]) -> Any:
+    from repro.experiments.runner import PairedSearchOutcome
+
+    return PairedSearchOutcome.from_dict(payload)
+
+
+def _encode_sweep(result: Any) -> dict[str, Any]:
+    return result.to_dict()
+
+
+def _decode_sweep(payload: dict[str, Any]) -> Any:
+    from repro.orchestration.campaign import CampaignResult
+
+    return CampaignResult.from_dict(payload)
+
+
+def _encode_report(result: Any) -> dict[str, Any]:
+    return {"text": result}
+
+
+def _decode_report(payload: dict[str, Any]) -> Any:
+    return payload["text"]
+
+
+#: Workload -> (encode, decode); membership defines cacheability.
+RESULT_CODECS: dict[
+    str,
+    tuple[Callable[[Any], dict[str, Any]], Callable[[dict[str, Any]], Any]],
+] = {
+    "search": (_encode_search, _decode_search),
+    "paired": (_encode_paired, _decode_paired),
+    "sweep": (_encode_sweep, _decode_sweep),
+    "report": (_encode_report, _decode_report),
+}
+
+
+def is_cacheable(plan: RunPlan) -> bool:
+    """Whether the plan's result can be served from the store.
+
+    Requires a lossless result codec for the workload *and* no
+    ``output`` artifact path: answering an ``output``-bearing plan from
+    the store would skip the artifact write the plan document promises,
+    so those plans always execute.
+    """
+    return plan.workload in RESULT_CODECS and plan.output is None
+
+
+def encode_result(plan: RunPlan, result: Any) -> dict[str, Any]:
+    """Serialize a workload result for storage (cacheable workloads)."""
+    try:
+        encode, _ = RESULT_CODECS[plan.workload]
+    except KeyError:
+        raise ValueError(
+            f"workload {plan.workload!r} has no result codec; cacheable "
+            "workloads: " + ", ".join(sorted(RESULT_CODECS))
+        ) from None
+    return encode(result)
+
+
+def decode_result(plan: RunPlan, payload: dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_result`."""
+    try:
+        _, decode = RESULT_CODECS[plan.workload]
+    except KeyError:
+        raise ValueError(
+            f"workload {plan.workload!r} has no result codec; cacheable "
+            "workloads: " + ", ".join(sorted(RESULT_CODECS))
+        ) from None
+    return decode(payload)
+
+
+def canonical_payload_bytes(payload: dict[str, Any]) -> bytes:
+    """One fixed byte rendering of a stored payload.
+
+    Same canonicalisation rules as
+    :func:`repro.plans.canonical_plan_json`: sorted keys, minimal
+    separators, UTF-8.  Every store hit returns exactly these bytes.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+class ResultStore:
+    """Plan-hash -> canonical result bytes, in memory and on disk.
+
+    Parameters:
+        directory: when given, every entry also lands at
+            ``<directory>/<hash>.json`` (atomic temp-file-then-replace
+            writes) and lookups fall back to disk, so the cache
+            survives service restarts.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._memory: dict[str, bytes] = {}
+        self.directory = None if directory is None else Path(directory)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def put(self, key: str, payload: dict[str, Any]) -> bytes:
+        """Store a payload under ``key``; returns its canonical bytes.
+
+        Idempotent: re-putting under an existing key keeps the original
+        bytes (first write wins -- the store is content-addressed by
+        the *plan*, so a second identical plan's result is by
+        construction the same result).
+        """
+        existing = self.get_bytes(key)
+        if existing is not None:
+            return existing
+        blob = canonical_payload_bytes(payload)
+        self._memory[key] = blob
+        if self.directory is not None:
+            path = self._path(key)
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_bytes(blob)
+            import os
+
+            os.replace(tmp, path)
+        return blob
+
+    def get_bytes(self, key: str) -> bytes | None:
+        """The stored canonical bytes for ``key`` (None on a miss)."""
+        blob = self._memory.get(key)
+        if blob is not None:
+            return blob
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                blob = path.read_bytes()
+                self._memory[key] = blob
+                return blob
+        return None
+
+    def get_payload(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, parsed (None on a miss)."""
+        blob = self.get_bytes(key)
+        return None if blob is None else json.loads(blob)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership by hash (memory or disk)."""
+        return self.get_bytes(key) is not None
+
+    def __len__(self) -> int:
+        """Number of entries (disk entries included when persistent)."""
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*.json"))
+        return len(keys)

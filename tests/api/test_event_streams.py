@@ -1,0 +1,122 @@
+"""Golden event streams: one plan, three surfaces, one typed sequence.
+
+The redesign's core invariant: Session, Campaign and SearchService all
+execute a single-search plan through the same engine, so the typed
+search-level event sequence -- classes, scopes *and* messages -- must be
+identical whichever surface ran it.  Checked for the plain, batched and
+checkpointed (sharded-runtime) variants.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import Session
+from repro.events import SearchFinished, SearchStarted
+from repro.orchestration import Campaign, ShardSpec
+from repro.plans import ExecutionPolicy, RunPlan, ScenarioPlan, SearchPlan
+from repro.service import SearchService
+
+TRIALS = 5
+
+
+def single_search_plan(**execution):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=3, trials=TRIALS),
+        execution=ExecutionPolicy(**execution),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+def search_events(events):
+    """The search-level subsequence, as comparable (type, scope, message)."""
+    return [
+        (type(e).__name__, e.scope, e.message)
+        for e in events
+        if isinstance(e, (SearchStarted, SearchFinished))
+        and e.scope != "sweep"
+    ]
+
+
+def via_session(plan):
+    events = []
+    session = Session.from_plan(plan)
+    session.subscribe(events.append)
+    session.run()
+    return search_events(events)
+
+
+def via_campaign(plan):
+    events = []
+    Campaign(
+        [ShardSpec.from_plan(plan)],
+        checkpoint_dir=plan.execution.checkpoint_dir,
+        checkpoint_every=plan.execution.checkpoint_every,
+        progress=events.append,
+    ).run(max_workers=1)
+    return search_events(events)
+
+
+def via_service(plan):
+    with SearchService(workers=1) as service:
+        handle = service.submit(plan)
+        handle.result(timeout=300)
+        return search_events(handle.events())
+
+
+VARIANTS = {
+    "plain": {},
+    "batched": {"batch_size": 2},
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_all_surfaces_emit_the_identical_search_sequence(variant):
+    plan = single_search_plan(**VARIANTS[variant])
+    session_seq = via_session(plan)
+    campaign_seq = via_campaign(plan)
+    service_seq = via_service(plan)
+    assert session_seq == campaign_seq == service_seq
+    # And the sequence itself is the expected golden shape.
+    shard_id = ShardSpec.from_plan(plan).shard_id
+    assert session_seq == [
+        ("SearchStarted", shard_id, "running in-process"),
+        ("SearchFinished", shard_id, f"{TRIALS} trials"),
+    ]
+
+
+def test_checkpointed_variant_matches_across_surfaces(tmp_path):
+    """The sharded/durable runtime: same sequence, snapshots on disk.
+
+    Each surface gets its own checkpoint directory so no surface
+    resumes another's snapshot; the typed event sequence must still be
+    identical (shard ids do not encode the checkpoint location).
+    """
+    sequences = {}
+    for name, runner in (("session", via_session),
+                         ("campaign", via_campaign),
+                         ("service", via_service)):
+        plan = single_search_plan(
+            checkpoint_dir=str(tmp_path / name), checkpoint_every=2
+        )
+        sequences[name] = runner(plan)
+        assert list((tmp_path / name).glob("*.checkpoint.json"))
+    assert sequences["session"] == sequences["campaign"] \
+        == sequences["service"]
+
+
+def test_session_still_wraps_search_events_in_run_events():
+    """Session adds the workload envelope around the shared sequence."""
+    events = []
+    session = Session.from_plan(single_search_plan())
+    session.subscribe(events.append)
+    session.run()
+    kinds = [(e.kind, e.scope) for e in events]
+    assert ("start", "search") in kinds
+    assert ("finish", "search") in kinds
+    start = kinds.index(("start", "search"))
+    finish = kinds.index(("finish", "search"))
+    inner = [k for k, _ in kinds[start + 1:finish]]
+    assert inner == ["start", "finish"]  # the shard's start/finish

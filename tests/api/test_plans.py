@@ -149,6 +149,44 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown SearchPlan keys"):
             SearchPlan.from_dict({"sede": 3})
 
+    def test_unknown_key_error_names_key_section_and_fields(self):
+        """The contract: offending key + plan section + valid fields."""
+        with pytest.raises(ValueError) as err:
+            ExecutionPolicy.from_dict({"eval_worker": 2})
+        message = str(err.value)
+        assert "'eval_worker'" in message          # the offending key
+        assert "'execution' plan section" in message  # its section
+        assert "batch_size" in message             # the valid fields...
+        assert "shard_workers" in message
+        assert "checkpoint_dir" in message
+
+    def test_unknown_key_error_suggests_the_closest_field(self):
+        with pytest.raises(ValueError, match="did you mean 'eval_workers'"):
+            ExecutionPolicy.from_dict({"eval_worker": 2})
+        with pytest.raises(ValueError, match="did you mean 'seed'"):
+            SearchPlan.from_dict({"sede": 3})
+
+    def test_unknown_nested_key_rejected_through_runplan(self):
+        """A typo nested in a full plan document fails loudly too."""
+        data = RunPlan().to_dict()
+        data["execution"]["eval_worker"] = 4
+        del data["execution"]["eval_workers"]
+        with pytest.raises(ValueError, match="eval_worker"):
+            RunPlan.from_dict(data)
+
+    def test_unknown_toplevel_key_names_the_plan_section(self):
+        with pytest.raises(ValueError, match="'plan' plan section"):
+            RunPlan.from_dict({"workload": "search", "extra": 1})
+
+    def test_unknown_shard_spec_key_rejected(self):
+        from repro.orchestration import ShardSpec
+
+        with pytest.raises(ValueError, match="did you mean 'spec_ms'"):
+            ShardSpec.from_dict({
+                "dataset": "mnist", "device": "pynq-z1",
+                "kind": "fnas", "specms": 5.0,
+            })
+
     def test_unsupported_schema_rejected(self):
         data = RunPlan().to_dict()
         data["schema"] = PLAN_SCHEMA + 1

@@ -1,0 +1,134 @@
+"""The typed event vocabulary and the bus that carries it."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.events import (
+    CacheHit,
+    Event,
+    EventBus,
+    JobCompleted,
+    JobQueued,
+    PoolFallback,
+    SearchFinished,
+    SearchStarted,
+    ShardRequeued,
+    event_from_dict,
+    legacy_event,
+)
+
+
+class TestEventTypes:
+    def test_kinds_match_the_string_era(self):
+        assert SearchStarted("x").kind == "start"
+        assert SearchFinished("x").kind == "finish"
+        assert ShardRequeued("x").kind == "requeue"
+        assert PoolFallback("").kind == "fallback"
+
+    def test_shard_id_aliases_scope(self):
+        event = SearchStarted("mnist-pynq-z1-nas-s0", "running in-process")
+        assert event.shard_id == event.scope == "mnist-pynq-z1-nas-s0"
+
+    def test_events_are_frozen(self):
+        with pytest.raises(Exception):
+            SearchStarted("a", "b").scope = "c"
+
+    @pytest.mark.parametrize("event", [
+        Event("s", "m"),
+        SearchStarted("shard-1", "running"),
+        ShardRequeued("shard-2", "worker died"),
+        JobQueued("j-abc", "queued at priority 0", plan_hash="ff" * 32),
+        CacheHit("j-abc", "stored", plan_hash="00" * 32),
+        JobCompleted("j-abc", "completed", plan_hash="11" * 32),
+    ])
+    def test_to_dict_round_trips_losslessly(self, event):
+        restored = event_from_dict(event.to_dict())
+        assert restored == event
+        assert type(restored) is type(event)
+
+    def test_to_dict_carries_kind_and_tag(self):
+        data = JobQueued("j-1", "m", plan_hash="aa").to_dict()
+        assert data["event"] == "job-queued"
+        assert data["kind"] == "queued"
+        assert data["plan_hash"] == "aa"
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"event": "nope", "scope": "", "message": ""})
+
+    def test_legacy_kind_mapping(self):
+        assert type(legacy_event("start", "s", "m")) is SearchStarted
+        assert type(legacy_event("requeue", "s", "m")) is ShardRequeued
+        assert type(legacy_event("custom", "s", "m")) is Event
+
+
+class TestEventBus:
+    def test_subscribe_receives_in_publish_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        events = [SearchStarted(f"s{i}") for i in range(5)]
+        for event in events:
+            bus.publish(event)
+        assert seen == events
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        callback = bus.subscribe(seen.append)
+        bus.unsubscribe(callback)
+        bus.publish(Event("a", "b"))
+        assert seen == []
+
+    def test_recording_bus_keeps_history(self):
+        bus = EventBus(record=True)
+        bus.publish(Event("a"))
+        bus.publish(Event("b"))
+        assert [e.scope for e in bus.history] == ["a", "b"]
+
+    def test_sync_stream_iteration(self):
+        bus = EventBus()
+        stream = bus.stream()
+        for i in range(3):
+            bus.publish(Event(f"s{i}"))
+        stream.close()
+        assert [e.scope for e in stream] == ["s0", "s1", "s2"]
+
+    def test_async_iteration(self):
+        bus = EventBus()
+        stream = bus.stream()
+
+        def produce():
+            for i in range(4):
+                bus.publish(Event(f"s{i}"))
+            stream.close()
+
+        async def consume():
+            threading.Thread(target=produce).start()
+            return [event.scope async for event in stream]
+
+        assert asyncio.run(consume()) == ["s0", "s1", "s2", "s3"]
+
+    def test_concurrent_publishers_deliver_everything(self):
+        bus = EventBus(record=True)
+        barrier = threading.Barrier(4)
+
+        def publish_many(tag):
+            barrier.wait()
+            for i in range(50):
+                bus.publish(Event(f"{tag}-{i}"))
+
+        threads = [threading.Thread(target=publish_many, args=(t,))
+                   for t in "abcd"]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(bus.history) == 200
+        # Per-publisher order is preserved even though publishers race.
+        for tag in "abcd":
+            mine = [e.scope for e in bus.history
+                    if e.scope.startswith(f"{tag}-")]
+            assert mine == [f"{tag}-{i}" for i in range(50)]

@@ -1,0 +1,98 @@
+"""The stdlib HTTP endpoint and its client, over a live loopback server."""
+
+import threading
+
+import pytest
+
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import make_server
+
+
+def search_plan(seed=0, trials=4):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    """A served SearchService on an ephemeral loopback port."""
+    server = make_server(port=0, workers=2, store_dir=str(tmp_path / "store"),
+                         checkpoint_dir=str(tmp_path / "ckpt"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.shutdown(wait=True, cancel_running=True)
+        thread.join(timeout=10)
+
+
+class TestHTTPEndpoint:
+    def test_health(self, live_service):
+        health = live_service.health()
+        assert health["status"] == "ok"
+        assert health["store_entries"] == 0
+
+    def test_submit_wait_result_roundtrip(self, live_service):
+        info = live_service.submit(search_plan())
+        assert info["state"] in ("queued", "running", "done")
+        final = live_service.wait(info["job_id"], timeout=120)
+        assert final["state"] == "done"
+        blob = live_service.result_bytes(info["job_id"])
+        assert b'"trials"' in blob
+        assert len(live_service.jobs()) == 1
+
+    def test_duplicate_submission_served_byte_identically(self, live_service):
+        plan = search_plan(seed=3)
+        first = live_service.submit(plan)
+        live_service.wait(first["job_id"], timeout=120)
+        original = live_service.result_bytes(first["job_id"])
+        again = live_service.submit(plan)
+        assert again["job_id"] == first["job_id"]
+        assert live_service.result_bytes(again["job_id"]) == original
+
+    def test_events_cursor(self, live_service):
+        info = live_service.submit(search_plan(seed=5))
+        live_service.wait(info["job_id"], timeout=120)
+        page = live_service.events(info["job_id"])
+        tags = [e["event"] for e in page["events"]]
+        assert tags[0] == "job-queued"
+        assert tags[-1] == "job-completed"
+        assert "search-started" in tags and "search-finished" in tags
+        # Cursor: a second read from `next` returns nothing new.
+        rest = live_service.events(info["job_id"], since=page["next"])
+        assert rest["events"] == []
+
+    def test_cancel_then_resubmit_resumes(self, live_service):
+        plan = search_plan(seed=7, trials=60)
+        info = live_service.submit(plan)
+        live_service.cancel(info["job_id"])
+        final = live_service.wait(info["job_id"], timeout=120)
+        assert final["state"] == "cancelled"
+        with pytest.raises(ServiceError) as err:
+            live_service.result_bytes(info["job_id"])
+        assert err.value.status == 409
+        resumed = live_service.submit(plan)
+        assert resumed["job_id"] == info["job_id"]
+        assert live_service.wait(resumed["job_id"],
+                                 timeout=300)["state"] == "done"
+
+    def test_bad_plan_is_a_400(self, live_service):
+        with pytest.raises(ServiceError) as err:
+            live_service.submit({"workload": "search",
+                                 "search": {"seeed": 1}})
+        assert err.value.status == 400
+        assert "seeed" in err.value.body
+
+    def test_unknown_job_is_a_404(self, live_service):
+        with pytest.raises(ServiceError) as err:
+            live_service.status("j-missing")
+        assert err.value.status == 404

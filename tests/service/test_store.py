@@ -1,0 +1,100 @@
+"""Canonical plan hashing and the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.plans import (
+    RunPlan,
+    ScenarioPlan,
+    SearchPlan,
+    canonical_plan_json,
+    plan_hash,
+)
+from repro.service.store import (
+    ResultStore,
+    decode_result,
+    encode_result,
+    is_cacheable,
+)
+
+
+def search_plan(seed=0, trials=4):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+class TestPlanHash:
+    def test_equal_plans_hash_equal(self):
+        assert plan_hash(search_plan()) == plan_hash(search_plan())
+
+    def test_any_field_change_changes_the_hash(self):
+        base = plan_hash(search_plan())
+        assert plan_hash(search_plan(seed=1)) != base
+        assert plan_hash(search_plan(trials=5)) != base
+
+    def test_hash_survives_json_round_trip(self):
+        plan = search_plan()
+        replayed = RunPlan.from_json(plan.to_json())
+        assert plan_hash(replayed) == plan_hash(plan)
+
+    def test_canonical_json_is_key_order_independent(self):
+        plan = search_plan()
+        shuffled = json.loads(plan.to_json())
+        shuffled = dict(reversed(list(shuffled.items())))
+        assert (canonical_plan_json(RunPlan.from_dict(shuffled))
+                == canonical_plan_json(plan))
+
+
+class TestCodecs:
+    def test_cacheable_workloads(self):
+        assert is_cacheable(search_plan())
+        assert not is_cacheable(RunPlan(workload="figure8"))
+
+    def test_output_bearing_plans_are_not_cacheable(self):
+        """A plan promising an artifact write must always execute."""
+        import dataclasses
+
+        with_output = dataclasses.replace(search_plan(), output="out.json")
+        assert not is_cacheable(with_output)
+
+    def test_search_codec_round_trips_ledgers(self):
+        from repro.api import run_plan
+        from repro.core.serialization import search_result_to_dict
+
+        plan = search_plan()
+        result = run_plan(plan)
+        payload = encode_result(plan, result)
+        restored = decode_result(plan, json.loads(json.dumps(payload)))
+        assert (search_result_to_dict(restored)
+                == search_result_to_dict(result))
+
+    def test_uncacheable_workload_rejected(self):
+        with pytest.raises(ValueError, match="no result codec"):
+            encode_result(RunPlan(workload="figure8"), object())
+
+
+class TestResultStore:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        assert store.get_bytes("k") is None
+        blob = store.put("k", {"b": 2, "a": 1})
+        assert store.get_bytes("k") == blob == b'{"a":1,"b":2}'
+        assert "k" in store and len(store) == 1
+
+    def test_put_is_idempotent_first_write_wins(self):
+        store = ResultStore()
+        first = store.put("k", {"a": 1})
+        second = store.put("k", {"a": 999})
+        assert first == second == store.get_bytes("k")
+
+    def test_persistence_across_instances(self, tmp_path):
+        blob = ResultStore(tmp_path).put("deadbeef", {"x": [1, 2]})
+        reopened = ResultStore(tmp_path)
+        assert reopened.get_bytes("deadbeef") == blob
+        assert reopened.get_payload("deadbeef") == {"x": [1, 2]}
+        assert len(reopened) == 1

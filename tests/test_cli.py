@@ -224,3 +224,90 @@ class TestPlanFlow:
                      "--campaign-dir", str(legacy)]) == 0
         assert list(canonical.glob("*.checkpoint.json"))
         assert not legacy.exists()
+
+
+class TestServiceVerbs:
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "3",
+            "--store-dir", "s", "--checkpoint-dir", "c",
+        ])
+        assert args.command == "serve"
+        assert (args.port, args.workers) == (0, 3)
+        assert (args.store_dir, args.checkpoint_dir) == ("s", "c")
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args([
+            "submit", "plan.json", "--url", "http://h:1", "--priority", "2",
+            "--no-wait",
+        ])
+        assert args.command == "submit"
+        assert args.plan == "plan.json"
+        assert args.url == "http://h:1"
+        assert args.priority == 2
+        assert args.no_wait
+
+    def test_submit_missing_plan_errors_cleanly(self, capsys, tmp_path):
+        assert main(["submit", str(tmp_path / "none.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_against_live_server(self, capsys, tmp_path):
+        """The whole CLI loop: dump a plan, serve, submit, fetch bytes."""
+        import json
+        import threading
+
+        from repro.service.http import make_server
+
+        assert main([
+            "table1", "--trials", "3", "--dump-plan",
+            str(tmp_path / "plan.json"),
+        ]) == 0
+        server = make_server(port=0, workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            capsys.readouterr()  # drop the table1 output
+            code = main([
+                "submit", str(tmp_path / "plan.json"),
+                "--url", f"http://{host}:{port}",
+                "--output", str(tmp_path / "result.json"),
+            ])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "done" in out
+            # table1 has no result codec, so no --output bytes land; a
+            # cacheable plan does:
+            (tmp_path / "search.json").write_text(json.dumps({
+                "workload": "search",
+                "search": {"trials": 3},
+                "scenario": {"datasets": ["mnist"],
+                             "devices": ["pynq-z1"], "specs_ms": [5.0]},
+            }))
+            code = main([
+                "submit", str(tmp_path / "search.json"),
+                "--url", f"http://{host}:{port}",
+                "--output", str(tmp_path / "result.json"),
+            ])
+            assert code == 0
+            payload = json.loads((tmp_path / "result.json").read_text())
+            assert len(payload["trials"]) == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.shutdown(wait=True, cancel_running=True)
+            thread.join(timeout=10)
+
+    def test_submit_connection_refused_errors_cleanly(
+        self, capsys, tmp_path
+    ):
+        assert main([
+            "table1", "--trials", "3", "--dump-plan",
+            str(tmp_path / "plan.json"),
+        ]) == 0
+        capsys.readouterr()
+        # Nothing listens on this port: the client must fail cleanly.
+        code = main(["submit", str(tmp_path / "plan.json"),
+                     "--url", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
