@@ -191,15 +191,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind port (default 8765; 0 = ephemeral)")
     p.add_argument("--workers", type=int,  # not the deprecated search alias
                    default=2,
-                   help="service worker threads = jobs in flight at once "
+                   help="service workers = jobs in flight at once "
                         "(default 2)")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="job execution backend: 'thread' runs jobs on the "
+                        "worker threads (default), 'process' gives each "
+                        "running job its own subprocess so GIL-bound "
+                        "searches scale with cores")
     p.add_argument("--store-dir", default=None,
                    help="persist the content-addressed result store here "
-                        "(default: in-memory only)")
+                        "(default: in-memory only); also enables the "
+                        "crash-consistent job journal, so a killed server "
+                        "re-queues unfinished jobs on restart")
     p.add_argument("--checkpoint-dir", default=None,
                    help="snapshot jobs whose plans name no checkpoint "
                         "directory under this root (per plan hash), making "
-                        "cancel-then-resubmit resume")
+                        "cancel-then-resubmit and crash recovery resume")
 
     p = sub.add_parser(
         "submit",
@@ -382,10 +390,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         store_dir=args.store_dir,
         checkpoint_dir=args.checkpoint_dir,
+        backend=args.backend,
     )
     host, port = server.server_address[:2]
+    service = server.service
+    if service.recovered_jobs:
+        print(f"recovered {len(service.recovered_jobs)} unfinished job(s) "
+              f"from the journal: {', '.join(service.recovered_jobs)}",
+              file=sys.stderr, flush=True)
+    for error in service.recovery_errors:
+        print(f"journal recovery skipped an entry: {error}",
+              file=sys.stderr, flush=True)
     print(f"serving on http://{host}:{port} "
-          f"({args.workers} worker(s); POST /shutdown or Ctrl-C to stop)",
+          f"({args.workers} {args.backend} worker(s); "
+          "POST /shutdown or Ctrl-C to stop)",
           file=sys.stderr, flush=True)
     run_server(server)
     return 0

@@ -31,6 +31,7 @@ concurrently and delivery order within the bus is serialized.
 from __future__ import annotations
 
 import dataclasses
+import json
 import queue
 import threading
 from dataclasses import dataclass
@@ -99,6 +100,25 @@ def event_from_dict(data: dict[str, Any]) -> Event:
             + ", ".join(sorted(EVENT_TYPES))
         )
     return cls(**data)
+
+
+def event_to_json(event: Event) -> str:
+    """One-line JSON form of an event (the pipe/journal wire codec).
+
+    Newline-free by construction (``json.dumps`` escapes embedded
+    newlines), so events can be framed one per line across a process
+    pipe or appended to a JSONL journal.  Exactly the
+    :meth:`Event.to_dict` document -- the same shape the HTTP
+    ``/events`` endpoint serves -- so anything crossing a process
+    boundary is by construction limited to the JSON-codec-representable
+    event vocabulary.
+    """
+    return json.dumps(event.to_dict(), sort_keys=True)
+
+
+def event_from_json(text: str) -> Event:
+    """Inverse of :func:`event_to_json`."""
+    return event_from_dict(json.loads(text))
 
 
 # --- run / search / campaign events ----------------------------------------

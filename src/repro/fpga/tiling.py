@@ -27,6 +27,7 @@ trade-off with the full analytical model in the loop.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.architecture import Architecture, ConvLayerSpec
@@ -235,17 +236,28 @@ class LayerDesignMemo:
     across :class:`TilingDesigner` instances lets every new architecture
     reuse the tiling work done for fingerprints seen earlier.  This is
     the layer-level tier of the latency estimator's two-tier cache.
+
+    Thread-safe: the memo is shared by every designer an estimator
+    builds, and estimators are themselves shared across service and
+    evaluation threads, so the dict and its counters mutate only under
+    an internal lock.  Entries are values of a pure function, so a race
+    on the same key stores the same tiling twice -- harmless.
     """
 
     stats: MemoStats = field(default_factory=MemoStats)
     _memo: dict[tuple, TilingVector] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
-        return len(self._memo)
+        with self._lock:
+            return len(self._memo)
 
     def clear(self) -> None:
         """Drop all memoised tilings (counters are kept)."""
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
 
     def lookup(
         self,
@@ -256,12 +268,13 @@ class LayerDesignMemo:
     ) -> TilingVector | None:
         """Return the memoised tiling for this layer shape, if any."""
         key = (spec, dsp_budget, bram_budget_bytes, spatial_strategy)
-        tiling = self._memo.get(key)
-        if tiling is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return tiling
+        with self._lock:
+            tiling = self._memo.get(key)
+            if tiling is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return tiling
 
     def store(
         self,
@@ -272,7 +285,9 @@ class LayerDesignMemo:
         tiling: TilingVector,
     ) -> None:
         """Memoise a freshly computed tiling."""
-        self._memo[(spec, dsp_budget, bram_budget_bytes, spatial_strategy)] = tiling
+        key = (spec, dsp_budget, bram_budget_bytes, spatial_strategy)
+        with self._lock:
+            self._memo[key] = tiling
 
 
 class TilingDesigner:

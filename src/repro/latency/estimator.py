@@ -23,6 +23,7 @@ Both tiers expose hit/miss statistics (:attr:`LatencyEstimator.stats`,
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -126,11 +127,16 @@ class LatencyEstimator:
         self._explorer = DesignExplorer(memo=memo)
         self._designer_memo = memo
         self._cache: OrderedDict[str, LatencyEstimate] = OrderedDict()
+        # Guards the LRU dict *and* its CacheStats counters: estimators
+        # are shared across service/evaluation threads, and an unlocked
+        # OrderedDict corrupts under concurrent move_to_end/popitem.
+        self._cache_lock = threading.Lock()
 
     @property
     def cache_size(self) -> int:
         """Number of cached whole-architecture estimates."""
-        return len(self._cache)
+        with self._cache_lock:
+            return len(self._cache)
 
     @property
     def layer_memo_stats(self) -> MemoStats:
@@ -139,24 +145,38 @@ class LatencyEstimator:
 
     def clear_cache(self) -> None:
         """Drop both cache tiers (counters are kept)."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
         self.layer_memo.clear()
 
     def estimate(self, architecture: Architecture) -> LatencyEstimate:
-        """Latency of ``architecture`` on the estimator's platform."""
+        """Latency of ``architecture`` on the estimator's platform.
+
+        Thread-safe: the LRU tier and its counters mutate only under
+        an internal lock, which is *not* held across the expensive
+        fresh analysis -- two threads racing on the same uncached
+        fingerprint may both compute (each counting one miss; the
+        results are deterministic and identical), but exactly one
+        entry wins the cache and every later call returns it.
+        """
         key = architecture.fingerprint()
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self.stats.misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(key)
+                return cached
+            self.stats.misses += 1
         estimate = self._estimate_fresh(architecture)
-        self._cache[key] = estimate
-        if (self.max_cache_entries is not None
-                and len(self._cache) > self.max_cache_entries):
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
+        with self._cache_lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                return existing  # a racing thread won; keep one entry
+            self._cache[key] = estimate
+            if (self.max_cache_entries is not None
+                    and len(self._cache) > self.max_cache_entries):
+                self._cache.popitem(last=False)
+                self.stats.evictions += 1
         return estimate
 
     def estimate_batch(

@@ -39,6 +39,9 @@ from typing import Any
 #: Plan document schema tag (bumped on incompatible layout changes).
 PLAN_SCHEMA = 1
 
+#: Service execution back-ends a plan may request.
+EXECUTION_BACKENDS = ("thread", "process")
+
 #: Workloads a plan can describe -- one per CLI search command.
 WORKLOADS = (
     "table1",
@@ -131,6 +134,13 @@ class ExecutionPolicy:
             durability.
         checkpoint_every: trials between snapshots (``None``: ~10 per
             search).
+        backend: how a :class:`~repro.service.SearchService` job
+            running this plan executes -- ``"thread"`` (in the worker
+            thread, the B=1-style exactness default), ``"process"``
+            (in a dedicated subprocess, so GIL-bound searches scale
+            with cores), or ``None`` to inherit the executing
+            service's default.  Like every execution field it never
+            changes a trial ledger.
     """
 
     batch_size: int = 1
@@ -138,12 +148,18 @@ class ExecutionPolicy:
     shard_workers: int = 1
     checkpoint_dir: str | None = None
     checkpoint_every: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         for name in ("batch_size", "eval_workers", "shard_workers"):
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
                 raise ValueError(f"{name} must be a positive int, got {value!r}")
+        if self.backend is not None and self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                + ", ".join(EXECUTION_BACKENDS) + " (or None to inherit)"
+            )
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
             raise ValueError(
                 f"checkpoint_every must be positive, got {self.checkpoint_every}"

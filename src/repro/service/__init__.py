@@ -14,6 +14,12 @@ service:
 * :func:`execute_plan` -- the single workload dispatcher every
   execution surface shares (:meth:`repro.api.Session.run` is a thin
   synchronous wrapper over a one-job service);
+* :class:`JobJournal` -- an append-only, crash-consistent JSONL log of
+  job transitions; a restarted service replays it and re-queues every
+  unfinished job, which then resumes from its per-hash checkpoints;
+* :mod:`~repro.service.workers` -- the ``process`` execution backend:
+  one subprocess per running job, streaming typed events back over a
+  pipe, so GIL-bound searches scale with cores;
 * :func:`serve <repro.service.http.serve>` / :class:`ServiceClient` --
   a stdlib-only HTTP JSON endpoint (``repro serve``) and its client
   (``repro submit``).
@@ -21,6 +27,7 @@ service:
 
 from repro.service.client import ServiceClient
 from repro.service.executor import execute_plan
+from repro.service.journal import JobJournal, PendingJob
 from repro.service.service import (
     JOB_STATES,
     JobCancelledError,
@@ -29,15 +36,20 @@ from repro.service.service import (
     UnknownJobError,
 )
 from repro.service.store import ResultStore, is_cacheable
+from repro.service.workers import ProcessWorkerError, run_job_in_process
 
 __all__ = [
     "JOB_STATES",
     "JobCancelledError",
     "JobHandle",
+    "JobJournal",
+    "PendingJob",
+    "ProcessWorkerError",
     "ResultStore",
     "SearchService",
     "ServiceClient",
     "UnknownJobError",
     "execute_plan",
     "is_cacheable",
+    "run_job_in_process",
 ]

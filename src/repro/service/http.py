@@ -77,11 +77,11 @@ class _Handler(BaseHTTPRequestHandler):
                 service = self.server.service
                 self._send_json(
                     200,
-                    {"jobs": [h._job.info() for h in service.jobs()]},
+                    {"jobs": [h.info() for h in service.jobs()]},
                 )
             elif len(parts) == 2 and parts[0] == "jobs":
                 handle = self.server.service.job(parts[1])
-                self._send_json(200, handle._job.info())
+                self._send_json(200, handle.info())
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
                 self._get_events(parts[1], url.query)
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
@@ -101,10 +101,17 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 state = self.server.service.cancel(parts[1])
                 self._send_json(
-                    200, self.server.service.job(parts[1])._job.info()
+                    200, self.server.service.job(parts[1]).info()
                     | {"state": state})
             elif parts == ["shutdown"]:
+                # Finish the reply *before* the serve loop starts dying:
+                # flush the bytes to the socket and mark the connection
+                # for close, only then trigger shutdown -- handler
+                # threads are daemonic, so an unflushed reply would race
+                # process exit and the client could read a torn body.
                 self._send_json(200, {"status": "shutting down"})
+                self.wfile.flush()
+                self.close_connection = True
                 self.server.request_shutdown()
             else:
                 self._send_json(404, {"error": f"unknown path {url.path!r}"})
@@ -131,7 +138,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         before = {h.job_id for h in self.server.service.jobs()}
         handle = self.server.service.submit(plan, priority=priority)
-        info = handle._job.info()
+        info = handle.info()
         info["deduped"] = handle.job_id in before
         self._send_json(200, info)
 
@@ -157,7 +164,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "state": state,
             })
             return
-        blob = handle._job.result_bytes
+        blob = handle.stored_result_bytes()
         if blob is None:
             self._send_json(406, {
                 "error": f"workload {handle.plan.workload!r} has no result "

@@ -1,9 +1,7 @@
 """The asynchronous job service: queue, dedupe, run, cache, cancel.
 
 :class:`SearchService` accepts :class:`~repro.plans.RunPlan` submissions
-and executes them on a bounded pool of worker threads (each worker may
-itself fan out across process pools via the campaign runtime -- the
-thread is the *job* unit, not the *compute* unit):
+and executes them on a bounded pool of workers:
 
 * **priority queue** -- higher ``priority`` runs first, FIFO within a
   priority level;
@@ -14,8 +12,18 @@ thread is the *job* unit, not the *compute* unit):
   byte-identical cache hit, without re-running;
 * **lifecycle** -- ``queued -> running -> done | failed | cancelled``,
   every transition published on the service's typed
-  :class:`~repro.events.EventBus` and recorded in the job's own event
-  log;
+  :class:`~repro.events.EventBus`, recorded in the job's own event
+  log, and (when the service has a journal) appended to the
+  crash-consistent :class:`~repro.service.journal.JobJournal`, from
+  which a restarted service re-queues unfinished work;
+* **execution back-ends** -- every claimed job runs through
+  :func:`~repro.service.executor.execute_plan`, either directly on the
+  worker thread (``backend="thread"``, the exactness-first default) or
+  in a dedicated subprocess streaming typed events back over a pipe
+  (``backend="process"``, see :mod:`repro.service.workers`), which is
+  what makes ``--workers N`` scale GIL-bound searches with cores; the
+  two back-ends produce identical event sequences and byte-identical
+  stored results;
 * **cancellation that checkpoints** -- a cancelled running job stops
   cooperatively between trials *after* forcing a snapshot (see
   :class:`~repro.core.search.SearchCancelled`), and resubmitting the
@@ -32,6 +40,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+from pathlib import Path
 from typing import Any
 
 from repro.events import (
@@ -44,9 +53,10 @@ from repro.events import (
     JobQueued,
     JobStarted,
 )
-from repro.plans import RunPlan, plan_hash
+from repro.plans import EXECUTION_BACKENDS, RunPlan, plan_hash
 from repro.service import store as store_mod
 from repro.service.executor import check_evaluator_override, execute_plan
+from repro.service.journal import JobJournal
 from repro.service.store import ResultStore
 
 #: Job lifecycle states, in rough temporal order.
@@ -54,6 +64,9 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: States a submission can coalesce onto (dedup targets).
 _COALESCE_STATES = ("queued", "running", "done")
+
+#: Default journal filename under a persistent store directory.
+JOURNAL_FILENAME = "journal.jsonl"
 
 
 class UnknownJobError(KeyError):
@@ -137,9 +150,22 @@ class JobHandle:
         """Whether the job was answered from the result store."""
         return self._job.cached
 
+    def info(self) -> dict[str, Any]:
+        """JSON-compatible status summary, read under the service lock.
+
+        The one sanctioned way to snapshot a job's state: every field
+        (state, error, run count, event count, ...) comes from a single
+        locked read, so callers never observe a torn combination such
+        as ``state="done"`` alongside a stale error from an earlier
+        run.  The HTTP ``/jobs`` routes serve exactly this dict.
+        """
+        with self._service._lock:
+            return self._job.info()
+
     def events(self, since: int = 0) -> list[Event]:
         """The job's typed event log from index ``since`` onwards."""
-        return list(self._job.events[since:])
+        with self._service._lock:
+            return list(self._job.events[since:])
 
     def wait(self, timeout: float | None = None) -> str:
         """Block until the job reaches a terminal state; returns it.
@@ -200,6 +226,17 @@ class JobHandle:
         self.result(timeout)
         return self._job.result_bytes
 
+    def stored_result_bytes(self) -> bytes | None:
+        """The stored canonical bytes right now, without waiting.
+
+        ``None`` both for unfinished jobs and for workloads without a
+        result codec; the non-blocking read the HTTP ``/result`` route
+        uses (under the service lock, so it never observes a partially
+        applied terminal transition).
+        """
+        with self._service._lock:
+            return self._job.result_bytes
+
     def cancel(self) -> str:
         """Request cancellation; returns the (possibly new) state."""
         return self._service.cancel(self.job_id)
@@ -209,9 +246,8 @@ class SearchService:
     """Bounded-worker, priority-queued, deduping plan execution service.
 
     Parameters:
-        workers: worker threads (= jobs in flight at once).  Each job
-            may still fan out internally per its plan's execution
-            policy.
+        workers: concurrent jobs in flight at once.  Each job may
+            still fan out internally per its plan's execution policy.
         store: a :class:`~repro.service.store.ResultStore` to share;
             default builds one (in-memory, or under ``store_dir``).
         store_dir: persistence directory for the default store.
@@ -225,6 +261,26 @@ class SearchService:
             per-job logs live on the jobs themselves, which keeps a
             long-lived service's footprint proportional to its jobs,
             not its event volume.
+        backend: default execution back-end for jobs whose plans do
+            not choose one -- ``"thread"`` runs the job on its worker
+            thread (the exactness-first default), ``"process"`` in a
+            dedicated subprocess (see :mod:`repro.service.workers`),
+            which is what makes GIL-bound searches scale with cores.
+            Jobs with a live evaluator override always run on the
+            thread backend (the object cannot cross a process
+            boundary).
+        journal_path: crash-consistent job journal location (see
+            :class:`~repro.service.journal.JobJournal`).  Defaults to
+            ``journal.jsonl`` inside the store's directory when the
+            store is persistent; ``None`` with an in-memory store
+            disables journaling.
+        recover: replay an existing journal at startup, re-queueing
+            every job whose last recorded state is non-terminal (those
+            jobs then resume from their per-hash checkpoints).
+            Recovered job ids land in :attr:`recovered_jobs`; entries
+            that no longer parse (e.g. a third-party component key not
+            registered in this process) are skipped into
+            :attr:`recovery_errors` instead of failing startup.
     """
 
     def __init__(
@@ -235,13 +291,22 @@ class SearchService:
         checkpoint_dir: str | None = None,
         cache_results: bool = True,
         bus: EventBus | None = None,
+        backend: str = "thread",
+        journal_path: str | None = None,
+        recover: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                + ", ".join(EXECUTION_BACKENDS)
+            )
         self.bus = bus if bus is not None else EventBus()
         self.store = store if store is not None else ResultStore(store_dir)
         self.checkpoint_dir = checkpoint_dir
         self.cache_results = cache_results
+        self.backend = backend
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._queue: list[tuple[int, int, _Job]] = []
@@ -249,6 +314,25 @@ class SearchService:
         self._jobs: dict[str, _Job] = {}
         self._by_hash: dict[str, _Job] = {}
         self._shutdown = False
+        self._recovering = False
+        #: Job ids re-queued from the journal at startup.
+        self.recovered_jobs: list[str] = []
+        #: Journal entries that could not be re-submitted, as messages.
+        self.recovery_errors: list[str] = []
+        if journal_path is None and self.store.directory is not None:
+            journal_path = str(self.store.directory / JOURNAL_FILENAME)
+        self._journal: JobJournal | None = None
+        if journal_path is not None:
+            pending = []
+            if recover and Path(journal_path).exists():
+                pending = JobJournal.pending_jobs(
+                    JobJournal.replay(journal_path)
+                )
+            self._journal = JobJournal(journal_path)
+            if pending:
+                # Workers are not running yet, so recovery submissions
+                # simply queue up (and re-journal themselves).
+                self._recover(pending)
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"search-service-{i}",
@@ -306,6 +390,7 @@ class SearchService:
                         job.result_obj = None
                         job.error = None
                         job.done_event.set()
+                        self._journal_record("done", job)
                         to_publish = self._record(job, [
                             CacheHit(
                                 job.id, "identical plan already solved; "
@@ -327,16 +412,21 @@ class SearchService:
                         job.error = None
                         job.cancel_event.clear()
                         job.done_event.clear()
+                        self._journal_record("queued", job, with_plan=True)
                         to_publish = self._record(job, [JobQueued(
-                            job.id, "resubmitted; checkpointed shards will "
-                            "resume", plan_hash=digest)])
+                            job.id, self._queued_message(
+                                "resubmitted; checkpointed shards will "
+                                "resume"),
+                            plan_hash=digest)])
                         self._enqueue(job)
                         return JobHandle(self, job)
                 job = _Job(self._job_id(digest, evaluator), plan, digest,
                            priority, evaluator)
                 self._register(job)
+                self._journal_record("queued", job, with_plan=True)
                 to_publish = self._record(job, [JobQueued(
-                    job.id, f"queued at priority {priority}",
+                    job.id,
+                    self._queued_message(f"queued at priority {priority}"),
                     plan_hash=digest)])
                 self._enqueue(job)
                 return JobHandle(self, job)
@@ -379,6 +469,7 @@ class SearchService:
                 job.state = "cancelled"
                 job.cancel_event.set()
                 job.done_event.set()
+                self._journal_record("cancelled", job)
                 to_publish = self._record(job, [JobCancelled(
                     job.id, "cancelled while queued",
                     plan_hash=job.plan_hash)])
@@ -406,6 +497,7 @@ class SearchService:
                     job.state = "cancelled"
                     job.cancel_event.set()
                     job.done_event.set()
+                    self._journal_record("cancelled", job)
                     to_publish.extend(self._record(job, [JobCancelled(
                         job.id, "service shut down while queued",
                         plan_hash=job.plan_hash)]))
@@ -419,6 +511,11 @@ class SearchService:
         if wait:
             for thread in self._workers:
                 thread.join()
+            # Workers are done: their terminal entries have landed, so
+            # the journal can close (a non-waiting shutdown leaves it
+            # open for the still-running workers).
+            if self._journal is not None:
+                self._journal.close()
         self.bus.close()
 
     def __enter__(self) -> "SearchService":
@@ -459,8 +556,63 @@ class SearchService:
         return list(events)
 
     def _publish(self, job: _Job, event: Event) -> None:
-        job.events.append(event)
+        """Log one event under the lock, then deliver it to the bus."""
+        with self._lock:
+            job.events.append(event)
         self.bus.publish(event)
+
+    def _journal_record(
+        self, op: str, job: _Job, with_plan: bool = False
+    ) -> None:
+        """Append one journal transition (caller holds the lock).
+
+        Only hash-addressable jobs are journaled -- a live evaluator
+        override cannot be rebuilt from the plan document, so such
+        jobs are (deliberately) not recoverable.
+        """
+        if self._journal is None or job.evaluator is not None:
+            return
+        self._journal.record(
+            op, job.plan_hash, job.id,
+            priority=job.priority if with_plan else None,
+            plan_doc=job.plan.to_dict() if with_plan else None,
+        )
+
+    def _queued_message(self, base: str) -> str:
+        """The JobQueued message, marked during journal recovery."""
+        if self._recovering:
+            return f"{base} (recovered from journal)"
+        return base
+
+    def _recover(self, pending: list) -> None:
+        """Re-queue journal-recovered submissions (startup only)."""
+        self._recovering = True
+        try:
+            for item in pending:
+                try:
+                    plan = RunPlan.from_dict(item.plan_doc)
+                    handle = self.submit(plan, priority=item.priority)
+                except (KeyError, ValueError, TypeError) as exc:
+                    self.recovery_errors.append(
+                        f"journal entry {item.plan_hash[:12]}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    self.recovered_jobs.append(handle.job_id)
+        finally:
+            self._recovering = False
+
+    def _backend_for(self, job: _Job) -> str:
+        """The execution back-end this job runs on.
+
+        The plan's :attr:`~repro.plans.ExecutionPolicy.backend` wins
+        when set; otherwise the service default applies.  Jobs carrying
+        a live evaluator override always run on the thread backend --
+        the object cannot cross a process boundary.
+        """
+        if job.evaluator is not None:
+            return "thread"
+        return job.plan.execution.backend or self.backend
 
     def _worker_loop(self) -> None:
         while True:
@@ -474,45 +626,107 @@ class SearchService:
                     continue  # cancelled while queued; stale heap entry
                 job.state = "running"
                 job.runs += 1
+                self._journal_record("running", job)
+                started = self._record(job, [JobStarted(
+                    job.id, f"run {job.runs} started",
+                    plan_hash=job.plan_hash)])
+            for event in started:
+                self.bus.publish(event)
             self._execute(job)
 
     def _execute(self, job: _Job) -> None:
         from repro.core.search import SearchCancelled
 
-        self._publish(job, JobStarted(
-            job.id, f"run {job.runs} started", plan_hash=job.plan_hash))
+        backend = self._backend_for(job)
         try:
-            result = execute_plan(
-                job.plan,
-                emit=lambda event: self._publish(job, event),
-                evaluator=job.evaluator,
-                should_stop=job.cancel_event.is_set,
-                fallback_checkpoint_dir=self._job_checkpoint_dir(job),
-            )
+            payload = None
+            if backend == "process":
+                from repro.service.workers import run_job_in_process
+
+                result, payload = run_job_in_process(
+                    job.plan,
+                    emit=lambda event: self._publish(job, event),
+                    cancel_requested=job.cancel_event.is_set,
+                    fallback_checkpoint_dir=self._job_checkpoint_dir(job),
+                )
+            else:
+                result = execute_plan(
+                    job.plan,
+                    emit=lambda event: self._publish(job, event),
+                    evaluator=job.evaluator,
+                    should_stop=job.cancel_event.is_set,
+                    fallback_checkpoint_dir=self._job_checkpoint_dir(job),
+                )
         except SearchCancelled as exc:
-            job.state = "cancelled"
-            self._publish(job, JobCancelled(
+            self._finish(job, "cancelled", JobCancelled(
                 job.id,
                 f"cancelled after {exc.completed} completed unit(s); "
                 "checkpoints (if configured) preserved",
                 plan_hash=job.plan_hash))
         except BaseException as exc:  # noqa: BLE001 -- workers must survive
-            job.state = "failed"
-            job.error = exc
-            self._publish(job, JobFailed(
+            self._finish(job, "failed", JobFailed(
                 job.id, f"{type(exc).__name__}: {exc}",
-                plan_hash=job.plan_hash))
+                plan_hash=job.plan_hash), error=exc)
         else:
-            job.result_obj = result
-            if (job.evaluator is None and self.cache_results
-                    and store_mod.is_cacheable(job.plan)):
-                payload = store_mod.encode_result(job.plan, result)
-                job.result_bytes = self.store.put(job.plan_hash, payload)
-            job.state = "done"
-            self._publish(job, JobCompleted(
-                job.id, "completed", plan_hash=job.plan_hash))
-        finally:
+            try:
+                cacheable = (job.evaluator is None
+                             and store_mod.is_cacheable(job.plan))
+                result_bytes = None
+                if cacheable and self.cache_results:
+                    if payload is None:
+                        payload = store_mod.encode_result(job.plan, result)
+                    result_bytes = self.store.put(job.plan_hash, payload)
+                if result is None and payload is not None:
+                    # Process backend: the payload crossed the pipe
+                    # unscrubbed, so decoding here hands the caller the
+                    # same live object (real wall_seconds included) the
+                    # thread backend would have -- backend parity covers
+                    # handle.result(), not just the stored bytes.
+                    result = store_mod.decode_result(job.plan, payload)
+            except BaseException as exc:  # noqa: BLE001 - must terminate
+                # encode/put/decode failures (disk full, codec bug) must
+                # still land the job in a terminal state: leaving it
+                # 'running' would hang every waiter and kill the worker.
+                self._finish(job, "failed", JobFailed(
+                    job.id,
+                    f"result post-processing failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    plan_hash=job.plan_hash), error=exc)
+            else:
+                self._finish(job, "done", JobCompleted(
+                    job.id, "completed", plan_hash=job.plan_hash),
+                    result_obj=result, result_bytes=result_bytes)
+
+    def _finish(
+        self,
+        job: _Job,
+        state: str,
+        event: Event,
+        error: BaseException | None = None,
+        result_obj: Any = None,
+        result_bytes: bytes | None = None,
+    ) -> None:
+        """Apply a terminal transition atomically, then publish it.
+
+        All job fields change under the service lock (so
+        :meth:`JobHandle.info` snapshots are never torn), the journal
+        entry lands in the same critical section, and the bus sees the
+        event only after the lock is released.
+        """
+        with self._lock:
+            job.state = state
+            job.error = error
+            job.result_obj = result_obj
+            job.result_bytes = (
+                result_bytes if result_bytes is not None else job.result_bytes
+            )
+            if state != "done":
+                job.result_obj = None
+            self._journal_record(state, job)
+            events = self._record(job, [event])
             job.done_event.set()
+        for item in events:
+            self.bus.publish(item)
 
     def _job_checkpoint_dir(self, job: _Job) -> str | None:
         """Service-level checkpoint fallback, keyed by plan hash."""

@@ -112,14 +112,47 @@ def decode_result(plan: RunPlan, payload: dict[str, Any]) -> Any:
     return decode(payload)
 
 
+def scrub_volatile(payload: Any) -> Any:
+    """Zero out run-environment noise from a result payload, recursively.
+
+    A stored result is the content-addressed value of a *deterministic*
+    computation, but result documents carry two fields that depend on
+    how (not what) the run executed: ``wall_seconds`` (host speed,
+    interruptions) and ``resumed_from`` (checkpoint paths).  Scrubbing
+    them -- wall clocks to ``0.0``, resume provenance to ``None`` --
+    makes the canonical bytes a pure function of the plan: a job killed
+    mid-run and resumed after a service restart stores *byte-identical*
+    results to an uninterrupted run (the recovery CI job asserts
+    exactly that).  Returns a scrubbed deep copy; the input is not
+    modified.
+    """
+    if isinstance(payload, dict):
+        scrubbed = {}
+        for key, value in payload.items():
+            if key == "wall_seconds":
+                scrubbed[key] = 0.0
+            elif key == "resumed_from":
+                scrubbed[key] = None
+            else:
+                scrubbed[key] = scrub_volatile(value)
+        return scrubbed
+    if isinstance(payload, list):
+        return [scrub_volatile(item) for item in payload]
+    return payload
+
+
 def canonical_payload_bytes(payload: dict[str, Any]) -> bytes:
     """One fixed byte rendering of a stored payload.
 
     Same canonicalisation rules as
     :func:`repro.plans.canonical_plan_json`: sorted keys, minimal
-    separators, UTF-8.  Every store hit returns exactly these bytes.
+    separators, UTF-8 -- applied after :func:`scrub_volatile`, so the
+    bytes depend only on the plan's deterministic outcome.  Every store
+    hit returns exactly these bytes.
     """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return json.dumps(
+        scrub_volatile(payload), sort_keys=True, separators=(",", ":")
+    ).encode()
 
 
 class ResultStore:

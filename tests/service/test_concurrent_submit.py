@@ -1,0 +1,127 @@
+"""Concurrent submissions: no lost jobs, correct dedup, identical bytes.
+
+N threads hammer one service with a mix of identical and distinct
+plans, on both execution back-ends.  The invariants: every submission
+gets a handle that completes; identical plans coalesce onto exactly one
+job; distinct plans each get their own; and every handle of the same
+plan serves byte-identical result bytes.
+"""
+
+import threading
+
+import pytest
+
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+from repro.service import SearchService
+
+THREADS = 8
+DISTINCT = 3
+
+
+def search_plan(seed=0, trials=3):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_concurrent_identical_and_distinct_submits(backend):
+    shared = search_plan(seed=100)
+    distinct = [search_plan(seed=s) for s in range(DISTINCT)]
+    start = threading.Barrier(THREADS)
+    handles_by_thread = [None] * THREADS
+    errors = []
+
+    def submitter(thread_index, service):
+        try:
+            start.wait(timeout=30)
+            mine = [service.submit(shared)]
+            mine.append(
+                service.submit(distinct[thread_index % DISTINCT])
+            )
+            mine.append(service.submit(shared))
+            handles_by_thread[thread_index] = mine
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    with SearchService(workers=2, backend=backend) as service:
+        threads = [
+            threading.Thread(target=submitter, args=(i, service))
+            for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert all(h is not None for h in handles_by_thread)
+
+        all_handles = [h for group in handles_by_thread for h in group]
+        for handle in all_handles:
+            assert handle.wait(timeout=300) == "done"
+
+        # Dedup: every submission of the shared plan coalesced onto one
+        # job; distinct plans each own exactly one.
+        shared_ids = {
+            h.job_id for group in handles_by_thread
+            for h in (group[0], group[2])
+        }
+        assert len(shared_ids) == 1
+        distinct_ids = {
+            group[1].job_id for group in handles_by_thread
+        }
+        assert len(distinct_ids) == DISTINCT
+        assert shared_ids.isdisjoint(distinct_ids)
+
+        # No lost jobs, none invented: exactly 1 + DISTINCT exist.
+        assert len(service.jobs()) == 1 + DISTINCT
+
+        # Byte-identity per plan across every handle.
+        shared_bytes = {
+            h.result_bytes(timeout=300)
+            for group in handles_by_thread for h in (group[0], group[2])
+        }
+        assert len(shared_bytes) == 1
+        by_distinct_id = {}
+        for group in handles_by_thread:
+            by_distinct_id.setdefault(group[1].job_id, set()).add(
+                group[1].result_bytes(timeout=300)
+            )
+        assert all(len(blobs) == 1 for blobs in by_distinct_id.values())
+        # Distinct seeds really produced distinct results.
+        assert len({b.pop() for b in by_distinct_id.values()}) == DISTINCT
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_locked_info_snapshots_stay_consistent_under_load(backend):
+    """Hammer JobHandle.info() while jobs transition underneath it."""
+    stop = threading.Event()
+    torn = []
+
+    with SearchService(workers=2, backend=backend) as service:
+        handles = [service.submit(search_plan(seed=s, trials=4))
+                   for s in range(4)]
+
+        def reader():
+            while not stop.is_set():
+                for handle in handles:
+                    info = handle.info()
+                    if info["state"] == "done" and info["error"] is not None:
+                        torn.append(info)
+                    if info["state"] == "failed" and info["error"] is None:
+                        torn.append(info)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for handle in handles:
+                assert handle.wait(timeout=300) == "done"
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+    assert torn == []

@@ -16,6 +16,8 @@ from repro.events import (
     SearchStarted,
     ShardRequeued,
     event_from_dict,
+    event_from_json,
+    event_to_json,
     legacy_event,
 )
 
@@ -62,6 +64,24 @@ class TestEventTypes:
         assert type(legacy_event("start", "s", "m")) is SearchStarted
         assert type(legacy_event("requeue", "s", "m")) is ShardRequeued
         assert type(legacy_event("custom", "s", "m")) is Event
+
+    @pytest.mark.parametrize("event", [
+        SearchStarted("shard-1", "running"),
+        JobQueued("j-abc", "queued at priority 0", plan_hash="ff" * 32),
+    ])
+    def test_json_line_codec_round_trips(self, event):
+        """The pipe/journal wire form: one line, lossless, typed."""
+        line = event_to_json(event)
+        assert "\n" not in line
+        restored = event_from_json(line)
+        assert restored == event
+        assert type(restored) is type(event)
+
+    def test_json_line_codec_escapes_embedded_newlines(self):
+        event = SearchStarted("shard-1", "line one\nline two")
+        line = event_to_json(event)
+        assert "\n" not in line  # framing survives hostile messages
+        assert event_from_json(line).message == "line one\nline two"
 
 
 class TestEventBus:

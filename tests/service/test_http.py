@@ -1,12 +1,14 @@
 """The stdlib HTTP endpoint and its client, over a live loopback server."""
 
+import json
+import socket
 import threading
 
 import pytest
 
 from repro.plans import RunPlan, ScenarioPlan, SearchPlan
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.http import make_server
+from repro.service.http import make_server, run_server
 
 
 def search_plan(seed=0, trials=4):
@@ -96,3 +98,62 @@ class TestHTTPEndpoint:
         with pytest.raises(ServiceError) as err:
             live_service.status("j-missing")
         assert err.value.status == 404
+
+    def test_job_info_comes_from_the_public_locked_accessor(
+        self, live_service
+    ):
+        info = live_service.submit(search_plan(seed=11))
+        final = live_service.wait(info["job_id"], timeout=120)
+        # The /jobs shape is JobHandle.info(): all fields, one snapshot.
+        assert set(final) >= {"job_id", "state", "plan_hash", "workload",
+                              "priority", "cached", "runs", "events",
+                              "error"}
+        assert final["state"] == "done" and final["error"] is None
+
+
+class TestShutdownFlush:
+    """Pin the /shutdown fix: the reply is complete before the server dies.
+
+    The old handler triggered the serve-loop shutdown while the
+    response could still be unflushed on a daemon handler thread, so a
+    client racing process teardown could read a torn (or empty) body.
+    The response must now arrive complete -- headers, declared
+    Content-Length, parseable JSON -- on a raw socket that reads
+    *after* the server has begun shutting down.
+    """
+
+    def test_shutdown_reply_is_complete_on_the_wire(self):
+        server = make_server(port=0, workers=1)
+        thread = threading.Thread(target=run_server, args=(server,))
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with socket.create_connection((host, port), timeout=30) as sock:
+                sock.sendall(
+                    b"POST /shutdown HTTP/1.1\r\n"
+                    b"Host: test\r\nContent-Length: 0\r\n\r\n"
+                )
+                # Wait for the serve loop to be told to stop, *then*
+                # read -- the reply must already be flushed to the
+                # socket by that point.
+                assert server._shutdown_requested.wait(timeout=30)
+                sock.settimeout(30)
+                raw = b""
+                while b"\r\n\r\n" not in raw:
+                    chunk = sock.recv(4096)
+                    assert chunk, f"connection closed mid-headers: {raw!r}"
+                    raw += chunk
+                headers, _, body = raw.partition(b"\r\n\r\n")
+                assert b"200" in headers.splitlines()[0]
+                length = int(
+                    [line.split(b":", 1)[1] for line in headers.splitlines()
+                     if line.lower().startswith(b"content-length")][0]
+                )
+                while len(body) < length:
+                    chunk = sock.recv(4096)
+                    assert chunk, "connection closed mid-body"
+                    body += chunk
+                assert json.loads(body) == {"status": "shutting down"}
+        finally:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "server failed to shut down"

@@ -1,0 +1,172 @@
+"""The process execution backend: parity with the thread backend.
+
+The backend contract is *observational equivalence*: whatever backend
+runs a job, callers must see the same typed event sequence, the same
+byte-identical stored result, the same cancel/resume semantics and the
+same error propagation.  The only permitted difference is throughput.
+"""
+
+import time
+
+import pytest
+
+from repro.core.search import SearchCancelled
+from repro.events import JobCancelled, JobCompleted, JobStarted
+from repro.plans import ExecutionPolicy, RunPlan, ScenarioPlan, SearchPlan
+from repro.registry import EVALUATORS
+from repro.service import ProcessWorkerError, SearchService, run_job_in_process
+
+
+def search_plan(seed=0, trials=5, **execution):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=seed, trials=trials),
+        execution=ExecutionPolicy(**execution),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+def comparable(events):
+    return [(type(e).__name__, e.scope, e.message) for e in events]
+
+
+class TestParity:
+    def test_result_bytes_and_events_match_thread_backend(self):
+        plan = search_plan(seed=3)
+        observed = {}
+        for backend in ("thread", "process"):
+            with SearchService(workers=1, backend=backend) as service:
+                handle = service.submit(plan)
+                observed[backend] = (
+                    handle.result_bytes(timeout=300),
+                    comparable(handle.events()),
+                )
+        assert observed["thread"][0] == observed["process"][0]
+        assert observed["thread"][1] == observed["process"][1]
+
+    def test_result_object_carries_real_wall_clock(self):
+        """Parity covers handle.result(), not just stored bytes: the
+        payload crosses the pipe unscrubbed, so the decoded object
+        keeps the child's measured wall_seconds (the *stored* bytes
+        are scrubbed to stay a pure function of the plan)."""
+        with SearchService(workers=1, backend="process") as service:
+            handle = service.submit(search_plan())
+            result = handle.result(timeout=300)
+            assert len(result.trials) == 5
+            assert result.wall_seconds > 0
+            stored = handle.result_bytes()
+        import json
+
+        assert json.loads(stored)["wall_seconds"] == 0.0
+
+    def test_caching_off_still_returns_the_result_object(self):
+        with SearchService(workers=1, backend="process",
+                           cache_results=False) as service:
+            handle = service.submit(search_plan())
+            result = handle.result(timeout=300)
+            assert len(result.trials) == 5
+            # No cached bytes, exactly like the thread backend.
+            assert handle.stored_result_bytes() is None
+
+    def test_plan_level_backend_overrides_the_service_default(self):
+        plan = search_plan(backend="process")
+        with SearchService(workers=1, backend="thread") as service:
+            assert service._backend_for(service.submit(plan)._job) == "process"
+            with SearchService(workers=1, backend="process") as other:
+                thread_plan = search_plan(seed=9, backend="thread")
+                job = other.submit(thread_plan)._job
+                assert other._backend_for(job) == "thread"
+
+    def test_unknown_service_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SearchService(workers=1, backend="fiber")
+
+    def test_unknown_plan_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionPolicy(backend="fiber")
+
+
+class TestCancellation:
+    def test_cancel_running_process_job_checkpoints_and_resumes(
+        self, tmp_path
+    ):
+        plan = search_plan(seed=2, trials=600)
+        with SearchService(workers=1, backend="process",
+                           checkpoint_dir=str(tmp_path)) as service:
+            handle = service.submit(plan)
+            job_dir = tmp_path / handle.plan_hash
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if (handle.state == "running"
+                        and list(job_dir.glob("*.checkpoint.json"))):
+                    break
+                time.sleep(0.02)
+            handle.cancel()
+            assert handle.wait(timeout=120) == "cancelled"
+            kinds = [type(e) for e in handle.events()]
+            assert kinds.count(JobCancelled) == 1
+            # Resubmit resumes from the snapshot to the full budget.
+            resumed = service.submit(plan)
+            assert resumed.job_id == handle.job_id
+            result = resumed.result(timeout=600)
+            assert len(result.trials) == 600
+
+
+class TestFailurePropagation:
+    def test_child_exception_reraises_in_the_parent(self):
+        def broken(space, config, seed):
+            raise RuntimeError("evaluator exploded in the child")
+
+        EVALUATORS.register("broken-child", broken, replace=True)
+        try:
+            plan = search_plan(seed=0)
+            plan = RunPlan(
+                workload="search",
+                search=SearchPlan(seed=0, trials=3,
+                                  evaluator="broken-child"),
+                scenario=plan.scenario,
+            )
+            with SearchService(workers=1, backend="process") as service:
+                handle = service.submit(plan)
+                assert handle.wait(timeout=120) == "failed"
+                with pytest.raises(RuntimeError, match="exploded in the child"):
+                    handle.result(timeout=10)
+        finally:
+            EVALUATORS.unregister("broken-child")
+
+    def test_evaluator_override_jobs_run_on_the_thread_backend(self):
+        """A live evaluator object cannot cross a process boundary."""
+        plan = RunPlan(workload="table1",
+                       search=SearchPlan(trials=2))
+        with SearchService(workers=1, backend="process") as service:
+            evaluator = object.__new__(object)  # placeholder identity
+            job = service.submit(plan, evaluator=evaluator)._job
+            assert service._backend_for(job) == "thread"
+            service.cancel(job.id)
+
+
+class TestRunJobInProcess:
+    def test_streams_events_and_returns_the_canonical_payload(self):
+        events = []
+        result, payload = run_job_in_process(
+            search_plan(seed=4, trials=3),
+            emit=events.append,
+            cancel_requested=lambda: False,
+        )
+        assert result is None and payload is not None
+        assert len(payload["trials"]) == 3
+        names = [type(e).__name__ for e in events]
+        assert names[0] == "RunStarted" and names[-1] == "RunFinished"
+        assert "SearchStarted" in names and "SearchFinished" in names
+
+    def test_cancel_before_start_raises_search_cancelled(self):
+        with pytest.raises(SearchCancelled):
+            run_job_in_process(
+                search_plan(seed=5, trials=50),
+                emit=lambda e: None,
+                cancel_requested=lambda: True,
+            )
+
+    def test_worker_error_type_is_exported(self):
+        assert issubclass(ProcessWorkerError, RuntimeError)

@@ -261,6 +261,22 @@ class TestLifecycleAndErrors:
         finally:
             EVALUATORS.unregister("broken")
 
+    def test_store_failure_still_terminates_the_job(self):
+        """Regression: a result post-processing failure (store write,
+        codec) must land the job in a terminal state -- leaving it
+        'running' would hang every waiter and kill the worker thread."""
+        class ExplodingStore(ResultStore):
+            def put(self, key, payload):
+                raise OSError("disk full")
+
+        with SearchService(workers=1, store=ExplodingStore()) as service:
+            handle = service.submit(search_plan(trials=3))
+            assert handle.wait(timeout=120) == "failed"
+            with pytest.raises(OSError, match="disk full"):
+                handle.result(timeout=10)
+            assert any("post-processing" in e.message
+                       for e in handle.events() if e.kind == "failed")
+
     def test_evaluator_override_rejected_for_rebuilding_workloads(self):
         with SearchService(workers=1) as service:
             with pytest.raises(ValueError, match="evaluator override"):
