@@ -26,6 +26,8 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+import pytest
+
 from repro.plans import RunPlan, ScenarioPlan, SearchPlan
 from repro.service import SearchService
 
@@ -101,7 +103,9 @@ def test_service_backend_throughput(once, emit):
         process_point.jobs_per_second / thread_point.jobs_per_second
     )
 
+    cores = os.cpu_count() or 1
     emit("\n=== Service job throughput (4 workers, CPU-bound searches) ===")
+    emit(f"host cpu_count: {cores}")
     emit(f"{'backend':>8} {'jobs':>5} {'trials':>6} {'wall(s)':>8} "
          f"{'jobs/s':>7}")
     for p in points:
@@ -109,14 +113,15 @@ def test_service_backend_throughput(once, emit):
              f"{p.wall_seconds:>8.3f} {p.jobs_per_second:>7.3f}")
     emit(f"process vs thread: {speedup:.2f}x")
 
-    cores = os.cpu_count() or 1
     OUTPUT_PATH.write_text(json.dumps(
         {
             "benchmark": "service_backend_throughput",
+            # cpu_count leads: the scaling numbers below are
+            # meaningless without knowing the host's parallelism.
+            "cpu_count": cores,
             "jobs": JOBS,
             "trials_per_job": TRIALS,
             "workers": WORKERS,
-            "cpu_count": cores,
             "points": [asdict(p) for p in points],
             "process_speedup_vs_thread": speedup,
         },
@@ -130,14 +135,16 @@ def test_service_backend_throughput(once, emit):
     )
     # Scaling bar: 4 process workers vs 4 thread workers on pure-python
     # searches must clear 2x -- the thread pool is GIL-serialized, the
-    # process pool genuinely runs 4 jobs at once.  Vacuous below 4
-    # cores, where the process pool cannot physically get 4 jobs
-    # running.
-    if cores >= 4:
-        assert speedup >= 2.0, (
-            f"process backend only {speedup:.2f}x over the thread backend "
-            f"on {cores} cores"
+    # process pool genuinely runs 4 jobs at once.  Below 4 cores the
+    # process pool cannot physically run 4 jobs at once, so skip loudly
+    # (a green check on a 2-core runner would be a lie).
+    if cores < 4:
+        pytest.skip(
+            f"scaling bar needs >= 4 cores, host has {cores}; "
+            f"measured {speedup:.2f}x (correctness already asserted, "
+            f"{OUTPUT_PATH.name} written)"
         )
-    else:
-        emit(f"({cores} core(s): scaling bar skipped, "
-             f"measured {speedup:.2f}x)")
+    assert speedup >= 2.0, (
+        f"process backend only {speedup:.2f}x over the thread backend "
+        f"on {cores} cores"
+    )

@@ -208,6 +208,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot jobs whose plans name no checkpoint "
                         "directory under this root (per plan hash), making "
                         "cancel-then-resubmit and crash recovery resume")
+    p.add_argument("--lease-seconds", type=float, default=None,
+                   help="lease term for jobs claimed by `repro agent` "
+                        "workers; a lease not renewed by heartbeat within "
+                        "the term expires and the job re-queues (default "
+                        "15)")
+
+    p = sub.add_parser(
+        "agent",
+        help="run a federated worker agent against a coordinator: claim "
+             "jobs under heartbeat-renewed leases, execute them in "
+             "subprocesses, stream results back",
+    )
+    p.add_argument("--coordinator", default="http://127.0.0.1:8765",
+                   help="coordinator base URL (a running `repro serve`; "
+                        "default http://127.0.0.1:8765)")
+    p.add_argument("--name", default=None,
+                   help="agent name for listings/events (default host-pid)")
+    p.add_argument("--agent-id", default=None,
+                   help="stable agent identity to (re-)register under; "
+                        "lets a restarted agent reclaim its journal-"
+                        "restored leases (default: coordinator-minted)")
+    p.add_argument("--poll-seconds", type=float, default=0.5,
+                   help="idle sleep between claim attempts (default 0.5)")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after this many jobs (default: run until "
+                        "SIGTERM/SIGINT)")
 
     p = sub.add_parser(
         "submit",
@@ -384,6 +410,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: run the HTTP job service until shutdown."""
     from repro.service.http import make_server, run_server
 
+    service_kwargs = {}
+    if args.lease_seconds is not None:
+        service_kwargs["lease_seconds"] = args.lease_seconds
     server = make_server(
         host=args.host,
         port=args.port,
@@ -391,6 +420,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         checkpoint_dir=args.checkpoint_dir,
         backend=args.backend,
+        **service_kwargs,
     )
     host, port = server.server_address[:2]
     service = server.service
@@ -406,6 +436,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           "POST /shutdown or Ctrl-C to stop)",
           file=sys.stderr, flush=True)
     run_server(server)
+    return 0
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    """``repro agent``: serve a coordinator as a federated worker."""
+    from urllib.error import URLError
+
+    from repro.service.agent import run_agent
+    from repro.service.client import ServiceError
+
+    try:
+        jobs = run_agent(
+            args.coordinator,
+            name=args.name,
+            agent_id=args.agent_id,
+            poll_seconds=args.poll_seconds,
+            max_jobs=args.max_jobs,
+        )
+    except (ServiceError, URLError, TimeoutError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"agent exiting after {jobs} job(s)", file=sys.stderr, flush=True)
     return 0
 
 
@@ -511,6 +563,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "agent":
+        return _cmd_agent(args)
     if args.command == "submit":
         return _cmd_submit(args)
     try:

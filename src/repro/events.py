@@ -272,6 +272,68 @@ class CacheHit(JobEvent):
     type_tag: ClassVar[str] = "cache-hit"
 
 
+# --- federation (agent / lease) events --------------------------------------
+
+
+@register_event
+@dataclass(frozen=True)
+class AgentJoined(Event):
+    """A worker agent registered with the coordinator.
+
+    ``scope`` is the agent id; ``name`` the agent's self-reported
+    (human-friendly) name.
+    """
+
+    name: str = ""
+
+    kind: ClassVar[str] = "agent-joined"
+    type_tag: ClassVar[str] = "agent-joined"
+
+
+@register_event
+@dataclass(frozen=True)
+class AgentLost(Event):
+    """A worker agent left, or missed enough heartbeats to be presumed
+    dead; ``scope`` is the agent id."""
+
+    name: str = ""
+
+    kind: ClassVar[str] = "agent-lost"
+    type_tag: ClassVar[str] = "agent-lost"
+
+
+@register_event
+@dataclass(frozen=True)
+class JobLeased(JobEvent):
+    """A remote agent claimed the job under a heartbeat-renewed lease.
+
+    ``scope`` is the job id; ``agent`` the claiming agent's id;
+    ``lease_seconds`` the lease term, after which a lease that was
+    never renewed expires and the job re-queues.
+    """
+
+    agent: str = ""
+    lease_seconds: float = 0.0
+
+    kind: ClassVar[str] = "leased"
+    type_tag: ClassVar[str] = "job-leased"
+
+
+@register_event
+@dataclass(frozen=True)
+class LeaseExpired(JobEvent):
+    """A job's lease ran out of heartbeats; the job re-queues and will
+    resume elsewhere from its per-hash checkpoint.
+
+    ``agent`` is the id of the agent that held (and lost) the lease.
+    """
+
+    agent: str = ""
+
+    kind: ClassVar[str] = "lease-expired"
+    type_tag: ClassVar[str] = "lease-expired"
+
+
 # --- the bus ----------------------------------------------------------------
 
 

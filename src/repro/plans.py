@@ -141,6 +141,16 @@ class ExecutionPolicy:
             with cores), or ``None`` to inherit the executing
             service's default.  Like every execution field it never
             changes a trial ledger.
+        lease_seconds: when the job runs on a remote worker agent, how
+            long its lease lives without a heartbeat renewal before
+            the coordinator reclaims it and the job re-queues
+            (``None``: the coordinator's default).  Durability, never
+            trajectory: an expired-and-resumed job stores bytes
+            identical to an uninterrupted one.
+        heartbeat_seconds: the heartbeat cadence the coordinator
+            advertises to the agent holding this job's lease
+            (``None``: derived from the lease term).  Must leave room
+            for several heartbeats per lease term.
     """
 
     batch_size: int = 1
@@ -149,6 +159,8 @@ class ExecutionPolicy:
     checkpoint_dir: str | None = None
     checkpoint_every: int | None = None
     backend: str | None = None
+    lease_seconds: float | None = None
+    heartbeat_seconds: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("batch_size", "eval_workers", "shard_workers"):
@@ -159,6 +171,22 @@ class ExecutionPolicy:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of "
                 + ", ".join(EXECUTION_BACKENDS) + " (or None to inherit)"
+            )
+        for name in ("lease_seconds", "heartbeat_seconds"):
+            value = getattr(self, name)
+            if value is not None:
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"{name} must be a positive number, got {value!r}"
+                    )
+                object.__setattr__(self, name, float(value))
+        if (self.lease_seconds is not None
+                and self.heartbeat_seconds is not None
+                and self.heartbeat_seconds >= self.lease_seconds):
+            raise ValueError(
+                f"heartbeat_seconds ({self.heartbeat_seconds}) must be "
+                f"shorter than lease_seconds ({self.lease_seconds}); a "
+                "lease needs room for at least one renewal"
             )
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
             raise ValueError(

@@ -22,17 +22,28 @@ service:
   pipe, so GIL-bound searches scale with cores;
 * :func:`serve <repro.service.http.serve>` / :class:`ServiceClient` --
   a stdlib-only HTTP JSON endpoint (``repro serve``) and its client
-  (``repro submit``).
+  (``repro submit``);
+* :class:`WorkerAgent` (``repro agent``) -- the federation worker: it
+  claims jobs from a coordinator under journal-backed *leases*, renews
+  them via heartbeats, executes through the process backend, and
+  streams events/results back; a missed lease re-queues the job, which
+  resumes from its checkpoint on another agent (or a local worker)
+  with byte-identical results (:mod:`~repro.service.faults` provides
+  the deterministic crash points the chaos tests kill agents with).
 """
 
-from repro.service.client import ServiceClient
+from repro.service.agent import WorkerAgent, run_agent
+from repro.service.client import JobTimeoutError, ServiceClient, ServiceError
 from repro.service.executor import execute_plan
 from repro.service.journal import JobJournal, PendingJob
 from repro.service.service import (
     JOB_STATES,
     JobCancelledError,
     JobHandle,
+    RemoteJobError,
     SearchService,
+    StaleLeaseError,
+    UnknownAgentError,
     UnknownJobError,
 )
 from repro.service.store import ResultStore, is_cacheable
@@ -43,13 +54,20 @@ __all__ = [
     "JobCancelledError",
     "JobHandle",
     "JobJournal",
+    "JobTimeoutError",
     "PendingJob",
     "ProcessWorkerError",
+    "RemoteJobError",
     "ResultStore",
     "SearchService",
     "ServiceClient",
+    "ServiceError",
+    "StaleLeaseError",
+    "UnknownAgentError",
     "UnknownJobError",
+    "WorkerAgent",
     "execute_plan",
     "is_cacheable",
+    "run_agent",
     "run_job_in_process",
 ]

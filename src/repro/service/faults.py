@@ -1,0 +1,131 @@
+"""Deterministic fault injection for federation chaos testing.
+
+Production code sprinkles named :func:`crash_point` calls at the
+moments a process is most interesting to kill -- an agent right after
+claiming a job, mid event upload, between heartbeats.  In normal
+operation every call is a no-op costing one dict lookup.  Under test,
+the ``REPRO_CRASH_POINTS`` environment variable arms specific points,
+and a triggered point SIGKILLs its own process -- not ``sys.exit``,
+not an exception: the genuine no-cleanup, no-flush death that
+crash-consistency claims must survive.
+
+Two arming grammars, comma-separated in ``REPRO_CRASH_POINTS``:
+
+* ``name=N`` -- deterministic count: the N-th *hit* of ``name`` kills
+  the process (``agent.claimed=1`` dies on the first claim,
+  ``agent.event=5`` on the fifth event upload);
+* ``name~p@seed`` -- seeded probability: each hit of ``name`` dies
+  with probability ``p`` drawn from a :class:`random.Random` seeded
+  with ``seed``, so a chaos matrix can explore many kill timings while
+  every individual run stays exactly reproducible.
+
+The module-level :class:`FaultInjector` is configured once from the
+environment on first use (subprocesses inherit the variable, which is
+precisely how agent processes get armed by the test harness);
+:func:`reset` re-reads it for in-process tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+
+#: Environment variable naming the armed crash points.
+CRASH_POINTS_ENV = "REPRO_CRASH_POINTS"
+
+
+class FaultInjector:
+    """Parsed, stateful crash-point table for one process.
+
+    Parameters:
+        spec: the arming string (``REPRO_CRASH_POINTS`` grammar);
+            ``None`` or empty arms nothing.
+
+    Malformed clauses raise :class:`ValueError` immediately -- a chaos
+    harness that silently arms nothing would report green runs that
+    tested nothing.
+    """
+
+    def __init__(self, spec: str | None = None):
+        self._counts: dict[str, int] = {}
+        self._hits: dict[str, int] = {}
+        self._probs: dict[str, tuple[float, random.Random]] = {}
+        for clause in (spec or "").split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" in clause:
+                name, _, count = clause.partition("=")
+                self._counts[name.strip()] = int(count)
+            elif "~" in clause:
+                name, _, rest = clause.partition("~")
+                prob, _, seed = rest.partition("@")
+                if not seed:
+                    raise ValueError(
+                        f"probabilistic crash point {clause!r} needs a "
+                        "seed: use 'name~p@seed'"
+                    )
+                p = float(prob)
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError(
+                        f"crash probability must be in [0, 1], got {p}")
+                self._probs[name.strip()] = (p, random.Random(int(seed)))
+            else:
+                raise ValueError(
+                    f"malformed crash point {clause!r}; expected 'name=N' "
+                    "or 'name~p@seed'"
+                )
+
+    def armed(self, name: str) -> bool:
+        """Whether ``name`` has any arming clause at all."""
+        return name in self._counts or name in self._probs
+
+    def should_crash(self, name: str) -> bool:
+        """Record one hit of ``name``; True when the process must die."""
+        hit = self._hits.get(name, 0) + 1
+        self._hits[name] = hit
+        if name in self._counts and hit == self._counts[name]:
+            return True
+        if name in self._probs:
+            p, rng = self._probs[name]
+            return rng.random() < p
+        return False
+
+    def crash_point(self, name: str) -> None:
+        """Die (SIGKILL, no cleanup) if this hit of ``name`` triggers.
+
+        SIGKILL cannot be caught, so nothing after this line runs: no
+        ``finally`` blocks, no flushes, no atexit -- the exact failure
+        mode lease recovery and the journal are designed around.
+        """
+        if self.should_crash(name):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+_injector: FaultInjector | None = None
+
+
+def _current() -> FaultInjector:
+    global _injector
+    if _injector is None:
+        _injector = FaultInjector(os.environ.get(CRASH_POINTS_ENV))
+    return _injector
+
+
+def crash_point(name: str) -> None:
+    """Module-level kill point (see :class:`FaultInjector`).
+
+    Reads ``REPRO_CRASH_POINTS`` once, lazily, so importing this module
+    costs nothing and agent subprocesses spawned with the variable set
+    arm themselves without plumbing.
+    """
+    _current().crash_point(name)
+
+
+def reset(spec: str | None = None) -> None:
+    """Re-arm the module injector (tests); ``None`` re-reads the env."""
+    global _injector
+    _injector = FaultInjector(
+        spec if spec is not None else os.environ.get(CRASH_POINTS_ENV)
+    )

@@ -5,18 +5,37 @@
 dependency) over one in-process service.  The surface is deliberately
 small and plain JSON:
 
-=======  ==========================  =====================================
-Method   Path                        Meaning
-=======  ==========================  =====================================
-GET      ``/health``                 liveness + job counts
-POST     ``/jobs``                   submit ``{"plan": ..., "priority"}``
-GET      ``/jobs``                   list job summaries
-GET      ``/jobs/<id>``              one job summary
-POST     ``/jobs/<id>/cancel``       cancel (checkpoint-preserving)
-GET      ``/jobs/<id>/events``       typed events (``?since=N`` cursor)
-GET      ``/jobs/<id>/result``       stored canonical result bytes
-POST     ``/shutdown``               drain and stop the server
-=======  ==========================  =====================================
+=========  ================================  ============================
+Method     Path                              Meaning
+=========  ================================  ============================
+GET        ``/health``                       liveness + job counts
+POST       ``/jobs``                         submit ``{"plan": ...,
+                                             "priority"}``
+GET        ``/jobs``                         list job summaries
+GET        ``/jobs/<id>``                    one job summary
+POST       ``/jobs/<id>/cancel``             cancel (checkpoint-
+                                             preserving)
+GET        ``/jobs/<id>/events``             typed events (``?since=N``
+                                             cursor)
+GET        ``/jobs/<id>/result``             stored canonical result
+                                             bytes
+POST       ``/shutdown``                     drain and stop the server
+POST       ``/agents``                       register ``{"name",
+                                             "agent_id"?}``
+GET        ``/agents``                       list registered agents
+POST       ``/agents/<a>/heartbeat``         renew ``{"jobs": [...]}``
+POST       ``/agents/<a>/claim``             lease the next queued job
+POST       ``/agents/<a>/leave``             deregister (leases expire)
+POST       ``/agents/<a>/jobs/<j>/events``   stream typed events back
+POST       ``/agents/<a>/jobs/<j>/complete``  upload terminal outcome
+=========  ================================  ============================
+
+The ``/agents`` family is the worker-agent federation protocol spoken
+by :class:`repro.service.agent.WorkerAgent` (``repro agent``).  Errors
+are typed: an unknown agent id is ``404`` (the agent re-registers under
+the same id), and acting on a lease no longer held is ``409`` (the
+agent drops the work -- the job re-queued and will finish elsewhere,
+byte-identically).
 
 ``/result`` streams the result store's canonical bytes verbatim, so two
 submissions of an identical plan receive byte-identical bodies -- the
@@ -31,8 +50,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from repro.events import event_from_dict
 from repro.plans import RunPlan
-from repro.service.service import SearchService, UnknownJobError
+from repro.service.service import (
+    SearchService,
+    StaleLeaseError,
+    UnknownAgentError,
+    UnknownJobError,
+)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -86,6 +111,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_events(parts[1], url.query)
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
                 self._get_result(parts[1])
+            elif parts == ["agents"]:
+                self._send_json(
+                    200, {"agents": self.server.service.agents()})
             else:
                 self._send_json(404, {"error": f"unknown path {url.path!r}"})
         except UnknownJobError as exc:
@@ -103,6 +131,15 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, self.server.service.job(parts[1]).info()
                     | {"state": state})
+            elif parts == ["agents"]:
+                self._post_register()
+            elif (len(parts) == 3 and parts[0] == "agents"
+                    and parts[2] in ("heartbeat", "claim", "leave")):
+                self._post_agent_verb(parts[1], parts[2])
+            elif (len(parts) == 5 and parts[0] == "agents"
+                    and parts[2] == "jobs"
+                    and parts[4] in ("events", "complete")):
+                self._post_agent_job(parts[1], parts[3], parts[4])
             elif parts == ["shutdown"]:
                 # Finish the reply *before* the serve loop starts dying:
                 # flush the bytes to the socket and mark the connection
@@ -115,8 +152,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self.server.request_shutdown()
             else:
                 self._send_json(404, {"error": f"unknown path {url.path!r}"})
-        except UnknownJobError as exc:
+        except (UnknownJobError, UnknownAgentError) as exc:
             self._send_json(404, {"error": str(exc)})
+        except StaleLeaseError as exc:
+            self._send_json(409, {"error": str(exc)})
 
     # -- route bodies --------------------------------------------------------
 
@@ -126,6 +165,7 @@ class _Handler(BaseHTTPRequestHandler):
         for handle in service.jobs():
             states[handle.state] = states.get(handle.state, 0) + 1
         return {"status": "ok", "jobs": states,
+                "agents": len(service.agents()),
                 "store_entries": len(service.store)}
 
     def _post_job(self) -> None:
@@ -154,6 +194,67 @@ class _Handler(BaseHTTPRequestHandler):
             "next": since + len(events),
             "events": [e.to_dict() for e in events],
         })
+
+    def _post_register(self) -> None:
+        try:
+            body = self._read_body()
+            name = body.get("name")
+            agent_id = body.get("agent_id")
+            for value in (name, agent_id):
+                if value is not None and not isinstance(value, str):
+                    raise ValueError("name/agent_id must be strings")
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad registration: {exc}"})
+            return
+        self._send_json(
+            200, self.server.service.register_agent(
+                name=name, agent_id=agent_id))
+
+    def _post_agent_verb(self, agent_id: str, verb: str) -> None:
+        service = self.server.service
+        if verb == "claim":
+            claim = service.claim_job(agent_id)
+            self._send_json(200, {"job": claim})
+            return
+        if verb == "leave":
+            service.deregister_agent(agent_id)
+            self._send_json(200, {"status": "left"})
+            return
+        try:
+            body = self._read_body()
+            jobs = body.get("jobs", [])
+            if not isinstance(jobs, list):
+                raise ValueError("'jobs' must be a list of job ids")
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad heartbeat: {exc}"})
+            return
+        self._send_json(
+            200, service.heartbeat(agent_id, [str(j) for j in jobs]))
+
+    def _post_agent_job(self, agent_id: str, job_id: str, verb: str) -> None:
+        service = self.server.service
+        try:
+            body = self._read_body()
+            if verb == "events":
+                events = [event_from_dict(doc) for doc in body["events"]]
+            else:
+                outcome = body["outcome"]
+                if outcome not in ("done", "failed", "cancelled"):
+                    raise ValueError(f"unknown outcome {outcome!r}")
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad upload: {exc}"})
+            return
+        if verb == "events":
+            recorded = service.record_agent_events(agent_id, job_id, events)
+            self._send_json(200, {"recorded": recorded})
+            return
+        info = service.complete_job(
+            agent_id, job_id, outcome,
+            payload=body.get("payload"),
+            message=body.get("message"),
+            completed=int(body.get("completed", 0)),
+        )
+        self._send_json(200, info)
 
     def _get_result(self, job_id: str) -> None:
         handle = self.server.service.job(job_id)

@@ -5,8 +5,12 @@ lifecycle transition a :class:`~repro.service.SearchService` performs:
 
 * ``queued`` -- carries the full canonical plan document and priority,
   so the journal alone can rebuild the submission;
-* ``running`` / ``done`` / ``failed`` / ``cancelled`` -- state-only
-  markers keyed by the job's plan hash.
+* ``leased`` -- a remote agent claimed the job; carries the agent id
+  and lease term, so leases survive a coordinator restart (the
+  restarted service restores the lease instead of re-queueing, and the
+  still-running agent keeps its claim);
+* ``running`` / ``lease-expired`` / ``done`` / ``failed`` /
+  ``cancelled`` -- state-only markers keyed by the job's plan hash.
 
 Appends are flushed line-by-line, so a SIGKILLed service loses at most
 the entry it was writing -- and JSONL tolerates exactly that failure
@@ -37,11 +41,19 @@ from typing import Any
 #: Journal line schema tag (bumped on incompatible layout changes).
 JOURNAL_SCHEMA = 1
 
-#: Ops a journal line may carry, in rough lifecycle order.
-JOURNAL_OPS = ("queued", "running", "done", "failed", "cancelled")
+#: Ops a journal line may carry, in rough lifecycle order.  ``leased``
+#: marks a remote agent claiming the job (the entry carries the agent id
+#: and lease term, so a restarted coordinator can restore the lease);
+#: ``lease-expired`` marks the coordinator reclaiming it.  Both are
+#: additive: readers predating them simply skip the ops and still treat
+#: the job as non-terminal, so the schema tag stays at 1.
+JOURNAL_OPS = ("queued", "running", "leased", "lease-expired", "done",
+               "failed", "cancelled")
 
 #: Last-recorded states that make a job recoverable after a crash.
-_RECOVERABLE_STATES = ("queued", "running")
+#: ``leased`` and ``lease-expired`` are non-terminal: the coordinator
+#: died while an agent held (or had just lost) the job.
+_RECOVERABLE_STATES = ("queued", "running", "leased", "lease-expired")
 
 
 @dataclass(frozen=True)
@@ -53,15 +65,25 @@ class PendingJob:
             (parse with :meth:`repro.plans.RunPlan.from_dict`).
         plan_hash: the job's canonical plan hash.
         priority: the priority of the *latest* recorded submission.
-        last_state: the last journaled state (``queued`` or
-            ``running``) -- ``running`` jobs resume from their per-hash
-            checkpoints when the service has a checkpoint root.
+        last_state: the last journaled state (``queued``, ``running``,
+            ``leased`` or ``lease-expired``) -- non-``queued`` jobs
+            resume from their per-hash checkpoints when the service has
+            a checkpoint root.
+        agent: for ``last_state == "leased"``, the id of the agent that
+            held the lease when the coordinator died; the restarted
+            coordinator restores the lease to it (with a fresh grace
+            deadline) instead of re-queueing, so a still-running agent
+            keeps its claim.
+        lease_seconds: the lease term recorded at claim time (``None``
+            when the journal predates leases).
     """
 
     plan_doc: dict[str, Any]
     plan_hash: str
     priority: int
     last_state: str
+    agent: str | None = None
+    lease_seconds: float | None = None
 
 
 class JobJournal:
@@ -92,12 +114,16 @@ class JobJournal:
         priority: int | None = None,
         plan_doc: dict[str, Any] | None = None,
         note: str | None = None,
+        agent: str | None = None,
+        lease_seconds: float | None = None,
     ) -> None:
         """Append one transition line (no-op after :meth:`close`).
 
         ``queued`` entries must carry ``plan_doc`` and ``priority`` --
-        they are what replay rebuilds submissions from; the other ops
-        are state markers.
+        they are what replay rebuilds submissions from; ``leased``
+        entries must carry ``agent`` (and should carry
+        ``lease_seconds``) so a restarted coordinator can restore the
+        lease; the other ops are state markers.
         """
         if op not in JOURNAL_OPS:
             raise ValueError(
@@ -106,6 +132,8 @@ class JobJournal:
             )
         if op == "queued" and plan_doc is None:
             raise ValueError("'queued' journal entries must carry the plan")
+        if op == "leased" and agent is None:
+            raise ValueError("'leased' journal entries must carry the agent")
         entry: dict[str, Any] = {
             "schema": JOURNAL_SCHEMA,
             "op": op,
@@ -118,6 +146,10 @@ class JobJournal:
             entry["plan"] = plan_doc
         if note is not None:
             entry["note"] = note
+        if agent is not None:
+            entry["agent"] = agent
+        if lease_seconds is not None:
+            entry["lease_seconds"] = float(lease_seconds)
         line = json.dumps(entry, sort_keys=True)
         with self._lock:
             if self._closed:
@@ -208,36 +240,60 @@ class JobJournal:
         """Reduce replayed entries to the jobs a restart must re-queue.
 
         A job is pending when its *last* recorded transition is
-        ``queued`` or ``running`` -- i.e. the service died before the
-        job reached a terminal state.  Results come back in first-seen
+        non-terminal (``queued``, ``running``, ``leased`` or
+        ``lease-expired``) -- i.e. the service died before the job
+        reached a terminal state.  Results come back in first-seen
         order (the original submission order), each carrying the most
-        recent plan document and priority recorded for its hash.
+        recent plan document and priority recorded for its hash, plus
+        the lease holder when the last transition was a claim.
+
+        Defensive by design: the journal is replayed after crashes, so
+        entries missing expected keys (a ``queued`` without a plan, a
+        ``leased`` without an agent) are skipped or degraded, never
+        raised on.
         """
         last_state: dict[str, str] = {}
         plans: dict[str, dict[str, Any]] = {}
         priorities: dict[str, int] = {}
+        agents: dict[str, str | None] = {}
+        leases: dict[str, float | None] = {}
         order: list[str] = []
         for entry in entries:
             digest = entry.get("hash")
             op = entry.get("op")
             if digest is None or op not in JOURNAL_OPS:
                 continue
+            if op == "queued" and not isinstance(entry.get("plan"), dict):
+                continue  # a submission without a plan cannot be rebuilt
             if digest not in last_state:
                 order.append(digest)
             last_state[digest] = op
             if op == "queued":
                 plans[digest] = entry["plan"]
-                priorities[digest] = int(entry.get("priority", 0))
+                try:
+                    priorities[digest] = int(entry.get("priority", 0))
+                except (TypeError, ValueError):
+                    priorities[digest] = 0
+            agent = entry.get("agent")
+            agents[digest] = agent if op == "leased" else None
+            lease = entry.get("lease_seconds")
+            leases[digest] = (
+                float(lease) if op == "leased"
+                and isinstance(lease, (int, float)) else None
+            )
         pending: list[PendingJob] = []
         for digest in order:
             if last_state[digest] not in _RECOVERABLE_STATES:
                 continue
             if digest not in plans:
                 continue  # state marker without a recorded submission
+            agent = agents.get(digest)
             pending.append(PendingJob(
                 plan_doc=plans[digest],
                 plan_hash=digest,
                 priority=priorities[digest],
                 last_state=last_state[digest],
+                agent=agent if isinstance(agent, str) and agent else None,
+                lease_seconds=leases.get(digest),
             ))
         return pending

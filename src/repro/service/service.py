@@ -21,7 +21,7 @@ and executes them on a bounded pool of workers:
   worker thread (``backend="thread"``, the exactness-first default) or
   in a dedicated subprocess streaming typed events back over a pipe
   (``backend="process"``, see :mod:`repro.service.workers`), which is
-  what makes ``--workers N`` scale GIL-bound searches with cores; the
+  what lets the serve worker count scale GIL-bound searches with cores; the
   two back-ends produce identical event sequences and byte-identical
   stored results;
 * **cancellation that checkpoints** -- a cancelled running job stops
@@ -40,18 +40,23 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from pathlib import Path
 from typing import Any
 
 from repro.events import (
+    AgentJoined,
+    AgentLost,
     CacheHit,
     Event,
     EventBus,
     JobCancelled,
     JobCompleted,
     JobFailed,
+    JobLeased,
     JobQueued,
     JobStarted,
+    LeaseExpired,
 )
 from repro.plans import EXECUTION_BACKENDS, RunPlan, plan_hash
 from repro.service import store as store_mod
@@ -68,9 +73,45 @@ _COALESCE_STATES = ("queued", "running", "done")
 #: Default journal filename under a persistent store directory.
 JOURNAL_FILENAME = "journal.jsonl"
 
+#: Default lease term for agent-claimed jobs, in seconds.
+DEFAULT_LEASE_SECONDS = 15.0
+
+#: Heartbeats the coordinator expects per lease term; the advertised
+#: heartbeat interval is ``lease / HEARTBEATS_PER_LEASE``, so a lease
+#: expires after missing roughly this many heartbeats in a row.
+HEARTBEATS_PER_LEASE = 3
+
 
 class UnknownJobError(KeyError):
     """Raised when a job id does not name a job of this service."""
+
+
+class UnknownAgentError(KeyError):
+    """Raised when an agent id is not (or no longer) registered.
+
+    Agents that miss enough heartbeats are deregistered, so a slow
+    agent can see this on its next call -- the remedy is simply to
+    re-register under the same id and re-claim work.
+    """
+
+
+class StaleLeaseError(RuntimeError):
+    """Raised when an agent acts on a lease it no longer holds.
+
+    Covers event uploads and completions for jobs whose lease expired
+    (and possibly re-queued or finished elsewhere).  The HTTP layer
+    maps it to ``409 Conflict``; agents drop the work on receipt --
+    the coordinator has already arranged for the job to finish
+    elsewhere, byte-identically.
+    """
+
+
+class RemoteJobError(RuntimeError):
+    """A job failed on a remote agent; ``message`` carries the cause."""
+
+    def __init__(self, message: str, agent: str | None = None):
+        super().__init__(message)
+        self.agent = agent
 
 
 class JobCancelledError(RuntimeError):
@@ -96,6 +137,12 @@ class _Job:
         self.events: list[Event] = []
         self.cancel_event = threading.Event()
         self.done_event = threading.Event()
+        #: Lease bookkeeping: the holding agent's id (None when the job
+        #: runs locally or is not running), the lease term, and the
+        #: monotonic deadline a heartbeat must renew before.
+        self.agent: str | None = None
+        self.lease_seconds: float | None = None
+        self.lease_deadline: float | None = None
 
     def info(self) -> dict[str, Any]:
         """JSON-compatible status summary (the HTTP ``/jobs`` shape)."""
@@ -109,6 +156,37 @@ class _Job:
             "runs": self.runs,
             "events": len(self.events),
             "error": None if self.error is None else repr(self.error),
+            "agent": self.agent,
+        }
+
+    def release_lease(self) -> None:
+        """Clear lease fields (caller holds the service lock)."""
+        self.agent = None
+        self.lease_seconds = None
+        self.lease_deadline = None
+
+
+class _Agent:
+    """Internal mutable agent record (guarded by the service lock)."""
+
+    def __init__(self, agent_id: str, name: str, now: float):
+        self.id = agent_id
+        self.name = name
+        self.joined_at = now
+        self.last_seen = now
+        #: Ids of jobs currently leased to this agent.
+        self.jobs: set[str] = set()
+        #: True when the record was rebuilt from the journal after a
+        #: coordinator restart and the agent has not checked in yet.
+        self.restored = False
+
+    def info(self) -> dict[str, Any]:
+        """JSON-compatible agent summary (the HTTP ``/agents`` shape)."""
+        return {
+            "agent_id": self.id,
+            "name": self.name,
+            "jobs": sorted(self.jobs),
+            "restored": self.restored,
         }
 
 
@@ -280,7 +358,23 @@ class SearchService:
             Recovered job ids land in :attr:`recovered_jobs`; entries
             that no longer parse (e.g. a third-party component key not
             registered in this process) are skipped into
-            :attr:`recovery_errors` instead of failing startup.
+            :attr:`recovery_errors` instead of failing startup.  Jobs
+            whose last journaled transition is a *lease* are restored
+            leased -- the coordinator grants the recorded agent a
+            fresh lease term of grace, so an agent that kept running
+            through the coordinator outage keeps its claim (and its
+            completion upload lands normally); only if the agent never
+            heartbeats does the lease expire and the job re-queue.
+        lease_seconds: default lease term for agent-claimed jobs
+            (plans can override via
+            :attr:`~repro.plans.ExecutionPolicy.lease_seconds`).  A
+            lease not renewed within the term expires: the job
+            re-queues and resumes elsewhere from its checkpoint, and
+            the holding agent -- having effectively missed
+            :data:`HEARTBEATS_PER_LEASE` heartbeats -- is presumed
+            dead and deregistered.
+        heartbeat_seconds: heartbeat interval advertised to agents
+            (default: ``lease_seconds / HEARTBEATS_PER_LEASE``).
     """
 
     def __init__(
@@ -294,6 +388,8 @@ class SearchService:
         backend: str = "thread",
         journal_path: str | None = None,
         recover: bool = True,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        heartbeat_seconds: float | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -302,17 +398,36 @@ class SearchService:
                 f"unknown backend {backend!r}; expected one of "
                 + ", ".join(EXECUTION_BACKENDS)
             )
+        if lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        if heartbeat_seconds is not None and not (
+                0 < heartbeat_seconds < lease_seconds):
+            raise ValueError(
+                f"heartbeat_seconds must be in (0, lease_seconds), got "
+                f"{heartbeat_seconds} vs lease {lease_seconds}"
+            )
         self.bus = bus if bus is not None else EventBus()
         self.store = store if store is not None else ResultStore(store_dir)
         self.checkpoint_dir = checkpoint_dir
         self.cache_results = cache_results
         self.backend = backend
+        self.lease_seconds = float(lease_seconds)
+        self.heartbeat_seconds = (
+            float(heartbeat_seconds) if heartbeat_seconds is not None
+            else self.lease_seconds / HEARTBEATS_PER_LEASE
+        )
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._queue: list[tuple[int, int, _Job]] = []
         self._seq = itertools.count()
         self._jobs: dict[str, _Job] = {}
         self._by_hash: dict[str, _Job] = {}
+        self._agents: dict[str, _Agent] = {}
+        self._agent_seq = itertools.count()
+        self._monitor: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
         self._shutdown = False
         self._recovering = False
         #: Job ids re-queued from the journal at startup.
@@ -479,18 +594,368 @@ class SearchService:
             self.bus.publish(event)
         return job.state
 
+    # -- federation: agents and leases ---------------------------------------
+
+    def register_agent(self, name: str | None = None,
+                       agent_id: str | None = None) -> dict[str, Any]:
+        """Register (or re-register) a worker agent; returns its terms.
+
+        Agents pick their own stable ``agent_id`` when they have one --
+        re-registration after a network partition or coordinator
+        restart is idempotent and revives any lease the journal
+        restored to that id.  The returned dict carries the id plus the
+        lease/heartbeat terms the agent must honor.
+        """
+        now = time.monotonic()
+        to_publish: list[Event] = []
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("service is shut down")
+            if agent_id is None:
+                agent_id = f"agent-{name or 'worker'}-{next(self._agent_seq)}"
+            agent = self._agents.get(agent_id)
+            if agent is None:
+                agent = _Agent(agent_id, name or agent_id, now)
+                self._agents[agent_id] = agent
+                to_publish.append(AgentJoined(
+                    agent_id, f"agent {agent.name!r} joined",
+                    name=agent.name))
+            agent.last_seen = now
+            agent.restored = False
+        self._ensure_monitor()
+        for event in to_publish:
+            self.bus.publish(event)
+        return {
+            "agent_id": agent_id,
+            "lease_seconds": self.lease_seconds,
+            "heartbeat_seconds": self.heartbeat_seconds,
+        }
+
+    def deregister_agent(self, agent_id: str,
+                         reason: str = "agent left") -> None:
+        """Remove an agent; its leases expire (jobs re-queue) at once."""
+        to_publish: list[Event] = []
+        with self._lock:
+            agent = self._agents.pop(agent_id, None)
+            if agent is None:
+                return
+            to_publish.append(AgentLost(
+                agent_id, f"agent {agent.name!r} removed: {reason}",
+                name=agent.name))
+            for job_id in sorted(agent.jobs):
+                job = self._jobs.get(job_id)
+                if job is not None and job.agent == agent_id:
+                    to_publish.extend(
+                        self._expire_lease(job, f"agent removed: {reason}")
+                    )
+            agent.jobs.clear()
+            # Local workers may need to take over the re-queued work.
+            self._work_ready.notify_all()
+        for event in to_publish:
+            self.bus.publish(event)
+
+    def agents(self) -> list[dict[str, Any]]:
+        """Registered agents' summaries, in registration order."""
+        with self._lock:
+            return [agent.info() for agent in self._agents.values()]
+
+    def claim_job(self, agent_id: str) -> dict[str, Any] | None:
+        """Lease the next hash-addressable queued job to an agent.
+
+        Returns ``None`` when nothing is claimable, else a JSON-ready
+        job descriptor: the job id, canonical plan document, plan
+        hash, the lease/heartbeat terms for *this* job (plans can
+        override the service defaults), the checkpoint directory the
+        execution must snapshot under (shared-filesystem contract --
+        failover resumes from it), and the execution backend to use.
+        Claiming also counts as a heartbeat for the agent itself.
+        """
+        now = time.monotonic()
+        to_publish: list[Event] = []
+        with self._lock:
+            agent = self._require_agent(agent_id)
+            agent.last_seen = now
+            job = None if self._shutdown else self._pop_queued(remote=True)
+            if job is None:
+                return None
+            term = (job.plan.execution.lease_seconds or self.lease_seconds)
+            heartbeat = job.plan.execution.heartbeat_seconds or min(
+                self.heartbeat_seconds, term / HEARTBEATS_PER_LEASE
+            )
+            job.state = "running"
+            job.runs += 1
+            job.agent = agent_id
+            job.lease_seconds = float(term)
+            job.lease_deadline = now + float(term)
+            agent.jobs.add(job.id)
+            if self._journal is not None and job.evaluator is None:
+                self._journal.record(
+                    "leased", job.plan_hash, job.id, agent=agent_id,
+                    lease_seconds=float(term),
+                )
+            to_publish = self._record(job, [
+                JobLeased(job.id,
+                          f"leased to agent {agent_id} for {term:g}s",
+                          plan_hash=job.plan_hash, agent=agent_id,
+                          lease_seconds=float(term)),
+                JobStarted(job.id, f"run {job.runs} started (agent "
+                           f"{agent_id})", plan_hash=job.plan_hash),
+            ])
+            descriptor = {
+                "job_id": job.id,
+                "plan": job.plan.to_dict(),
+                "plan_hash": job.plan_hash,
+                "lease_seconds": float(term),
+                "heartbeat_seconds": float(heartbeat),
+                "checkpoint_dir": self._effective_checkpoint_dir(job),
+                "backend": job.plan.execution.backend,
+            }
+        for event in to_publish:
+            self.bus.publish(event)
+        return descriptor
+
+    def heartbeat(self, agent_id: str,
+                  jobs: list[str] | tuple[str, ...] = ()) -> dict[str, Any]:
+        """Renew an agent's liveness and its listed jobs' leases.
+
+        Returns directives for the agent: ``lost`` names jobs it no
+        longer holds (expired and re-queued elsewhere -- stop working
+        on them), ``cancel`` names leased jobs whose cancellation was
+        requested (stop cooperatively, checkpointing first).  Unknown
+        agents raise :class:`UnknownAgentError`; the agent's remedy is
+        to re-register under the same id.
+        """
+        now = time.monotonic()
+        with self._lock:
+            agent = self._require_agent(agent_id)
+            agent.last_seen = now
+            agent.restored = False
+            lost: list[str] = []
+            cancel: list[str] = []
+            for job_id in jobs:
+                job = self._jobs.get(job_id)
+                if (job is None or job.agent != agent_id
+                        or job.state != "running"):
+                    lost.append(job_id)
+                    continue
+                assert job.lease_seconds is not None
+                job.lease_deadline = now + job.lease_seconds
+                if job.cancel_event.is_set():
+                    cancel.append(job_id)
+            return {"lost": lost, "cancel": cancel}
+
+    def record_agent_events(self, agent_id: str, job_id: str,
+                            events: list[Event]) -> int:
+        """Append events an agent streamed for a job it holds.
+
+        The remote twin of the in-process ``emit`` callback: events
+        land in the job's ordered log and on the bus, exactly where
+        local execution would have put them.  Raises
+        :class:`StaleLeaseError` when the agent no longer holds the
+        job's lease (the events are dropped -- the job's next holder
+        will re-emit them while resuming).
+        """
+        with self._lock:
+            job = self._require_lease(agent_id, job_id)
+            to_publish = self._record(job, list(events))
+        for event in to_publish:
+            self.bus.publish(event)
+        return len(to_publish)
+
+    def complete_job(
+        self,
+        agent_id: str,
+        job_id: str,
+        outcome: str,
+        payload: dict[str, Any] | None = None,
+        message: str | None = None,
+        completed: int = 0,
+    ) -> dict[str, Any]:
+        """Apply a remote job's terminal outcome under its lease.
+
+        ``outcome`` is ``"done"`` (with the canonical result
+        ``payload`` for cacheable workloads, stored content-addressed
+        exactly as local execution stores it), ``"failed"`` (with the
+        error ``message``) or ``"cancelled"`` (with the count of
+        ``completed`` units).  Raises :class:`StaleLeaseError` when
+        the lease is gone -- the upload is discarded; whoever holds
+        the job now will finish it byte-identically.  Returns the
+        job's post-transition info dict.
+        """
+        if outcome not in ("done", "failed", "cancelled"):
+            raise ValueError(
+                f"unknown outcome {outcome!r}; expected done, failed or "
+                "cancelled"
+            )
+        to_publish: list[Event] = []
+        with self._lock:
+            job = self._require_lease(agent_id, job_id)
+            agent = self._agents.get(agent_id)
+            if agent is not None:
+                agent.last_seen = time.monotonic()
+                agent.jobs.discard(job_id)
+            job.release_lease()
+            if outcome == "done":
+                result_bytes = None
+                cacheable = store_mod.is_cacheable(job.plan)
+                if cacheable and self.cache_results and payload is not None:
+                    result_bytes = self.store.put(job.plan_hash, payload)
+                to_publish = self._terminalize(
+                    job, "done",
+                    JobCompleted(job.id, f"completed (agent {agent_id})",
+                                 plan_hash=job.plan_hash),
+                    result_bytes=result_bytes,
+                )
+            elif outcome == "failed":
+                error = RemoteJobError(
+                    message or "job failed on remote agent", agent=agent_id
+                )
+                to_publish = self._terminalize(
+                    job, "failed",
+                    JobFailed(job.id, f"{message or 'remote failure'} "
+                              f"(agent {agent_id})",
+                              plan_hash=job.plan_hash),
+                    error=error,
+                )
+            else:
+                to_publish = self._terminalize(
+                    job, "cancelled",
+                    JobCancelled(
+                        job.id,
+                        f"cancelled after {completed} completed unit(s) on "
+                        f"agent {agent_id}; checkpoints (if configured) "
+                        "preserved",
+                        plan_hash=job.plan_hash),
+                )
+            info = job.info()
+        for event in to_publish:
+            self.bus.publish(event)
+        return info
+
+    def _require_agent(self, agent_id: str) -> _Agent:
+        """The agent record, or :class:`UnknownAgentError` (lock held)."""
+        agent = self._agents.get(agent_id)
+        if agent is None:
+            raise UnknownAgentError(
+                f"unknown agent {agent_id!r}; (re-)register first"
+            )
+        return agent
+
+    def _require_lease(self, agent_id: str, job_id: str) -> _Job:
+        """The job iff leased to the agent, else raise (lock held)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        if job.agent != agent_id or job.state != "running":
+            raise StaleLeaseError(
+                f"agent {agent_id} does not hold the lease on job "
+                f"{job_id} (state {job.state!r}, holder {job.agent!r}); "
+                "the lease expired -- drop the work"
+            )
+        return job
+
+    def _effective_checkpoint_dir(self, job: _Job) -> str | None:
+        """Where the job's execution snapshots (plan's own dir wins)."""
+        if job.plan.execution.checkpoint_dir is not None:
+            return job.plan.execution.checkpoint_dir
+        return self._job_checkpoint_dir(job)
+
+    def _expire_lease(self, job: _Job, reason: str) -> list[Event]:
+        """Reclaim one lease and re-queue its job (lock held).
+
+        Returns the events to publish after the lock drops.  The job
+        goes back to ``queued`` (journaled ``lease-expired`` then
+        ``queued``), so the next claimant -- another agent, or a local
+        worker once no live agents remain -- resumes it from its
+        per-hash checkpoint.
+        """
+        agent_id = job.agent or ""
+        job.release_lease()
+        job.state = "queued"
+        if self._journal is not None and job.evaluator is None:
+            self._journal.record(
+                "lease-expired", job.plan_hash, job.id, agent=agent_id
+            )
+        self._journal_record("queued", job, with_plan=True)
+        events = self._record(job, [
+            LeaseExpired(job.id,
+                         f"lease held by agent {agent_id} expired: {reason}",
+                         plan_hash=job.plan_hash, agent=agent_id),
+            JobQueued(job.id,
+                      f"lease expired; re-queued to resume from its "
+                      f"checkpoint (was agent {agent_id})",
+                      plan_hash=job.plan_hash),
+        ])
+        self._enqueue(job)
+        return events
+
+    def _ensure_monitor(self) -> None:
+        """Start the lease/liveness monitor thread (idempotent)."""
+        with self._lock:
+            if self._monitor is not None or self._shutdown:
+                return
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="search-service-leases",
+                daemon=True,
+            )
+            self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        """Expire overdue leases and presumed-dead agents periodically."""
+        interval = max(0.02, min(1.0, self.lease_seconds / 10.0))
+        while not self._monitor_stop.wait(interval):
+            self._expire_overdue()
+
+    def _expire_overdue(self) -> None:
+        """One monitor sweep: lost agents first, then overdue leases."""
+        now = time.monotonic()
+        to_publish: list[Event] = []
+        with self._lock:
+            for agent_id in list(self._agents):
+                agent = self._agents[agent_id]
+                if now - agent.last_seen <= self.lease_seconds:
+                    continue
+                del self._agents[agent_id]
+                to_publish.append(AgentLost(
+                    agent_id,
+                    f"agent {agent.name!r} missed its heartbeats "
+                    f"(last seen {now - agent.last_seen:.1f}s ago); "
+                    "presumed dead", name=agent.name))
+                for job_id in sorted(agent.jobs):
+                    job = self._jobs.get(job_id)
+                    if job is not None and job.agent == agent_id:
+                        to_publish.extend(self._expire_lease(
+                            job, "holding agent presumed dead"))
+            for job in self._jobs.values():
+                if (job.state == "running" and job.agent is not None
+                        and job.lease_deadline is not None
+                        and job.lease_deadline < now):
+                    agent = self._agents.get(job.agent)
+                    if agent is not None:
+                        agent.jobs.discard(job.id)
+                    to_publish.extend(self._expire_lease(
+                        job, "no heartbeat within the lease term"))
+            if to_publish:
+                # Re-queued work may need the local workers.
+                self._work_ready.notify_all()
+        for event in to_publish:
+            self.bus.publish(event)
+
     def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
         """Stop accepting work and wind the worker pool down.
 
         Queued jobs are cancelled.  Running jobs finish normally unless
         ``cancel_running`` asks them to stop cooperatively.  With
-        ``wait`` the call joins every worker thread.
+        ``wait`` the call joins every worker thread (and the lease
+        monitor, when one started).
         """
         to_publish: list[Event] = []
         with self._lock:
             if self._shutdown:
                 return
             self._shutdown = True
+            self._monitor_stop.set()
+            monitor = self._monitor
             while self._queue:
                 _, _, job = heapq.heappop(self._queue)
                 if job.state == "queued":
@@ -511,6 +976,8 @@ class SearchService:
         if wait:
             for thread in self._workers:
                 thread.join()
+            if monitor is not None:
+                monitor.join()
             # Workers are done: their terminal entries have landed, so
             # the journal can close (a non-waiting shutdown leaves it
             # open for the still-running workers).
@@ -585,13 +1052,23 @@ class SearchService:
         return base
 
     def _recover(self, pending: list) -> None:
-        """Re-queue journal-recovered submissions (startup only)."""
+        """Re-queue journal-recovered submissions (startup only).
+
+        Plain non-terminal jobs re-submit (and re-queue); jobs whose
+        last transition was a lease claim are restored *leased* to the
+        recorded agent with a fresh term of grace, so an agent that
+        outlived the coordinator keeps its claim -- see
+        :meth:`_restore_lease`.
+        """
         self._recovering = True
         try:
             for item in pending:
                 try:
                     plan = RunPlan.from_dict(item.plan_doc)
-                    handle = self.submit(plan, priority=item.priority)
+                    if item.last_state == "leased" and item.agent:
+                        handle = self._restore_lease(plan, item)
+                    else:
+                        handle = self.submit(plan, priority=item.priority)
                 except (KeyError, ValueError, TypeError) as exc:
                     self.recovery_errors.append(
                         f"journal entry {item.plan_hash[:12]}: "
@@ -601,6 +1078,60 @@ class SearchService:
                     self.recovered_jobs.append(handle.job_id)
         finally:
             self._recovering = False
+
+    def _restore_lease(self, plan: RunPlan, item: Any) -> JobHandle:
+        """Rebuild one leased job + its agent record from the journal.
+
+        The job comes back ``running`` with its lease intact (fresh
+        deadline), the agent record comes back marked ``restored``, and
+        the claim is re-journaled so a second crash still knows.  If
+        the agent never heartbeats again the normal expiry path takes
+        over: the lease expires, the job re-queues, and it resumes
+        elsewhere from its checkpoint.
+        """
+        digest = plan_hash(plan)
+        now = time.monotonic()
+        term = (
+            item.lease_seconds
+            or plan.execution.lease_seconds
+            or self.lease_seconds
+        )
+        to_publish: list[Event] = []
+        with self._lock:
+            job = _Job(self._job_id(digest, evaluator=None), plan, digest,
+                       item.priority, None)
+            self._register(job)
+            job.state = "running"
+            job.runs = 1
+            job.agent = item.agent
+            job.lease_seconds = float(term)
+            job.lease_deadline = now + float(term)
+            agent = self._agents.get(item.agent)
+            if agent is None:
+                agent = _Agent(item.agent, item.agent, now)
+                agent.restored = True
+                self._agents[item.agent] = agent
+            agent.jobs.add(job.id)
+            self._journal_record("queued", job, with_plan=True)
+            if self._journal is not None:
+                self._journal.record(
+                    "leased", job.plan_hash, job.id, agent=item.agent,
+                    lease_seconds=float(term),
+                )
+            to_publish = self._record(job, [
+                JobQueued(job.id, self._queued_message(
+                    "lease restored; awaiting the agent's heartbeat"),
+                    plan_hash=digest),
+                JobLeased(job.id,
+                          f"lease restored to agent {item.agent} from the "
+                          f"journal ({term:g}s grace)",
+                          plan_hash=digest, agent=item.agent,
+                          lease_seconds=float(term)),
+            ])
+        self._ensure_monitor()
+        for event in to_publish:
+            self.bus.publish(event)
+        return JobHandle(self, job)
 
     def _backend_for(self, job: _Job) -> str:
         """The execution back-end this job runs on.
@@ -614,16 +1145,68 @@ class SearchService:
             return "thread"
         return job.plan.execution.backend or self.backend
 
+    def _pop_queued(self, remote: bool = False) -> "_Job | None":
+        """Pop the next claimable queued job (caller holds the lock).
+
+        Stale heap entries (jobs cancelled while queued) are discarded
+        in passing.  ``remote`` claims skip jobs carrying a live
+        evaluator override -- those cannot cross the wire and stay
+        queued for the local workers.
+        """
+        kept: list[tuple[int, int, _Job]] = []
+        found: _Job | None = None
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            job = entry[2]
+            if job.state != "queued":
+                continue
+            if remote and job.evaluator is not None:
+                kept.append(entry)
+                continue
+            found = job
+            break
+        for entry in kept:
+            heapq.heappush(self._queue, entry)
+        return found
+
+    def _claim_local(self) -> "_Job | None":
+        """Pop the next job a *local* worker may run (lock held).
+
+        While agents are registered the local workers yield the queue
+        to them -- remote execution is strictly more parallel -- except
+        for live-evaluator jobs, which cannot cross a process boundary
+        and therefore always run locally.  With zero agents (none ever
+        joined, or all were lost) the service degrades gracefully to
+        plain local execution, exactly the pre-federation behavior.
+        """
+        if not self._agents:
+            return self._pop_queued()
+        kept: list[tuple[int, int, _Job]] = []
+        found: _Job | None = None
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            job = entry[2]
+            if job.state != "queued":
+                continue
+            if job.evaluator is None:
+                kept.append(entry)
+                continue
+            found = job
+            break
+        for entry in kept:
+            heapq.heappush(self._queue, entry)
+        return found
+
     def _worker_loop(self) -> None:
         while True:
             with self._work_ready:
-                while not self._queue and not self._shutdown:
+                while True:
+                    job = self._claim_local()
+                    if job is not None or self._shutdown:
+                        break
                     self._work_ready.wait()
-                if not self._queue:
-                    return  # shutdown with an empty queue
-                _, _, job = heapq.heappop(self._queue)
-                if job.state != "queued":
-                    continue  # cancelled while queued; stale heap entry
+                if job is None:
+                    return  # shutdown with nothing locally runnable
                 job.state = "running"
                 job.runs += 1
                 self._journal_record("running", job)
@@ -714,19 +1297,42 @@ class SearchService:
         event only after the lock is released.
         """
         with self._lock:
-            job.state = state
-            job.error = error
-            job.result_obj = result_obj
-            job.result_bytes = (
-                result_bytes if result_bytes is not None else job.result_bytes
+            events = self._terminalize(
+                job, state, event, error=error, result_obj=result_obj,
+                result_bytes=result_bytes,
             )
-            if state != "done":
-                job.result_obj = None
-            self._journal_record(state, job)
-            events = self._record(job, [event])
-            job.done_event.set()
         for item in events:
             self.bus.publish(item)
+
+    def _terminalize(
+        self,
+        job: _Job,
+        state: str,
+        event: Event,
+        error: BaseException | None = None,
+        result_obj: Any = None,
+        result_bytes: bytes | None = None,
+    ) -> list[Event]:
+        """Land a terminal transition (caller holds the lock).
+
+        The lock-held core of :meth:`_finish`, shared with
+        :meth:`complete_job` so a remote completion can verify the
+        lease and apply the transition in one critical section (no
+        window for the monitor to expire the lease in between).
+        Returns the events for the caller to publish after unlocking.
+        """
+        job.state = state
+        job.error = error
+        job.result_obj = result_obj
+        job.result_bytes = (
+            result_bytes if result_bytes is not None else job.result_bytes
+        )
+        if state != "done":
+            job.result_obj = None
+        self._journal_record(state, job)
+        events = self._record(job, [event])
+        job.done_event.set()
+        return events
 
     def _job_checkpoint_dir(self, job: _Job) -> str | None:
         """Service-level checkpoint fallback, keyed by plan hash."""

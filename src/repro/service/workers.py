@@ -2,7 +2,7 @@
 
 The thread backend runs :func:`~repro.service.executor.execute_plan`
 directly on a service worker thread, which is exact but GIL-bound --
-``--workers 4`` buys almost no throughput on the pure-python searches
+4 serve workers buy almost no throughput on the pure-python searches
 the paper's experiments run.  :func:`run_job_in_process` is the
 alternative the ``--backend process`` knob selects: the worker thread
 spawns a subprocess, hands it the **canonical plan JSON** (the only

@@ -1,0 +1,197 @@
+"""ServiceClient retry, backoff, and wait semantics in isolation.
+
+The chaos-proxy tests (``test_faults.py``) prove the retry loop works
+against real torn sockets; these tests pin the *policy* -- how many
+attempts, which failures are retryable, how the backoff grows, and
+what ``wait`` raises -- without any network in the loop.
+"""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import JobTimeoutError, ServiceClient, ServiceError
+
+
+class FakeResponse:
+    def __init__(self, payload):
+        self._payload = json.dumps(payload).encode()
+
+    def read(self):
+        return self._payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def http_error(code, body=b"boom"):
+    return urllib.error.HTTPError(
+        "http://x", code, "err", {}, io.BytesIO(body))
+
+
+@pytest.fixture()
+def client():
+    return ServiceClient("http://127.0.0.1:1", timeout=1.0,
+                         max_retries=3, backoff=0.01)
+
+
+@pytest.fixture()
+def no_sleep(monkeypatch):
+    """Capture backoff sleeps instead of actually sleeping."""
+    slept = []
+    monkeypatch.setattr("repro.service.client.time.sleep", slept.append)
+    return slept
+
+
+def install_transport(monkeypatch, outcomes):
+    """Serve each outcome (exception or payload dict) per attempt."""
+    attempts = []
+
+    def fake_urlopen(request, timeout=None):
+        attempts.append(request)
+        outcome = outcomes[min(len(attempts) - 1, len(outcomes) - 1)]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return FakeResponse(outcome)
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    return attempts
+
+
+class TestConstruction:
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ServiceClient("http://x", max_retries=-1)
+
+    def test_rejects_nonpositive_backoff(self):
+        with pytest.raises(ValueError, match="backoff"):
+            ServiceClient("http://x", backoff=0)
+
+    def test_zero_retries_disables_retrying(self, monkeypatch, no_sleep):
+        client = ServiceClient("http://x", max_retries=0)
+        attempts = install_transport(monkeypatch, [ConnectionError("down")])
+        with pytest.raises(ConnectionError):
+            client.health()
+        assert len(attempts) == 1
+
+
+class TestRetryPolicy:
+    def test_connection_errors_retried_then_raised(
+            self, client, monkeypatch, no_sleep):
+        attempts = install_transport(monkeypatch, [ConnectionError("down")])
+        with pytest.raises(ConnectionError):
+            client.health()
+        assert len(attempts) == 1 + client.max_retries
+        assert len(no_sleep) == client.max_retries  # sleep between, not after
+
+    def test_recovery_mid_retries_returns_the_payload(
+            self, client, monkeypatch, no_sleep):
+        attempts = install_transport(monkeypatch, [
+            ConnectionError("down"), TimeoutError("slow"), {"status": "ok"},
+        ])
+        assert client.health() == {"status": "ok"}
+        assert len(attempts) == 3
+
+    def test_5xx_is_retried(self, client, monkeypatch, no_sleep):
+        attempts = install_transport(monkeypatch, [
+            http_error(503), {"status": "ok"},
+        ])
+        assert client.health() == {"status": "ok"}
+        assert len(attempts) == 2
+
+    def test_5xx_exhaustion_raises_service_error(
+            self, client, monkeypatch, no_sleep):
+        install_transport(monkeypatch, [http_error(500)])
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 500
+
+    def test_4xx_is_an_answer_not_retried(
+            self, client, monkeypatch, no_sleep):
+        attempts = install_transport(monkeypatch, [http_error(404)])
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("j-missing")
+        assert excinfo.value.status == 404
+        assert len(attempts) == 1
+        assert no_sleep == []
+
+    def test_non_idempotent_calls_never_retry(
+            self, client, monkeypatch, no_sleep):
+        attempts = install_transport(monkeypatch, [ConnectionError("down")])
+        with pytest.raises(ConnectionError):
+            client.shutdown()
+        assert len(attempts) == 1
+
+    def test_backoff_doubles_with_jitter_under_the_cap(
+            self, client, monkeypatch, no_sleep):
+        monkeypatch.setattr("repro.service.client.random.random", lambda: 1.0)
+        client.max_retries = 10
+        client.backoff = 0.1
+        install_transport(monkeypatch, [ConnectionError("down")])
+        with pytest.raises(ConnectionError):
+            client.health()
+        # Jitter factor pinned to its max (1.0): pure doubling, capped.
+        assert no_sleep[:5] == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.6])
+        assert max(no_sleep) <= 2.0
+        # Jittered delays are never more than the deterministic curve.
+        monkeypatch.setattr("repro.service.client.random.random",
+                            lambda: 0.0)
+        jittered = []
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            jittered.append)
+        with pytest.raises(ConnectionError):
+            client.health()
+        assert all(low == pytest.approx(full / 2)
+                   for low, full in zip(jittered, no_sleep))
+
+
+class TestWait:
+    def install_states(self, monkeypatch, client, states):
+        calls = []
+
+        def status(job_id):
+            calls.append(job_id)
+            state = states[min(len(calls) - 1, len(states) - 1)]
+            return {"job_id": job_id, "state": state, "events": len(calls)}
+
+        monkeypatch.setattr(client, "status", status)
+        return calls
+
+    def test_returns_on_terminal_state(self, client, monkeypatch, no_sleep):
+        self.install_states(monkeypatch, client,
+                            ["queued", "running", "done"])
+        info = client.wait("j-1", timeout=5.0, poll=0.01)
+        assert info["state"] == "done"
+        assert len(no_sleep) == 2
+
+    def test_poll_interval_grows_1p5x_to_the_cap(
+            self, client, monkeypatch, no_sleep):
+        self.install_states(monkeypatch, client, ["running"] * 12 + ["done"])
+        client.wait("j-1", timeout=1000.0, poll=0.4, max_poll=2.0)
+        assert no_sleep[0] == pytest.approx(0.4)
+        assert no_sleep[1] == pytest.approx(0.6)
+        assert no_sleep[2] == pytest.approx(0.9)
+        assert max(no_sleep) <= 2.0
+        assert no_sleep[-1] == pytest.approx(2.0)  # pinned at the cap
+
+    def test_timeout_raises_jobtimeouterror_with_final_info(
+            self, client, monkeypatch):
+        self.install_states(monkeypatch, client, ["running"])
+        with pytest.raises(JobTimeoutError) as excinfo:
+            client.wait("j-stuck", timeout=0.05, poll=0.01)
+        assert isinstance(excinfo.value, TimeoutError)  # legacy handlers
+        assert excinfo.value.info["state"] == "running"
+        assert excinfo.value.info["job_id"] == "j-stuck"
+        assert "j-stuck" in str(excinfo.value)
+
+    def test_terminal_on_first_probe_never_sleeps(
+            self, client, monkeypatch, no_sleep):
+        self.install_states(monkeypatch, client, ["failed"])
+        assert client.wait("j-1", timeout=5.0)["state"] == "failed"
+        assert no_sleep == []

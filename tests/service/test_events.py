@@ -4,13 +4,19 @@ import asyncio
 import threading
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.events import (
+    AgentJoined,
+    AgentLost,
     CacheHit,
     Event,
     EventBus,
     JobCompleted,
+    JobLeased,
     JobQueued,
+    LeaseExpired,
     PoolFallback,
     SearchFinished,
     SearchStarted,
@@ -20,6 +26,15 @@ from repro.events import (
     event_to_json,
     legacy_event,
 )
+
+#: Arbitrary wire-safe text: ids and messages cross JSON and pipes, so
+#: throw full unicode (newlines, quotes, surrogate-free) at the codec.
+wire_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40)
+
+#: Lease terms as they appear in the wild: positive finite floats.
+lease_terms = st.floats(min_value=0.001, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)
 
 
 class TestEventTypes:
@@ -82,6 +97,63 @@ class TestEventTypes:
         line = event_to_json(event)
         assert "\n" not in line  # framing survives hostile messages
         assert event_from_json(line).message == "line one\nline two"
+
+
+class TestFederationEventRoundTrips:
+    """Property: every lease/agent event survives both wire codecs.
+
+    These four types are exactly what crosses the agent protocol and
+    the journal, so a lossy field here silently corrupts recovery.
+    """
+
+    @staticmethod
+    def both_codecs(event):
+        via_dict = event_from_dict(event.to_dict())
+        via_json = event_from_json(event_to_json(event))
+        return via_dict, via_json
+
+    @given(scope=wire_text, message=wire_text, name=wire_text)
+    def test_agent_joined_round_trips(self, scope, message, name):
+        event = AgentJoined(scope, message, name=name)
+        for restored in self.both_codecs(event):
+            assert restored == event
+            assert type(restored) is AgentJoined
+
+    @given(scope=wire_text, message=wire_text, name=wire_text)
+    def test_agent_lost_round_trips(self, scope, message, name):
+        event = AgentLost(scope, message, name=name)
+        for restored in self.both_codecs(event):
+            assert restored == event
+            assert type(restored) is AgentLost
+
+    @given(scope=wire_text, message=wire_text, agent=wire_text,
+           plan_hash=wire_text, lease_seconds=lease_terms)
+    def test_job_leased_round_trips(self, scope, message, agent,
+                                    plan_hash, lease_seconds):
+        event = JobLeased(scope, message, plan_hash=plan_hash,
+                          agent=agent, lease_seconds=lease_seconds)
+        for restored in self.both_codecs(event):
+            assert restored == event
+            assert type(restored) is JobLeased
+            assert restored.lease_seconds == lease_seconds
+
+    @given(scope=wire_text, message=wire_text, agent=wire_text,
+           plan_hash=wire_text)
+    def test_lease_expired_round_trips(self, scope, message, agent,
+                                       plan_hash):
+        event = LeaseExpired(scope, message, plan_hash=plan_hash,
+                             agent=agent)
+        for restored in self.both_codecs(event):
+            assert restored == event
+            assert type(restored) is LeaseExpired
+
+    @given(scope=wire_text, message=wire_text, agent=wire_text,
+           lease_seconds=lease_terms)
+    def test_json_lines_stay_single_line(self, scope, message, agent,
+                                         lease_seconds):
+        event = JobLeased(scope, message, agent=agent,
+                          lease_seconds=lease_seconds)
+        assert "\n" not in event_to_json(event)
 
 
 class TestEventBus:

@@ -168,6 +168,93 @@ class TestPendingReduction:
         assert JobJournal.pending_jobs(entries) == []
 
 
+class TestTruncationProperty:
+    """Replay over a prefix of the journal cut at *every* byte offset.
+
+    A SIGKILL can stop the file at any byte.  Whatever the cut, replay
+    must never raise, and a job whose terminal entry landed fully
+    before the cut must never be resurrected by the pending reduction.
+    """
+
+    def write_history(self, path):
+        """A journal exercising every op, including the lease cycle."""
+        plan = search_plan().to_dict()
+        with JobJournal(path) as journal:
+            # a: leased, expired, re-queued, finished locally.
+            journal.record("queued", "aaa", "j-aaa", priority=0,
+                           plan_doc=plan)
+            journal.record("running", "aaa", "j-aaa")
+            journal.record("leased", "aaa", "j-aaa", agent="agent-x",
+                           lease_seconds=5.0)
+            journal.record("lease-expired", "aaa", "j-aaa")
+            journal.record("queued", "aaa", "j-aaa", priority=0,
+                           plan_doc=plan)
+            journal.record("running", "aaa", "j-aaa")
+            journal.record("done", "aaa", "j-aaa")
+            # b: leased and failed remotely.
+            journal.record("queued", "bbb", "j-bbb", priority=1,
+                           plan_doc=plan)
+            journal.record("leased", "bbb", "j-bbb", agent="agent-y",
+                           lease_seconds=2.0)
+            journal.record("failed", "bbb", "j-bbb")
+            # c: cancelled, then resubmitted (legitimately pending).
+            journal.record("queued", "ccc", "j-ccc", priority=0,
+                           plan_doc=plan)
+            journal.record("running", "ccc", "j-ccc")
+            journal.record("cancelled", "ccc", "j-ccc")
+            journal.record("queued", "ccc", "j-ccc", priority=3,
+                           plan_doc=plan)
+        return path.read_bytes()
+
+    def terminal_offsets(self, raw):
+        """hash -> byte offset just past its *last* terminal entry."""
+        offsets = {}
+        position = 0
+        for line in raw.splitlines(keepends=True):
+            position += len(line)
+            entry = json.loads(line)
+            if entry["op"] in ("done", "failed", "cancelled"):
+                offsets[entry["hash"]] = position
+            elif entry["op"] == "queued":
+                offsets.pop(entry["hash"], None)  # resubmitted
+        return offsets
+
+    def test_every_byte_offset_replays_cleanly(self, tmp_path):
+        full = self.write_history(tmp_path / "full.jsonl")
+        terminal_at = self.terminal_offsets(full)
+        cut_path = tmp_path / "cut.jsonl"
+        for offset in range(len(full) + 1):
+            cut_path.write_bytes(full[:offset])
+            entries = JobJournal.replay(cut_path)  # must never raise
+            pending = JobJournal.pending_jobs(entries)
+            states = {p.plan_hash: p.last_state for p in pending}
+            for digest, end in terminal_at.items():
+                if offset >= end:
+                    assert digest not in states, (
+                        f"offset {offset}: terminal job {digest} "
+                        f"resurrected as {states[digest]!r}")
+            for item in pending:
+                assert item.plan_doc is not None
+                assert item.last_state in (
+                    "queued", "running", "leased", "lease-expired")
+        # Sanity: the *un*cut journal recovers exactly the open job.
+        final = JobJournal.pending_jobs(JobJournal.replay(cut_path))
+        assert [(p.plan_hash, p.priority) for p in final] == [("ccc", 3)]
+
+    def test_truncated_lease_entry_still_recovers_the_job(self, tmp_path):
+        """Cutting mid-'leased' leaves the prior 'running' state live."""
+        full = self.write_history(tmp_path / "full.jsonl")
+        lines = full.splitlines(keepends=True)
+        leased_line = next(ln for ln in lines if b'"leased"' in ln)
+        upto = full.index(leased_line) + len(leased_line) // 2
+        cut_path = tmp_path / "cut.jsonl"
+        cut_path.write_bytes(full[:upto])
+        pending = JobJournal.pending_jobs(JobJournal.replay(cut_path))
+        assert [(p.plan_hash, p.last_state) for p in pending] == [
+            ("aaa", "running")]
+        assert pending[0].agent is None  # the torn lease never happened
+
+
 class TestServiceRecovery:
     def test_journal_lands_next_to_a_persistent_store(self, tmp_path):
         with SearchService(workers=1, store_dir=str(tmp_path)) as service:
