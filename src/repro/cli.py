@@ -272,6 +272,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "closed-form analyzer")
     p.add_argument("--energy", action="store_true",
                    help="also report the analytical energy estimate")
+
+    p = sub.add_parser(
+        "store",
+        help="inspect and maintain a persistent result store",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    g = store_sub.add_parser(
+        "gc",
+        help="garbage-collect dead whole-plan and shard entries; entries "
+             "referenced by non-terminal journal jobs are never removed",
+    )
+    g.add_argument("--store-dir", required=True,
+                   help="the persistent store directory to collect")
+    g.add_argument("--journal", default=None,
+                   help="job journal whose non-terminal jobs pin entries "
+                        "live (default: <store-dir>/journal.jsonl)")
+    g.add_argument("--max-age", type=float, default=None,
+                   help="remove dead entries at least this many seconds "
+                        "old (default: age alone removes nothing)")
+    g.add_argument("--max-bytes", type=int, default=None,
+                   help="after age expiry, evict dead entries oldest-first "
+                        "until the store fits this budget")
+    g.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without deleting")
     return parser
 
 
@@ -537,6 +561,33 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``repro store gc``: refcount against the journal, then collect."""
+    from pathlib import Path
+
+    from repro.service.journal import JOURNAL_FILENAME, JobJournal
+    from repro.service.store import ResultStore, live_store_keys
+
+    store_dir = Path(args.store_dir)
+    if not store_dir.is_dir():
+        print(f"error: store directory {store_dir} does not exist",
+              file=sys.stderr)
+        return 2
+    journal_path = (Path(args.journal) if args.journal is not None
+                    else store_dir / JOURNAL_FILENAME)
+    live: frozenset[str] = frozenset()
+    if journal_path.exists():
+        live = live_store_keys(JobJournal.replay(journal_path))
+    report = ResultStore(store_dir).gc(
+        live=live,
+        max_age_seconds=args.max_age,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    print(report.format())
+    return 0
+
+
 def _print_notes(command: str, execution: ExecutionPolicy) -> None:
     """Pre-run advisory notes (kept from the kwarg-era CLI)."""
     if (command != "sweep" and execution.eval_workers > 1
@@ -567,6 +618,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_agent(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "store":
+        return _cmd_store(args)
     try:
         plan = plan_from_args(args)
     except (KeyError, ValueError) as exc:

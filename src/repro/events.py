@@ -178,6 +178,24 @@ class PoolFallback(Event):
     type_tag: ClassVar[str] = "pool-fallback"
 
 
+@register_event
+@dataclass(frozen=True)
+class ShardCached(Event):
+    """A campaign shard was served from the result store, not executed.
+
+    The shard-granular sibling of the service-level
+    :class:`CacheHit`: ``scope`` is the shard id and ``plan_hash`` the
+    shard's canonical single-search plan hash
+    (:attr:`repro.orchestration.shards.ShardSpec.shard_hash`).  Tests
+    and benches count these to assert how much of a sweep was memoized.
+    """
+
+    plan_hash: str = ""
+
+    kind: ClassVar[str] = "cache-hit"
+    type_tag: ClassVar[str] = "shard-cached"
+
+
 #: Map from string kinds to the search/campaign event classes -- the
 #: adapter between ``emit(kind, scope, message)`` call sites and typed
 #: events (:func:`legacy_event`).

@@ -26,6 +26,7 @@ them, services can forward them to their own telemetry.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -40,6 +41,7 @@ from repro.events import (
     PoolFallback,
     SearchFinished,
     SearchStarted,
+    ShardCached,
     ShardRequeued,
 )
 from repro.experiments.pareto import ParetoFront, frontier_from_trials
@@ -233,6 +235,17 @@ class Campaign:
         max_pool_restarts: how many broken-pool rebuilds to attempt
             before falling back to in-process execution.
         progress: optional :class:`CampaignEvent` callback.
+        store: a :class:`~repro.service.store.ResultStore` to memoize
+            shards through.  Before a shard runs, the campaign reads
+            the store at the shard's canonical hash
+            (:attr:`~repro.orchestration.shards.ShardSpec.shard_hash`)
+            and serves a valid entry instead of executing (publishing
+            :class:`~repro.events.ShardCached`); after a shard
+            finishes, its canonical scrubbed payload is written back.
+            Because stored shard bytes are a pure function of the
+            shard's plan, the merged result is byte-identical whether
+            shards ran or were cached.  ``None`` (the default)
+            disables memoization.
     """
 
     def __init__(
@@ -242,6 +255,7 @@ class Campaign:
         checkpoint_every: int | None = None,
         max_pool_restarts: int = 2,
         progress: ProgressCallback | None = None,
+        store: Any = None,
     ):
         if not shards:
             raise ValueError("a campaign needs at least one shard")
@@ -264,6 +278,7 @@ class Campaign:
         self.checkpoint_every = checkpoint_every
         self.max_pool_restarts = max_pool_restarts
         self.progress = progress
+        self.store = store
 
     def run(self, max_workers: int = 1, should_stop=None) -> CampaignResult:
         """Execute every shard and merge the results.
@@ -293,6 +308,7 @@ class Campaign:
         }
         requeues: dict[str, int] = {s.shard_id: 0 for s in self.shards}
         outcomes: dict[str, ShardOutcome] = {}
+        self._serve_cached(pending, outcomes)
         if max_workers > 1 and len(pending) > 1:
             self._run_pooled(pending, outcomes, requeues, max_workers,
                              should_stop=should_stop)
@@ -310,6 +326,7 @@ class Campaign:
                 )
             except SearchCancelled:
                 raise SearchCancelled(len(outcomes)) from None
+            self._store_payload(spec, payload)
             outcomes[shard_id] = ShardOutcome.from_payload(
                 payload, requeues=requeues[shard_id]
             )
@@ -325,6 +342,67 @@ class Campaign:
         )
 
     # -- internals -----------------------------------------------------------
+
+    def _serve_cached(
+        self,
+        pending: dict[str, ShardSpec],
+        outcomes: dict[str, ShardOutcome],
+    ) -> None:
+        """Read-through: answer shards the store already holds.
+
+        Runs before any scheduling, so a memoized shard costs one
+        store lookup instead of a pool slot.  Each hit publishes
+        :class:`~repro.events.ShardCached` (where an executed shard
+        would publish ``SearchStarted``/``SearchFinished``) and lands
+        in ``outcomes`` with ``cached=True``.  Invalid entries --
+        corrupt bytes, a payload whose shard id does not match, an
+        undecodable document -- are treated as misses; the shard then
+        executes and its ``put`` repairs the entry.
+        """
+        if self.store is None:
+            return
+        for shard_id, spec in list(pending.items()):
+            outcome = self._cached_outcome(spec)
+            if outcome is None:
+                continue
+            outcomes[shard_id] = outcome
+            del pending[shard_id]
+            self._publish(ShardCached(
+                shard_id,
+                f"served from the result store "
+                f"({len(outcome.result.trials)} trials)",
+                plan_hash=spec.shard_hash,
+            ))
+
+    def _cached_outcome(self, spec: ShardSpec) -> ShardOutcome | None:
+        """Decode one shard's stored payload (None on miss/invalid)."""
+        payload = self.store.get_payload(spec.shard_hash)
+        if (not isinstance(payload, dict)
+                or payload.get("shard_id") != spec.shard_id):
+            return None
+        try:
+            return dataclasses.replace(
+                ShardOutcome.from_payload(payload), cached=True
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _store_payload(self, spec: ShardSpec, payload: dict) -> None:
+        """Write-through: persist one freshly-run shard's payload.
+
+        ``put`` canonicalizes and scrubs (wall clocks, resume
+        provenance), so the stored bytes are a pure function of the
+        shard's plan whichever run produced them.  Memoization is an
+        optimization: a store that cannot persist (disk full,
+        permissions) must not fail a campaign that already holds the
+        result, so I/O errors are swallowed.
+        """
+        if self.store is None:
+            return
+        try:
+            self.store.put(spec.shard_hash, payload)
+        except OSError:
+            pass
 
     def _run_pooled(
         self,
@@ -403,6 +481,7 @@ class Campaign:
                 for future in done:
                     shard_id = futures[future]
                     payload = future.result()  # raises BrokenProcessPool
+                    self._store_payload(pending[shard_id], payload)
                     outcomes[shard_id] = ShardOutcome.from_payload(
                         payload, requeues=requeues[shard_id]
                     )
@@ -426,6 +505,7 @@ def run_campaign(
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
     progress: ProgressCallback | None = None,
+    store: Any = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`Campaign`."""
     return Campaign(
@@ -433,4 +513,5 @@ def run_campaign(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         progress=progress,
+        store=store,
     ).run(max_workers=max_workers)

@@ -149,6 +149,21 @@ class ShardSpec:
         return "-".join(parts)
 
     @property
+    def shard_hash(self) -> str:
+        """Content-address of this shard's result in the store.
+
+        Exactly ``plan_hash(self.to_plan())`` -- the canonical hash of
+        the shard's single-search plan.  Because :meth:`to_plan`
+        normalizes result-irrelevant execution knobs away, two shards
+        computing the same search share one hash (and one stored
+        result) regardless of ``eval_workers``, ``shard_workers``,
+        backend, or checkpoint policy.
+        """
+        from repro.plans import plan_hash
+
+        return plan_hash(self.to_plan())
+
+    @property
     def resolved_trials(self) -> int:
         """Trial budget with the Table 2 default applied."""
         if self.trials is not None:
@@ -171,18 +186,27 @@ class ShardSpec:
         )
 
     def to_plan(self) -> RunPlan:
-        """The single-search :class:`~repro.plans.RunPlan` equivalent.
+        """The *canonical* single-search :class:`~repro.plans.RunPlan`.
 
         ``workload="search"`` plans and shard specs are two spellings
-        of the same data: ``ShardSpec.from_plan(spec.to_plan())`` is
-        identity, and :func:`build_search` goes through the plan form.
+        of the same data, and :func:`build_search` goes through the
+        plan form.  The plan is canonical: only trajectory-relevant
+        execution knobs survive (``batch_size`` changes the batched
+        controller trajectory; ``eval_workers`` and the rest of
+        :class:`~repro.plans.ExecutionPolicy` never do, and are
+        normalized to their defaults).  That makes
+        :func:`repro.plans.plan_hash` of this plan -- see
+        :attr:`shard_hash` -- a pure function of *what* the shard
+        computes, so shards of different sweeps share result-store
+        entries whatever knobs those sweeps ran under.
+        ``ShardSpec.from_plan(spec.to_plan())`` is identity for specs
+        at default ``eval_workers``; :func:`build_search` re-applies a
+        non-default ``eval_workers`` when building the live search.
         """
         return RunPlan(
             workload="search",
             search=self._search_plan(),
-            execution=ExecutionPolicy(
-                batch_size=self.batch_size, eval_workers=self.eval_workers
-            ),
+            execution=ExecutionPolicy(batch_size=self.batch_size),
             scenario=ScenarioPlan(
                 datasets=(self.dataset,),
                 devices=(self.device,),
@@ -366,11 +390,25 @@ def build_search(spec: ShardSpec) -> Search:
     all build components through the same registry-driven path.
     Everything is derived deterministically from the spec, so any
     process -- the submitting one, a pool worker, or a worker picking
-    up after a crash -- builds the identical search.
+    up after a crash -- builds the identical search.  The spec's
+    ``eval_workers`` (normalized out of the canonical plan by
+    :meth:`ShardSpec.to_plan`) is re-applied here, so parallel child
+    evaluation still happens -- it parallelizes the work without
+    changing the trajectory, which is why it can stay out of the hash.
     """
+    import dataclasses
+
     from repro.api import build_search as build_search_from_plan
 
-    return build_search_from_plan(spec.to_plan())
+    plan = spec.to_plan()
+    if spec.eval_workers != 1:
+        plan = dataclasses.replace(
+            plan,
+            execution=dataclasses.replace(
+                plan.execution, eval_workers=spec.eval_workers
+            ),
+        )
+    return build_search_from_plan(plan)
 
 
 def run_shard(
@@ -471,16 +509,25 @@ def _check_snapshot_matches_spec(
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """One finished shard: its spec, ledger, and how it got there."""
+    """One finished shard: its spec, ledger, and how it got there.
+
+    ``cached`` marks outcomes served from the result store instead of
+    executed; it is in-memory provenance only -- campaign artifacts
+    (:meth:`CampaignResult.to_dict`) never serialize it, so a merged
+    result's bytes are identical whether its shards ran or were
+    cached.
+    """
 
     spec: ShardSpec
     result: SearchResult
     resumed_from: str | None = None
     requeues: int = 0
+    cached: bool = False
 
     @classmethod
     def from_payload(
-        cls, payload: dict[str, Any], requeues: int = 0
+        cls, payload: dict[str, Any], requeues: int = 0,
+        cached: bool = False,
     ) -> "ShardOutcome":
         """Decode a :func:`run_shard` payload."""
         return cls(
@@ -488,4 +535,5 @@ class ShardOutcome:
             result=search_result_from_dict(payload["result"]),
             resumed_from=payload.get("resumed_from"),
             requeues=requeues,
+            cached=cached,
         )

@@ -225,6 +225,7 @@ class WorkerAgent:
                 cancel_requested=lambda: (cancel.is_set() or lost.is_set()
                                           or self._stop.is_set()),
                 fallback_checkpoint_dir=claim.get("checkpoint_dir"),
+                store_dir=claim.get("store_dir"),
             )
         except SearchCancelled as exc:
             return ("cancelled", exc.completed)

@@ -51,6 +51,7 @@ def execute_plan(
     evaluator: Any = None,
     should_stop: Callable[[], bool] | None = None,
     fallback_checkpoint_dir: str | None = None,
+    store: Any = None,
 ) -> Any:
     """Execute one plan's workload and return its result object.
 
@@ -69,6 +70,13 @@ def execute_plan(
             plan's execution policy names none -- how the service makes
             every job durable/resumable without rewriting (and thus
             re-hashing) the submitted plan.
+        store: a :class:`~repro.service.store.ResultStore` the
+            campaign-backed workloads (``search``, ``sweep``) memoize
+            shards through: each shard is read through the store at
+            its canonical hash before running and written back after,
+            so a sweep overlapping an earlier one executes only its
+            novel shards (:class:`~repro.events.ShardCached` events
+            mark the rest).  ``None`` disables shard memoization.
 
     Result types by workload: ``table1`` -> ``Table1Result``,
     ``figure6`` -> ``Figure6Result``, ``figure7`` -> ``Figure7Result``,
@@ -96,7 +104,7 @@ def execute_plan(
     publish(RunStarted(workload, "session started"))
     runner = _WORKLOAD_RUNNERS[workload]
     result = runner(plan, publish, publish_legacy, evaluator, should_stop,
-                    fallback_checkpoint_dir)
+                    fallback_checkpoint_dir, store)
     publish(RunFinished(workload, "session finished"))
     return result
 
@@ -104,7 +112,8 @@ def execute_plan(
 # -- workload runners --------------------------------------------------------
 
 
-def _run_table1(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_table1(plan, publish, legacy, evaluator, should_stop,
+                fallback_dir, store):
     """Table 1 workload body."""
     from repro.experiments.table1 import run_table1_plan
 
@@ -112,7 +121,8 @@ def _run_table1(plan, publish, legacy, evaluator, should_stop, fallback_dir):
                            should_stop=should_stop)
 
 
-def _run_figure6(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_figure6(plan, publish, legacy, evaluator, should_stop,
+                 fallback_dir, store):
     """Figure 6 workload body."""
     from repro.experiments.figure6 import run_figure6_plan
 
@@ -120,7 +130,8 @@ def _run_figure6(plan, publish, legacy, evaluator, should_stop, fallback_dir):
                             should_stop=should_stop)
 
 
-def _run_figure7(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_figure7(plan, publish, legacy, evaluator, should_stop,
+                 fallback_dir, store):
     """Figure 7 workload body."""
     from repro.experiments.figure7 import run_figure7_plan
 
@@ -128,14 +139,16 @@ def _run_figure7(plan, publish, legacy, evaluator, should_stop, fallback_dir):
                             should_stop=should_stop)
 
 
-def _run_figure8(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_figure8(plan, publish, legacy, evaluator, should_stop,
+                 fallback_dir, store):
     """Figure 8 workload body."""
     from repro.experiments.figure8 import run_figure8
 
     return run_figure8()
 
 
-def _run_ablations(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_ablations(plan, publish, legacy, evaluator, should_stop,
+                   fallback_dir, store):
     """Ablation-study workload body."""
     from repro.experiments.ablation import (
         run_pruning_ablation,
@@ -151,7 +164,8 @@ def _run_ablations(plan, publish, legacy, evaluator, should_stop, fallback_dir):
     return reuse, pruning
 
 
-def _run_report(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_report(plan, publish, legacy, evaluator, should_stop,
+                fallback_dir, store):
     """Report workload body (writes ``plan.output`` when set)."""
     from repro.experiments.report import generate_report_plan
 
@@ -161,7 +175,8 @@ def _run_report(plan, publish, legacy, evaluator, should_stop, fallback_dir):
     return text
 
 
-def _run_sweep(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_sweep(plan, publish, legacy, evaluator, should_stop,
+               fallback_dir, store):
     """Sweep workload body: the full campaign runtime."""
     from repro.orchestration import (
         Campaign,
@@ -180,13 +195,15 @@ def _run_sweep(plan, publish, legacy, evaluator, should_stop, fallback_dir):
         checkpoint_dir=_checkpoint_dir(plan, fallback_dir),
         checkpoint_every=plan.execution.checkpoint_every,
         progress=publish,
+        store=store,
     ).run(max_workers=plan.execution.shard_workers, should_stop=should_stop)
     if plan.output is not None:
         save_campaign_result(result, plan.output)
     return result
 
 
-def _run_paired(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_paired(plan, publish, legacy, evaluator, should_stop,
+                fallback_dir, store):
     """Paired NAS+FNAS workload body."""
     from repro.experiments.runner import run_paired_plan
 
@@ -194,7 +211,8 @@ def _run_paired(plan, publish, legacy, evaluator, should_stop, fallback_dir):
                            should_stop=should_stop)
 
 
-def _run_search(plan, publish, legacy, evaluator, should_stop, fallback_dir):
+def _run_search(plan, publish, legacy, evaluator, should_stop,
+                fallback_dir, store):
     """Single-search workload body: a one-shard campaign.
 
     Going through :class:`~repro.orchestration.campaign.Campaign` (not
@@ -211,6 +229,7 @@ def _run_search(plan, publish, legacy, evaluator, should_stop, fallback_dir):
         checkpoint_dir=_checkpoint_dir(plan, fallback_dir),
         checkpoint_every=plan.execution.checkpoint_every,
         progress=publish,
+        store=store,
     ).run(max_workers=1, should_stop=should_stop)
     return outcome.outcomes[0].result
 

@@ -41,6 +41,12 @@ from typing import Any
 #: Journal line schema tag (bumped on incompatible layout changes).
 JOURNAL_SCHEMA = 1
 
+#: Default journal filename, conventionally inside the result store's
+#: directory (one directory = one durable service state: results +
+#: journal, which is also what lets ``repro store gc`` find the
+#: journal from ``--store-dir`` alone).
+JOURNAL_FILENAME = "journal.jsonl"
+
 #: Ops a journal line may carry, in rough lifecycle order.  ``leased``
 #: marks a remote agent claiming the job (the entry carries the agent id
 #: and lease term, so a restarted coordinator can restore the lease);
@@ -297,3 +303,40 @@ class JobJournal:
                 lease_seconds=leases.get(digest),
             ))
         return pending
+
+    @staticmethod
+    def live_jobs(
+        entries: list[dict[str, Any]],
+    ) -> list[tuple[str, dict[str, Any] | None]]:
+        """``(plan_hash, plan_doc)`` for every non-terminal job.
+
+        The store-GC liveness reduction: a job whose *last* recorded
+        transition is non-terminal may still complete (a recovering
+        coordinator will re-queue it; a leased agent may upload its
+        result), so every store entry its plan references must
+        survive collection.  Unlike :meth:`pending_jobs` this keeps
+        jobs whose journal never captured a parseable plan document
+        (``plan_doc`` is then ``None``): their whole-plan hash is
+        still live even though their shards cannot be enumerated --
+        GC must err toward keeping.  Order is first-seen submission
+        order.
+        """
+        last_state: dict[str, str] = {}
+        plans: dict[str, dict[str, Any] | None] = {}
+        order: list[str] = []
+        for entry in entries:
+            digest = entry.get("hash")
+            op = entry.get("op")
+            if not isinstance(digest, str) or op not in JOURNAL_OPS:
+                continue
+            if digest not in last_state:
+                order.append(digest)
+            last_state[digest] = op
+            if op == "queued":
+                plan = entry.get("plan")
+                plans[digest] = plan if isinstance(plan, dict) else None
+        return [
+            (digest, plans.get(digest))
+            for digest in order
+            if last_state[digest] in _RECOVERABLE_STATES
+        ]

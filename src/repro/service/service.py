@@ -61,7 +61,7 @@ from repro.events import (
 from repro.plans import EXECUTION_BACKENDS, RunPlan, plan_hash
 from repro.service import store as store_mod
 from repro.service.executor import check_evaluator_override, execute_plan
-from repro.service.journal import JobJournal
+from repro.service.journal import JOURNAL_FILENAME, JobJournal
 from repro.service.store import ResultStore
 
 #: Job lifecycle states, in rough temporal order.
@@ -69,9 +69,6 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: States a submission can coalesce onto (dedup targets).
 _COALESCE_STATES = ("queued", "running", "done")
-
-#: Default journal filename under a persistent store directory.
-JOURNAL_FILENAME = "journal.jsonl"
 
 #: Default lease term for agent-claimed jobs, in seconds.
 DEFAULT_LEASE_SECONDS = 15.0
@@ -709,6 +706,7 @@ class SearchService:
                 "heartbeat_seconds": float(heartbeat),
                 "checkpoint_dir": self._effective_checkpoint_dir(job),
                 "backend": job.plan.execution.backend,
+                "store_dir": self._shared_store_dir(),
             }
         for event in to_publish:
             self.bus.publish(event)
@@ -1231,6 +1229,7 @@ class SearchService:
                     emit=lambda event: self._publish(job, event),
                     cancel_requested=job.cancel_event.is_set,
                     fallback_checkpoint_dir=self._job_checkpoint_dir(job),
+                    store_dir=self._shared_store_dir(),
                 )
             else:
                 result = execute_plan(
@@ -1239,6 +1238,7 @@ class SearchService:
                     evaluator=job.evaluator,
                     should_stop=job.cancel_event.is_set,
                     fallback_checkpoint_dir=self._job_checkpoint_dir(job),
+                    store=self._memo_store(job),
                 )
         except SearchCancelled as exc:
             self._finish(job, "cancelled", JobCancelled(
@@ -1341,3 +1341,29 @@ class SearchService:
         import os
 
         return os.path.join(self.checkpoint_dir, job.plan_hash)
+
+    def _memo_store(self, job: _Job) -> Any:
+        """The store thread-backend jobs memoize shards through.
+
+        ``None`` (memoization off) when result caching is disabled or
+        the job carries a live evaluator override -- an injected
+        evaluator can change shard results, so serving another run's
+        cached shards for it would be wrong.
+        """
+        if not self.cache_results or job.evaluator is not None:
+            return None
+        return self.store
+
+    def _shared_store_dir(self) -> str | None:
+        """The persistent store directory, for out-of-process workers.
+
+        A live store handle cannot cross a process boundary, so the
+        process backend and remote agents get the directory path and
+        rebuild a :class:`~repro.service.store.ResultStore` on it --
+        the same shared-filesystem contract as the checkpoint
+        directory.  ``None`` when caching is disabled or the store is
+        in-memory only (nothing durable to share).
+        """
+        if not self.cache_results or self.store.directory is None:
+            return None
+        return str(self.store.directory)

@@ -14,13 +14,33 @@ The service's dedup guarantee rests on two pieces:
   the first, and they optionally persist under a directory
   (``<hash>.json``, atomic writes) so a restarted service keeps its
   cache.
+
+The store is keyed at **two granularities** sharing one namespace:
+whole-plan hashes (what :meth:`SearchService.submit` dedups on) and
+*shard* hashes -- each campaign shard's canonical single-search plan
+hash (:attr:`repro.orchestration.shards.ShardSpec.shard_hash`), which
+:class:`~repro.orchestration.campaign.Campaign` reads through before
+running a shard and writes through after.  Two sweeps overlapping in
+most of their shards therefore share those shards' results, and a
+re-submitted sweep with one changed spec re-pays ~one shard, not N.
+
+Long-lived deployments reclaim space with :meth:`ResultStore.gc`
+(surfaced as ``repro store gc``): entries referenced by the job
+journal's non-terminal jobs (:func:`live_store_keys`) are pinned;
+everything else ages out under ``--max-age`` / ``--max-bytes``
+budgets.  Disk reads validate before serving, so a torn or corrupt
+entry is a miss that gets recomputed and atomically overwritten --
+never served.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.plans import RunPlan
 
@@ -192,23 +212,43 @@ class ResultStore:
             path = self._path(key)
             tmp = path.with_name(path.name + ".tmp")
             tmp.write_bytes(blob)
-            import os
-
             os.replace(tmp, path)
         return blob
 
     def get_bytes(self, key: str) -> bytes | None:
-        """The stored canonical bytes for ``key`` (None on a miss)."""
+        """The stored canonical bytes for ``key`` (None on a miss).
+
+        Disk entries are *validated* before they are served or cached
+        in memory: a file that cannot be read or whose bytes do not
+        parse as a JSON object -- a torn write, a crash mid-``put``
+        before the atomic rename, outside corruption -- is treated as
+        a miss, never returned.  The caller then recomputes and
+        ``put`` atomically overwrites the damaged file (first-write-
+        wins only applies to entries that validate).
+        """
         blob = self._memory.get(key)
         if blob is not None:
             return blob
         if self.directory is not None:
-            path = self._path(key)
-            if path.exists():
-                blob = path.read_bytes()
+            blob = self._read_disk(key)
+            if blob is not None:
                 self._memory[key] = blob
                 return blob
         return None
+
+    def _read_disk(self, key: str) -> bytes | None:
+        """One validated disk read: bytes, or None for missing/corrupt."""
+        try:
+            blob = self._path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(blob)
+        except ValueError:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return blob
 
     def get_payload(self, key: str) -> dict[str, Any] | None:
         """The stored payload for ``key``, parsed (None on a miss)."""
@@ -225,3 +265,211 @@ class ResultStore:
         if self.directory is not None:
             keys.update(p.stem for p in self.directory.glob("*.json"))
         return len(keys)
+
+    def gc(
+        self,
+        live: frozenset[str] | set[str] = frozenset(),
+        max_age_seconds: float | None = None,
+        max_bytes: int | None = None,
+        dry_run: bool = False,
+    ) -> "StoreGCReport":
+        """Reclaim dead and corrupt entries from a persistent store.
+
+        ``live`` keys -- typically :func:`live_store_keys` over the
+        job journal: the whole-plan hashes of every non-terminal job
+        plus the shard hashes those plans expand to -- are **never**
+        removed, however old or over-budget the store is.  Everything
+        else is *dead* (no in-flight job references it) and reclaimable
+        under two budgets:
+
+        * ``max_age_seconds`` -- dead entries whose file is at least
+          this old are removed (``0`` reclaims every dead entry);
+        * ``max_bytes`` -- after the age pass, dead entries are
+          removed oldest-first until the store fits the byte budget
+          (live entries count against it but are never evicted).
+
+        Entries whose file no longer validates (torn or corrupt JSON)
+        are removed unconditionally -- they can only ever be misses.
+        With no budget given, only that corrupt-file cleanup runs.
+        ``dry_run`` computes the same report without deleting.
+        Removed keys are also dropped from the in-memory cache.
+        Raises :class:`ValueError` on in-memory-only stores (nothing
+        durable to collect).
+        """
+        if self.directory is None:
+            raise ValueError(
+                "gc requires a persistent store (a directory); in-memory "
+                "stores die with their process"
+            )
+        now = time.time()
+        corrupt: list[str] = []
+        expired: list[str] = []
+        over_budget: list[str] = []
+        #: key -> (age_seconds, size_bytes) of dead-but-valid entries.
+        dead: dict[str, tuple[float, int]] = {}
+        live_bytes = 0
+        kept_live = 0
+        reclaimed = 0
+        examined = 0
+        for path in sorted(self.directory.glob("*.json")):
+            key = path.stem
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # vanished under us
+            examined += 1
+            if self._read_disk(key) is None:
+                corrupt.append(key)
+                reclaimed += stat.st_size
+                continue
+            if key in live:
+                kept_live += 1
+                live_bytes += stat.st_size
+                continue
+            age = max(0.0, now - stat.st_mtime)
+            if max_age_seconds is not None and age >= max_age_seconds:
+                expired.append(key)
+                reclaimed += stat.st_size
+                continue
+            dead[key] = (age, stat.st_size)
+        if max_bytes is not None:
+            total = live_bytes + sum(size for _, size in dead.values())
+            # Oldest dead entries go first; live entries are untouchable
+            # even when they alone exceed the budget.
+            for key, (age, size) in sorted(
+                dead.items(), key=lambda item: -item[1][0]
+            ):
+                if total <= max_bytes:
+                    break
+                over_budget.append(key)
+                reclaimed += size
+                total -= size
+        removed = (*corrupt, *expired, *over_budget)
+        if not dry_run:
+            for key in removed:
+                try:
+                    self._path(key).unlink()
+                except OSError:
+                    pass  # already gone; the report still counts it
+                self._memory.pop(key, None)
+        return StoreGCReport(
+            examined=examined,
+            kept=examined - len(removed),
+            live=kept_live,
+            removed_corrupt=tuple(corrupt),
+            removed_expired=tuple(expired),
+            removed_over_budget=tuple(over_budget),
+            reclaimed_bytes=reclaimed,
+            dry_run=dry_run,
+        )
+
+
+@dataclass(frozen=True)
+class StoreGCReport:
+    """What one :meth:`ResultStore.gc` sweep examined and reclaimed.
+
+    Attributes:
+        examined: persisted entries the sweep looked at.
+        kept: entries still present after the sweep.
+        live: entries protected by the caller's ``live`` set.
+        removed_corrupt: keys whose files no longer validated.
+        removed_expired: dead keys past the ``max_age_seconds`` budget.
+        removed_over_budget: dead keys evicted (oldest-first) to fit
+            ``max_bytes``.
+        reclaimed_bytes: on-disk bytes freed (or freeable, under
+            ``dry_run``).
+        dry_run: whether the sweep only reported, without deleting.
+    """
+
+    examined: int
+    kept: int
+    live: int
+    removed_corrupt: tuple[str, ...] = ()
+    removed_expired: tuple[str, ...] = ()
+    removed_over_budget: tuple[str, ...] = ()
+    reclaimed_bytes: int = 0
+    dry_run: bool = False
+
+    @property
+    def removed(self) -> int:
+        """Total entries reclaimed by the sweep."""
+        return (len(self.removed_corrupt) + len(self.removed_expired)
+                + len(self.removed_over_budget))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (the CLI's machine-readable output)."""
+        return {
+            "examined": self.examined,
+            "kept": self.kept,
+            "live": self.live,
+            "removed": self.removed,
+            "removed_corrupt": list(self.removed_corrupt),
+            "removed_expired": list(self.removed_expired),
+            "removed_over_budget": list(self.removed_over_budget),
+            "reclaimed_bytes": self.reclaimed_bytes,
+            "dry_run": self.dry_run,
+        }
+
+    def format(self) -> str:
+        """One-line human summary (what ``repro store gc`` prints)."""
+        verb = "would reclaim" if self.dry_run else "reclaimed"
+        return (
+            f"examined {self.examined} entr{'y' if self.examined == 1 else 'ies'}: "
+            f"kept {self.kept} ({self.live} live), {verb} {self.removed} "
+            f"({len(self.removed_corrupt)} corrupt, "
+            f"{len(self.removed_expired)} expired, "
+            f"{len(self.removed_over_budget)} over budget; "
+            f"{self.reclaimed_bytes} bytes)"
+        )
+
+
+def live_store_keys(entries: Iterable[dict[str, Any]]) -> frozenset[str]:
+    """Store keys the journal's non-terminal jobs still reference.
+
+    The GC refcount rule, computed from replayed
+    :class:`~repro.service.journal.JobJournal` entries: every job whose
+    last recorded transition is non-terminal contributes
+
+    * its **whole-plan hash** (the entry a completed job will be
+      answered from), and
+    * for ``sweep`` and ``search`` plans, the **shard hashes** its
+      scenario expands to (the entries its campaign reads through
+      while resuming).
+
+    Defensive like the journal itself: a recorded hash stays live even
+    when its plan document is missing or no longer parses in this
+    process (e.g. a third-party component key) -- liveness errs toward
+    keeping, never toward deleting an entry a recovering job needs.
+    """
+    from repro.service.journal import JobJournal
+
+    live: set[str] = set()
+    for digest, plan_doc in JobJournal.live_jobs(list(entries)):
+        live.add(digest)
+        if not isinstance(plan_doc, dict):
+            continue
+        try:
+            plan = RunPlan.from_dict(plan_doc)
+        except Exception:  # noqa: BLE001 - conservative: keep the hash only
+            continue
+        live.update(_shard_keys(plan))
+    return frozenset(live)
+
+
+def _shard_keys(plan: RunPlan) -> set[str]:
+    """The shard hashes a plan's execution reads/writes through."""
+    if plan.workload == "sweep":
+        from repro.orchestration.shards import plan_shards
+
+        try:
+            return {shard.shard_hash for shard in plan_shards(plan)}
+        except (KeyError, ValueError):
+            return set()
+    if plan.workload == "search":
+        from repro.orchestration.shards import ShardSpec
+
+        try:
+            return {ShardSpec.from_plan(plan).shard_hash}
+        except (KeyError, ValueError):
+            return set()
+    return set()

@@ -78,6 +78,7 @@ def _child_main(
     plan_json: str,
     fallback_checkpoint_dir: str | None,
     parent_pid: int,
+    store_dir: str | None,
 ) -> None:
     """Subprocess body: execute the plan, stream events, report once.
 
@@ -92,6 +93,11 @@ def _child_main(
     from repro.service.executor import execute_plan
 
     plan = RunPlan.from_json(plan_json)
+    # The parent's in-memory store cannot cross the process boundary;
+    # a *persistent* store can -- the child rebuilds it on the shared
+    # directory, so shard read/write-through memoization works (and is
+    # crash-safe: entries land via atomic renames).
+    store = None if store_dir is None else store_mod.ResultStore(store_dir)
 
     def emit(event: Event) -> None:
         conn.send(("event", event_to_json(event)))
@@ -108,6 +114,7 @@ def _child_main(
                 emit=emit,
                 should_stop=should_stop,
                 fallback_checkpoint_dir=fallback_checkpoint_dir,
+                store=store,
             )
         except SearchCancelled as exc:
             conn.send(("cancelled", exc.completed))
@@ -149,6 +156,7 @@ def run_job_in_process(
     emit: Callable[[Event], None],
     cancel_requested: Callable[[], bool],
     fallback_checkpoint_dir: str | None = None,
+    store_dir: str | None = None,
 ) -> tuple[Any, dict[str, Any] | None]:
     """Execute one plan in a dedicated subprocess (blocking).
 
@@ -159,6 +167,13 @@ def run_job_in_process(
     workloads come back as their canonical store payload (decode
     lazily or :func:`repro.service.store.decode_result` eagerly),
     codec-less workloads as the live result object.
+
+    ``store_dir`` names a *persistent*
+    :class:`~repro.service.store.ResultStore` directory the child
+    rebuilds and memoizes campaign shards through (read-through before
+    running each shard, write-through after) -- the process-backend
+    spelling of the thread backend's live store handle, and a
+    shared-filesystem contract exactly like the checkpoint directory.
 
     Raises whatever the plan's execution raised --
     :class:`~repro.core.search.SearchCancelled` included -- or
@@ -172,7 +187,7 @@ def run_job_in_process(
     process = ctx.Process(
         target=_child_main,
         args=(child_conn, cancel_event, canonical_plan_json(plan),
-              fallback_checkpoint_dir, os.getpid()),
+              fallback_checkpoint_dir, os.getpid(), store_dir),
         name="search-service-job",
     )
     process.start()

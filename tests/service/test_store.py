@@ -98,3 +98,58 @@ class TestResultStore:
         assert reopened.get_bytes("deadbeef") == blob
         assert reopened.get_payload("deadbeef") == {"x": [1, 2]}
         assert len(reopened) == 1
+
+
+class TestTornStore:
+    """A persisted entry truncated at *any* byte offset is a miss.
+
+    The disk-corruption wall (mirrors the journal's torn-tail
+    property): reads never raise and never serve torn bytes, and the
+    next ``put`` atomically repairs the damaged file.
+    """
+
+    PAYLOAD = {"shard_id": "mnist-pynq-z1-fnas5ms-s0",
+               "result": {"trials": [1, 2, 3], "wall_seconds": 0.5},
+               "resumed_from": None}
+
+    def test_every_truncation_offset_is_a_silent_miss(self, tmp_path):
+        blob = ResultStore(tmp_path).put("k", self.PAYLOAD)
+        path = tmp_path / "k.json"
+        assert path.read_bytes() == blob
+        for offset in range(len(blob)):
+            path.write_bytes(blob[:offset])
+            fresh = ResultStore(tmp_path)  # no memory cache to mask disk
+            assert fresh.get_bytes("k") is None, f"offset {offset}"
+            assert fresh.get_payload("k") is None
+            assert "k" not in fresh
+        path.write_bytes(blob)  # untruncated bytes still serve
+        assert ResultStore(tmp_path).get_bytes("k") == blob
+
+    def test_put_atomically_repairs_a_torn_entry(self, tmp_path):
+        blob = ResultStore(tmp_path).put("k", self.PAYLOAD)
+        (tmp_path / "k.json").write_bytes(blob[: len(blob) // 2])
+        repaired = ResultStore(tmp_path)
+        assert repaired.get_bytes("k") is None
+        # First-write-wins does not apply to invalid entries: the put
+        # goes through and overwrites via the atomic rename.
+        assert repaired.put("k", self.PAYLOAD) == blob
+        assert (tmp_path / "k.json").read_bytes() == blob
+        assert ResultStore(tmp_path).get_bytes("k") == blob
+
+    def test_non_object_json_is_a_miss(self, tmp_path):
+        (tmp_path / "k.json").write_bytes(b'[1,2,3]')
+        assert ResultStore(tmp_path).get_bytes("k") is None
+
+    def test_unreadable_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_bytes("missing") is None
+
+    def test_memory_cache_is_not_poisoned_by_disk_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        blob = store.put("k", self.PAYLOAD)
+        # Corrupt the file under a live store: the already-validated
+        # in-memory bytes still serve (the hit contract), but a fresh
+        # instance sees the miss.
+        (tmp_path / "k.json").write_bytes(b"{tor")
+        assert store.get_bytes("k") == blob
+        assert ResultStore(tmp_path).get_bytes("k") is None
