@@ -213,6 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "workers; a lease not renewed by heartbeat within "
                         "the term expires and the job re-queues (default "
                         "15)")
+    p.add_argument("--async", dest="async_gateway", action="store_true",
+                   help="serve through the asyncio gateway instead of the "
+                        "thread-per-connection server: adds SSE + long-"
+                        "poll event streams, sustains hundreds of "
+                        "concurrent clients, drains gracefully on SIGTERM")
+    p.add_argument("--tenants", default=None, metavar="TENANTS_JSON",
+                   help="enable multi-tenant mode from a tenants.json "
+                        "config (API keys, per-tenant quotas, fair-share "
+                        "weights; see docs/api.md)")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="bound on queued jobs before submissions get 503 "
+                        "backpressure (default: unbounded)")
+    p.add_argument("--max-connections", type=int, default=None,
+                   help="async gateway only: cap on concurrently open "
+                        "connections (503 at accept beyond it)")
+    p.add_argument("--drain-grace", type=float, default=None,
+                   help="async gateway only: seconds a graceful drain "
+                        "waits for running jobs before checkpoint-"
+                        "cancelling them (default: wait indefinitely)")
 
     p = sub.add_parser(
         "agent",
@@ -252,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for the job (default 3600)")
     p.add_argument("--output", default=None,
                    help="write the job's serialized result JSON here")
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key for a service running with "
+                        "--tenants (sent as X-API-Key)")
 
     p = sub.add_parser(
         "estimate",
@@ -433,29 +455,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: run the HTTP job service until shutdown."""
     from repro.service.http import make_server, run_server
+    from repro.service.service import SearchService
+    from repro.service.tenants import TenantRegistry
 
-    service_kwargs = {}
+    tenants = None
+    if args.tenants is not None:
+        try:
+            tenants = TenantRegistry.load(args.tenants)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad tenant config {args.tenants}: {exc}",
+                  file=sys.stderr)
+            return 2
+    service_kwargs = {
+        "workers": args.workers,
+        "store_dir": args.store_dir,
+        "checkpoint_dir": args.checkpoint_dir,
+        "backend": args.backend,
+    }
     if args.lease_seconds is not None:
         service_kwargs["lease_seconds"] = args.lease_seconds
+
+    def report_recovery(service):
+        if service.recovered_jobs:
+            print(f"recovered {len(service.recovered_jobs)} unfinished "
+                  "job(s) from the journal: "
+                  f"{', '.join(service.recovered_jobs)}",
+                  file=sys.stderr, flush=True)
+        for error in service.recovery_errors:
+            print(f"journal recovery skipped an entry: {error}",
+                  file=sys.stderr, flush=True)
+
+    mode = " multi-tenant" if tenants is not None else ""
+    if args.async_gateway:
+        from repro.service.gateway import run_gateway
+
+        service = SearchService(**service_kwargs)
+        report_recovery(service)
+        print(f"serving async{mode} gateway on http://{args.host}:"
+              f"{args.port} ({args.workers} {args.backend} worker(s); "
+              "SSE at /jobs/<id>/events/stream; POST /shutdown or "
+              "SIGTERM to drain)",
+              file=sys.stderr, flush=True)
+        run_gateway(
+            host=args.host, port=args.port, service=service,
+            tenants=tenants, max_pending=args.max_pending,
+            max_connections=args.max_connections,
+            drain_grace=args.drain_grace,
+        )
+        return 0
     server = make_server(
         host=args.host,
         port=args.port,
-        workers=args.workers,
-        store_dir=args.store_dir,
-        checkpoint_dir=args.checkpoint_dir,
-        backend=args.backend,
+        tenants=tenants,
+        max_pending=args.max_pending,
         **service_kwargs,
     )
     host, port = server.server_address[:2]
-    service = server.service
-    if service.recovered_jobs:
-        print(f"recovered {len(service.recovered_jobs)} unfinished job(s) "
-              f"from the journal: {', '.join(service.recovered_jobs)}",
-              file=sys.stderr, flush=True)
-    for error in service.recovery_errors:
-        print(f"journal recovery skipped an entry: {error}",
-              file=sys.stderr, flush=True)
-    print(f"serving on http://{host}:{port} "
+    report_recovery(server.service)
+    print(f"serving{mode} on http://{host}:{port} "
           f"({args.workers} {args.backend} worker(s); "
           "POST /shutdown or Ctrl-C to stop)",
           file=sys.stderr, flush=True)
@@ -497,7 +554,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, api_key=args.api_key)
     try:
         info = client.submit(plan, priority=args.priority)
         job_id = info["job_id"]

@@ -29,13 +29,29 @@ service:
   streams events/results back; a missed lease re-queues the job, which
   resumes from its checkpoint on another agent (or a local worker)
   with byte-identical results (:mod:`~repro.service.faults` provides
-  the deterministic crash points the chaos tests kill agents with).
+  the deterministic crash points the chaos tests kill agents with);
+* :class:`Gateway` (``repro serve --async``) -- the asyncio HTTP
+  front end: same wire surface as the sync server plus Server-Sent
+  Events and long-poll event delivery, API-key tenancy with quotas
+  and fair-share queuing (:class:`TenantRegistry`), backpressure, a
+  ``/metrics`` endpoint (:class:`MetricsRegistry`), and graceful
+  SIGTERM drain.
 """
 
 from repro.service.agent import WorkerAgent, run_agent
 from repro.service.client import JobTimeoutError, ServiceClient, ServiceError
 from repro.service.executor import execute_plan
+from repro.service.gateway import Gateway, GatewayRunner, run_gateway
 from repro.service.journal import JobJournal, PendingJob
+from repro.service.metrics import ANONYMOUS_TENANT, MetricsRegistry
+from repro.service.tenants import (
+    QuotaExceededError,
+    Tenant,
+    TenantAuthError,
+    TenantRegistry,
+    fair_share_priority,
+    tenant_accounting,
+)
 from repro.service.service import (
     JOB_STATES,
     JobCancelledError,
@@ -50,24 +66,34 @@ from repro.service.store import ResultStore, is_cacheable
 from repro.service.workers import ProcessWorkerError, run_job_in_process
 
 __all__ = [
+    "ANONYMOUS_TENANT",
+    "Gateway",
+    "GatewayRunner",
     "JOB_STATES",
     "JobCancelledError",
     "JobHandle",
     "JobJournal",
     "JobTimeoutError",
+    "MetricsRegistry",
     "PendingJob",
     "ProcessWorkerError",
+    "QuotaExceededError",
     "RemoteJobError",
     "ResultStore",
     "SearchService",
     "ServiceClient",
     "ServiceError",
     "StaleLeaseError",
+    "Tenant",
+    "TenantAuthError",
+    "TenantRegistry",
     "UnknownAgentError",
     "UnknownJobError",
     "WorkerAgent",
     "execute_plan",
+    "fair_share_priority",
     "is_cacheable",
     "run_agent",
     "run_job_in_process",
+    "tenant_accounting",
 ]

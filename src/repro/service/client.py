@@ -26,7 +26,7 @@ import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any
+from typing import Any, Iterator
 
 from repro.plans import RunPlan
 
@@ -75,10 +75,14 @@ class ServiceClient:
         backoff: base backoff sleep in seconds; attempt *n* sleeps
             ``backoff * 2**n`` (capped, jittered by a factor in
             ``[0.5, 1.0)`` so synchronized clients fan out).
+        api_key: tenant API key, sent as ``X-API-Key`` on every
+            request (required against servers started with
+            ``--tenants``; ignored by open servers).
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 max_retries: int = 3, backoff: float = 0.1):
+                 max_retries: int = 3, backoff: float = 0.1,
+                 api_key: str | None = None):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff <= 0:
@@ -87,6 +91,13 @@ class ServiceClient:
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.api_key = api_key
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.api_key is not None:
+            headers["X-API-Key"] = self.api_key
+        return headers
 
     # -- raw calls -----------------------------------------------------------
 
@@ -101,7 +112,7 @@ class ServiceClient:
                 self._backoff_sleep(attempt - 1)
             request = urllib.request.Request(
                 f"{self.base_url}{path}", data=data, method=method,
-                headers={"Content-Type": "application/json"},
+                headers=self._headers(),
             )
             try:
                 with urllib.request.urlopen(
@@ -160,9 +171,103 @@ class ServiceClient:
         """``GET /jobs/<id>``."""
         return self._json("GET", f"/jobs/{job_id}")
 
-    def events(self, job_id: str, since: int = 0) -> dict[str, Any]:
-        """``GET /jobs/<id>/events?since=N`` (cursor in ``"next"``)."""
-        return self._json("GET", f"/jobs/{job_id}/events?since={since}")
+    def events(self, job_id: str, since: int = 0,
+               wait: float | None = None) -> dict[str, Any]:
+        """``GET /jobs/<id>/events?since=N`` (cursor in ``"next"``).
+
+        ``wait`` long-polls: the async gateway parks the request up to
+        that many seconds until the job's log grows past ``since``
+        (or the job ends).  Old sync servers ignore the parameter and
+        answer immediately, so callers degrade to plain polling.
+        """
+        path = f"/jobs/{job_id}/events?since={since}"
+        if wait is not None:
+            path += f"&wait={wait:g}"
+        return self._json("GET", path)
+
+    def stream_events(self, job_id: str, since: int = 0,
+                      poll: float = 0.2) -> "Iterator[dict[str, Any]]":
+        """Yield the job's events as they happen, until it ends.
+
+        Each yielded frame is ``{"id": cursor, "event": type_tag,
+        "data": event_doc}``; the final frame has ``event == "end"``
+        and carries the job's terminal state in ``data``.  Against the
+        async gateway this consumes the Server-Sent Events stream
+        (``/jobs/<id>/events/stream``); against a server without SSE
+        support it falls back transparently to long-polling
+        :meth:`events` (and ultimately plain polling every ``poll``
+        seconds against servers that ignore ``wait`` too) -- same
+        frames either way.
+        """
+        # Probe the job first so "unknown job" surfaces as its own 404
+        # instead of masquerading as a missing stream route.
+        self.status(job_id)
+        try:
+            yield from self._stream_sse(job_id, since)
+            return
+        except ServiceError as exc:
+            if exc.status not in (404, 405):
+                raise
+            # No SSE route: an old sync server.  Fall back.
+        yield from self._stream_poll(job_id, since, poll)
+
+    def _stream_sse(self, job_id: str,
+                    since: int) -> "Iterator[dict[str, Any]]":
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events/stream?since={since}",
+            headers=self._headers())
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                exc.code, exc.read().decode(errors="replace")) from None
+        with response:
+            frame: dict[str, str] = {}
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line:
+                    name, _, value = line.partition(":")
+                    frame[name.strip()] = value.strip()
+                    continue
+                if not frame:
+                    continue
+                parsed = {
+                    "id": int(frame.get("id", "0")),
+                    "event": frame.get("event", "event"),
+                    "data": json.loads(frame.get("data", "{}")),
+                }
+                frame = {}
+                yield parsed
+                if parsed["event"] == "end":
+                    return
+
+    def _stream_poll(self, job_id: str, since: int,
+                     poll: float) -> "Iterator[dict[str, Any]]":
+        cursor = since
+        interval = poll
+        while True:
+            started = time.monotonic()
+            page = self.events(job_id, since=cursor,
+                               wait=_POLL_CAP * 2)
+            for doc in page["events"]:
+                cursor += 1
+                interval = poll  # progress: reset the idle backoff
+                yield {"id": cursor, "event": doc.get("event", "event"),
+                       "data": doc}
+            if page["state"] in _TERMINAL:
+                yield {"id": cursor, "event": "end",
+                       "data": {"state": page["state"], "next": cursor,
+                                "reason": "terminal"}}
+                return
+            if not page["events"] and (
+                    time.monotonic() - started) < interval:
+                # The server answered instantly without events: it
+                # ignores ``wait`` (old sync server), so pace the poll
+                # loop client-side.
+                time.sleep(interval)
+                interval = min(interval * 1.5, _POLL_CAP)
 
     def result_bytes(self, job_id: str) -> bytes:
         """``GET /jobs/<id>/result`` -- the canonical stored bytes."""

@@ -9,6 +9,10 @@ small and plain JSON:
 Method     Path                              Meaning
 =========  ================================  ============================
 GET        ``/health``                       liveness + job counts
+GET        ``/metrics``                      JSON counters (jobs by
+                                             state, per-tenant queue
+                                             depth, store hit/miss,
+                                             uptime)
 POST       ``/jobs``                         submit ``{"plan": ...,
                                              "priority"}``
 GET        ``/jobs``                         list job summaries
@@ -40,35 +44,221 @@ byte-identically).
 ``/result`` streams the result store's canonical bytes verbatim, so two
 submissions of an identical plan receive byte-identical bodies -- the
 service-smoke CI job asserts exactly that.
+
+This module also owns the **request-limit policy** both front ends
+share (:data:`MAX_BODY_BYTES` / :data:`REQUEST_TIMEOUT_SECONDS` and
+the :func:`validate_content_length` helper): a request body larger
+than the cap is refused with ``413`` before it is read, and a client
+that stalls mid-request is cut off with ``408`` instead of pinning a
+handler thread forever.  The asyncio gateway
+(:mod:`repro.service.gateway`) imports the same constants, so the two
+front ends can never drift apart on what they accept.
+
+With a :class:`~repro.service.tenants.TenantRegistry` bound
+(``make_server(tenants=...)`` / ``repro serve --tenants``), job routes
+require an API key (``X-API-Key`` or ``Authorization: Bearer``) and
+submissions pass per-tenant quota checks (429 + ``Retry-After`` on
+breach) and fair-share priority weighting -- the same
+:mod:`repro.service.tenants` gates the gateway uses.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from repro.events import event_from_dict
-from repro.plans import RunPlan
+from repro.plans import RunPlan, plan_hash
+from repro.service.metrics import MetricsRegistry
 from repro.service.service import (
+    JobHandle,
     SearchService,
     StaleLeaseError,
     UnknownAgentError,
     UnknownJobError,
 )
+from repro.service.tenants import (
+    QuotaExceededError,
+    TenantAuthError,
+    TenantRegistry,
+    api_key_from_headers,
+    check_quota,
+    fair_share_priority,
+)
+
+#: Largest request body either front end accepts (413 beyond this).
+#: Plans are small JSON documents; remote-agent result uploads are the
+#: biggest legitimate bodies and sit far below this.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Socket/read timeout for one request on either front end (408 when a
+#: client stalls mid-body; idle keep-alive connections are just closed).
+REQUEST_TIMEOUT_SECONDS = 30.0
+
+
+class BodyTooLargeError(RuntimeError):
+    """A request body exceeds :data:`MAX_BODY_BYTES` (HTTP 413).
+
+    Deliberately *not* a ``ValueError``: route handlers map
+    ``ValueError`` to 400, and an oversized body must surface as 413
+    even from inside those handlers.
+    """
+
+
+class RequestTimeoutError(OSError):
+    """A client stalled mid-request past the read timeout (HTTP 408)."""
+
+
+def validate_content_length(raw: str | None,
+                            limit: int = MAX_BODY_BYTES) -> int:
+    """Parse and bound a ``Content-Length`` header value.
+
+    Returns the length (0 for a missing header).  Raises
+    :class:`ValueError` for non-integer or negative values (HTTP 400)
+    and :class:`BodyTooLargeError` beyond ``limit`` (HTTP 413) --
+    *before* any body byte is read, so oversized uploads cost nothing.
+    """
+    if raw is None:
+        return 0
+    try:
+        length = int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid Content-Length {raw!r}") from None
+    if length < 0:
+        raise ValueError(f"invalid Content-Length {raw!r}")
+    if length > limit:
+        raise BodyTooLargeError(
+            f"request body of {length} bytes exceeds the {limit}-byte limit"
+        )
+    return length
+
+
+def health_payload(service: SearchService) -> dict[str, Any]:
+    """The ``/health`` JSON document (shared by both front ends)."""
+    states: dict[str, int] = {}
+    for handle in service.jobs():
+        state = handle.state
+        states[state] = states.get(state, 0) + 1
+    return {"status": "ok", "jobs": states,
+            "agents": len(service.agents()),
+            "store_entries": len(service.store)}
+
+
+def events_payload(handle: JobHandle, since: int) -> dict[str, Any]:
+    """The ``/jobs/<id>/events`` JSON page (shared by both front ends).
+
+    The state is read *before* the event log: the service appends a
+    job's final events and flips it to a terminal state under one lock
+    hold, so a page whose ``state`` is terminal is guaranteed to carry
+    the complete tail of the log.  Read the other way round, a client
+    could see ``"state": "done"`` with the completion events missing
+    and stop polling one page early.
+    """
+    state = handle.state
+    events = handle.events(since=since)
+    return {
+        "job_id": handle.job_id,
+        "state": state,
+        "since": since,
+        "next": since + len(events),
+        "events": [e.to_dict() for e in events],
+    }
+
+
+class BackpressureError(RuntimeError):
+    """The service's accept queue is saturated (HTTP 503).
+
+    Attributes:
+        retry_after: suggested client wait before retrying, seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def admit_submission(
+    service: SearchService,
+    tenants: TenantRegistry | None,
+    headers: dict[str, str],
+    plan: RunPlan,
+    priority: int,
+    max_pending: int | None = None,
+) -> tuple[JobHandle, bool]:
+    """The one admission path both front ends submit through.
+
+    Runs, in order: tenant authentication (:class:`TenantAuthError`
+    -> 401/403), dedup short-circuit (a plan the service already
+    tracks as queued/running/done coalesces regardless of quotas -- it
+    adds no load), per-tenant quota checks
+    (:class:`QuotaExceededError` -> 429), service-wide backpressure
+    (``max_pending`` queued jobs -> :class:`BackpressureError` ->
+    503), fair-share priority weighting, and finally
+    :meth:`SearchService.submit`.  Returns ``(handle, deduped)``,
+    where ``deduped`` means the service already knew this plan (the
+    wire field old clients rely on).
+    """
+    tenant = None
+    if tenants is not None:
+        tenant = tenants.authenticate(api_key_from_headers(headers))
+    tenant_name = None if tenant is None else tenant.name
+    existing = service.job_by_hash(plan_hash(plan))
+    if existing is not None and existing.state in ("queued", "running",
+                                                   "done"):
+        # Coalesce: the service hands back the job it already tracks,
+        # so this submission adds no load and bypasses quota checks.
+        return service.submit(plan, priority=priority,
+                              tenant=tenant_name), True
+    effective = priority
+    if tenant is not None:
+        load = service.tenant_load(tenant_name)
+        check_quota(tenant, load["queued"], load["running"])
+        effective = fair_share_priority(
+            priority, tenant.weight, load["queued"] + load["running"])
+    if max_pending is not None and service.queued_count() >= max_pending:
+        raise BackpressureError(
+            f"accept queue is full ({max_pending} queued jobs); "
+            "retry shortly"
+        )
+    handle = service.submit(plan, priority=effective, tenant=tenant_name)
+    return handle, existing is not None
+
+
+def require_tenant(tenants: TenantRegistry | None,
+                   headers: dict[str, str]) -> None:
+    """Authenticate a non-submit job route when tenancy is enabled.
+
+    No-op without a registry (open mode).  Raises
+    :class:`TenantAuthError` subclasses for missing/unknown keys.
+    """
+    if tenants is not None:
+        tenants.authenticate(api_key_from_headers(headers))
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A ThreadingHTTPServer bound to one :class:`SearchService`."""
+    """A ThreadingHTTPServer bound to one :class:`SearchService`.
+
+    ``tenants`` (a :class:`TenantRegistry`) switches the job routes to
+    authenticated multi-tenant mode; ``max_pending`` bounds the accept
+    queue (503 + ``Retry-After`` beyond it).  Both default to off so a
+    bare server keeps the historical open, unbounded behaviour.
+    """
 
     #: Threads die with the process; ``/shutdown`` is the clean path.
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: SearchService):
+    def __init__(self, address: tuple[str, int], service: SearchService,
+                 tenants: TenantRegistry | None = None,
+                 max_pending: int | None = None):
         super().__init__(address, _Handler)
         self.service = service
+        self.tenants = tenants
+        self.max_pending = max_pending
+        self.metrics = MetricsRegistry(service)
         self._shutdown_requested = threading.Event()
 
     def request_shutdown(self) -> None:
@@ -85,6 +275,10 @@ class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
     #: Quieter than the default (no per-request stderr lines).
     protocol_version = "HTTP/1.1"
+    #: Socket timeout (StreamRequestHandler applies it in setup());
+    #: a client that stalls mid-request gets 408 instead of pinning a
+    #: handler thread forever.
+    timeout = REQUEST_TIMEOUT_SECONDS
 
     def log_message(self, format: str, *args: Any) -> None:
         """Suppress the default per-request stderr logging."""
@@ -97,19 +291,25 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["health"]:
-                self._send_json(200, self._health())
+                self._send_json(200, health_payload(self.server.service))
+            elif parts == ["metrics"]:
+                self._send_json(200, self.server.metrics.snapshot())
             elif parts == ["jobs"]:
+                self._require_tenant()
                 service = self.server.service
                 self._send_json(
                     200,
                     {"jobs": [h.info() for h in service.jobs()]},
                 )
             elif len(parts) == 2 and parts[0] == "jobs":
+                self._require_tenant()
                 handle = self.server.service.job(parts[1])
                 self._send_json(200, handle.info())
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                self._require_tenant()
                 self._get_events(parts[1], url.query)
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                self._require_tenant()
                 self._get_result(parts[1])
             elif parts == ["agents"]:
                 self._send_json(
@@ -118,6 +318,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {url.path!r}"})
         except UnknownJobError as exc:
             self._send_json(404, {"error": str(exc)})
+        except TenantAuthError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         """Dispatch POST routes."""
@@ -127,6 +329,7 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["jobs"]:
                 self._post_job()
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._require_tenant()
                 state = self.server.service.cancel(parts[1])
                 self._send_json(
                     200, self.server.service.job(parts[1]).info()
@@ -141,6 +344,7 @@ class _Handler(BaseHTTPRequestHandler):
                     and parts[4] in ("events", "complete")):
                 self._post_agent_job(parts[1], parts[3], parts[4])
             elif parts == ["shutdown"]:
+                self._require_tenant()
                 # Finish the reply *before* the serve loop starts dying:
                 # flush the bytes to the socket and mark the connection
                 # for close, only then trigger shutdown -- handler
@@ -156,17 +360,35 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(exc)})
         except StaleLeaseError as exc:
             self._send_json(409, {"error": str(exc)})
+        except TenantAuthError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except QuotaExceededError as exc:
+            self.server.metrics.inc("quota_rejections")
+            self._send_json(429, {"error": str(exc),
+                                  "tenant": exc.tenant, "limit": exc.limit},
+                            headers={"Retry-After":
+                                     f"{exc.retry_after:g}"})
+        except BackpressureError as exc:
+            self.server.metrics.inc("backpressure_rejections")
+            self._send_json(503, {"error": str(exc)},
+                            headers={"Retry-After":
+                                     f"{exc.retry_after:g}"})
+        except BodyTooLargeError as exc:
+            # The oversized body was never read, so the connection is
+            # unusable for another request -- close it with the reply.
+            self._send_json(413, {"error": str(exc)})
+            self.close_connection = True
+        except (RequestTimeoutError, socket.timeout) as exc:
+            self._send_json(408, {"error": f"request timed out: {exc}"})
+            self.close_connection = True
 
     # -- route bodies --------------------------------------------------------
 
-    def _health(self) -> dict[str, Any]:
-        service = self.server.service
-        states: dict[str, int] = {}
-        for handle in service.jobs():
-            states[handle.state] = states.get(handle.state, 0) + 1
-        return {"status": "ok", "jobs": states,
-                "agents": len(service.agents()),
-                "store_entries": len(service.store)}
+    def _require_tenant(self) -> None:
+        require_tenant(self.server.tenants, self._header_map())
+
+    def _header_map(self) -> dict[str, str]:
+        return {k.lower(): v for k, v in self.headers.items()}
 
     def _post_job(self) -> None:
         try:
@@ -176,24 +398,24 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError) as exc:
             self._send_json(400, {"error": f"bad submission: {exc}"})
             return
-        before = {h.job_id for h in self.server.service.jobs()}
-        handle = self.server.service.submit(plan, priority=priority)
+        handle, deduped = admit_submission(
+            self.server.service, self.server.tenants, self._header_map(),
+            plan, priority, max_pending=self.server.max_pending)
+        self.server.metrics.inc("submissions")
         info = handle.info()
-        info["deduped"] = handle.job_id in before
+        info["deduped"] = deduped
         self._send_json(200, info)
 
     def _get_events(self, job_id: str, query: str) -> None:
         handle = self.server.service.job(job_id)
         params = parse_qs(query)
-        since = int(params.get("since", ["0"])[0])
-        events = handle.events(since=since)
-        self._send_json(200, {
-            "job_id": handle.job_id,
-            "state": handle.state,
-            "since": since,
-            "next": since + len(events),
-            "events": [e.to_dict() for e in events],
-        })
+        try:
+            since = int(params.get("since", ["0"])[0])
+        except ValueError:
+            self._send_json(
+                400, {"error": "since must be an integer cursor"})
+            return
+        self._send_json(200, events_payload(handle, since))
 
     def _post_register(self) -> None:
         try:
@@ -277,20 +499,35 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------------
 
     def _read_body(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length", "0"))
-        raw = self.rfile.read(length) if length else b"{}"
+        length = validate_content_length(
+            self.headers.get("Content-Length"))
+        try:
+            raw = self.rfile.read(length) if length else b"{}"
+        except socket.timeout as exc:
+            raise RequestTimeoutError(
+                f"client stalled mid-body after sending "
+                f"{length}-byte Content-Length") from exc
+        if length and len(raw) < length:
+            # The client closed early; nothing sensible to parse.
+            raise ValueError(
+                f"body truncated: got {len(raw)} of {length} bytes")
         data = json.loads(raw)
         if not isinstance(data, dict):
             raise ValueError("request body must be a JSON object")
         return data
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
-        self._send_bytes(status, json.dumps(payload).encode())
+    def _send_json(self, status: int, payload: dict[str, Any],
+                   headers: dict[str, str] | None = None) -> None:
+        self._send_bytes(status, json.dumps(payload).encode(),
+                         headers=headers)
 
-    def _send_bytes(self, status: int, blob: bytes) -> None:
+    def _send_bytes(self, status: int, blob: bytes,
+                    headers: dict[str, str] | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 
@@ -299,17 +536,21 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8765,
     service: SearchService | None = None,
+    tenants: TenantRegistry | None = None,
+    max_pending: int | None = None,
     **service_kwargs: Any,
 ) -> ServiceHTTPServer:
     """Build (without starting) a bound service HTTP server.
 
     ``port=0`` binds an ephemeral port (tests); ``service_kwargs`` go
     to the :class:`SearchService` constructor when no service is
-    passed.
+    passed.  ``tenants`` / ``max_pending`` enable multi-tenant
+    admission and backpressure (see :class:`ServiceHTTPServer`).
     """
     if service is None:
         service = SearchService(**service_kwargs)
-    return ServiceHTTPServer((host, port), service)
+    return ServiceHTTPServer((host, port), service, tenants=tenants,
+                             max_pending=max_pending)
 
 
 def run_server(server: ServiceHTTPServer) -> None:
@@ -333,7 +574,10 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8765,
     service: SearchService | None = None,
+    tenants: TenantRegistry | None = None,
+    max_pending: int | None = None,
     **service_kwargs: Any,
 ) -> None:
     """Build a bound server and run it (see :func:`run_server`)."""
-    run_server(make_server(host, port, service=service, **service_kwargs))
+    run_server(make_server(host, port, service=service, tenants=tenants,
+                           max_pending=max_pending, **service_kwargs))

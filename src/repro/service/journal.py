@@ -82,6 +82,11 @@ class PendingJob:
             keeps its claim.
         lease_seconds: the lease term recorded at claim time (``None``
             when the journal predates leases).
+        tenant: the tenant recorded on the latest submission (``None``
+            for anonymous submissions or pre-tenancy journals); a
+            recovering service re-queues the job under the same
+            tenant, so per-tenant accounting and quotas survive
+            restarts.
     """
 
     plan_doc: dict[str, Any]
@@ -90,6 +95,7 @@ class PendingJob:
     last_state: str
     agent: str | None = None
     lease_seconds: float | None = None
+    tenant: str | None = None
 
 
 class JobJournal:
@@ -122,14 +128,17 @@ class JobJournal:
         note: str | None = None,
         agent: str | None = None,
         lease_seconds: float | None = None,
+        tenant: str | None = None,
     ) -> None:
         """Append one transition line (no-op after :meth:`close`).
 
         ``queued`` entries must carry ``plan_doc`` and ``priority`` --
-        they are what replay rebuilds submissions from; ``leased``
-        entries must carry ``agent`` (and should carry
-        ``lease_seconds``) so a restarted coordinator can restore the
-        lease; the other ops are state markers.
+        they are what replay rebuilds submissions from (and may carry
+        the admitting ``tenant``, which is what makes per-tenant
+        accounting crash-durable); ``leased`` entries must carry
+        ``agent`` (and should carry ``lease_seconds``) so a restarted
+        coordinator can restore the lease; the other ops are state
+        markers.
         """
         if op not in JOURNAL_OPS:
             raise ValueError(
@@ -156,6 +165,8 @@ class JobJournal:
             entry["agent"] = agent
         if lease_seconds is not None:
             entry["lease_seconds"] = float(lease_seconds)
+        if tenant is not None:
+            entry["tenant"] = tenant
         line = json.dumps(entry, sort_keys=True)
         with self._lock:
             if self._closed:
@@ -263,6 +274,7 @@ class JobJournal:
         priorities: dict[str, int] = {}
         agents: dict[str, str | None] = {}
         leases: dict[str, float | None] = {}
+        tenants: dict[str, str | None] = {}
         order: list[str] = []
         for entry in entries:
             digest = entry.get("hash")
@@ -276,6 +288,10 @@ class JobJournal:
             last_state[digest] = op
             if op == "queued":
                 plans[digest] = entry["plan"]
+                tenant = entry.get("tenant")
+                tenants[digest] = (
+                    tenant if isinstance(tenant, str) and tenant else None
+                )
                 try:
                     priorities[digest] = int(entry.get("priority", 0))
                 except (TypeError, ValueError):
@@ -301,6 +317,7 @@ class JobJournal:
                 last_state=last_state[digest],
                 agent=agent if isinstance(agent, str) and agent else None,
                 lease_seconds=leases.get(digest),
+                tenant=tenants.get(digest),
             ))
         return pending
 

@@ -42,7 +42,7 @@ import itertools
 import threading
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.events import (
     AgentJoined,
@@ -119,12 +119,14 @@ class _Job:
     """Internal mutable job record (guarded by the service lock)."""
 
     def __init__(self, job_id: str, plan: RunPlan, digest: str,
-                 priority: int, evaluator: Any):
+                 priority: int, evaluator: Any,
+                 tenant: str | None = None):
         self.id = job_id
         self.plan = plan
         self.plan_hash = digest
         self.priority = priority
         self.evaluator = evaluator
+        self.tenant = tenant
         self.state = "queued"
         self.error: BaseException | None = None
         self.result_obj: Any = None
@@ -154,6 +156,7 @@ class _Job:
             "events": len(self.events),
             "error": None if self.error is None else repr(self.error),
             "agent": self.agent,
+            "tenant": self.tenant,
         }
 
     def release_lease(self) -> None:
@@ -427,6 +430,7 @@ class SearchService:
         self._monitor_stop = threading.Event()
         self._shutdown = False
         self._recovering = False
+        self._job_listeners: list[Callable[[str], None]] = []
         #: Job ids re-queued from the journal at startup.
         self.recovered_jobs: list[str] = []
         #: Journal entries that could not be re-submitted, as messages.
@@ -458,7 +462,8 @@ class SearchService:
     # -- submission / lookup -------------------------------------------------
 
     def submit(self, plan: RunPlan, priority: int = 0,
-               evaluator: Any = None) -> JobHandle:
+               evaluator: Any = None,
+               tenant: str | None = None) -> JobHandle:
         """Queue a plan for execution; returns its :class:`JobHandle`.
 
         Dedup semantics (all keyed on the canonical plan hash, skipped
@@ -472,6 +477,13 @@ class SearchService:
           same handle semantics);
         * identical plan previously ``cancelled``/``failed`` -> the job
           is re-queued, and its shards resume from their checkpoints.
+
+        ``tenant`` attributes the job to a named tenant (the HTTP
+        front ends pass the authenticated tenant's name): it lands in
+        the job's :meth:`~JobHandle.info`, the journal's ``queued``
+        entry (so accounting survives restarts) and the per-tenant
+        queue-depth metrics.  A job keeps its original tenant across
+        dedup coalescing and cancel/resubmit cycles.
         """
         check_evaluator_override(plan, evaluator)
         digest = plan_hash(plan)
@@ -494,7 +506,8 @@ class SearchService:
                         job = existing
                         if job is None:
                             job = _Job(self._job_id(digest, evaluator=None),
-                                       plan, digest, priority, None)
+                                       plan, digest, priority, None,
+                                       tenant=tenant)
                             self._register(job)
                         job.state = "done"
                         job.cached = True
@@ -522,6 +535,8 @@ class SearchService:
                         job.state = "queued"
                         job.priority = priority
                         job.error = None
+                        if job.tenant is None:
+                            job.tenant = tenant
                         job.cancel_event.clear()
                         job.done_event.clear()
                         self._journal_record("queued", job, with_plan=True)
@@ -533,7 +548,7 @@ class SearchService:
                         self._enqueue(job)
                         return JobHandle(self, job)
                 job = _Job(self._job_id(digest, evaluator), plan, digest,
-                           priority, evaluator)
+                           priority, evaluator, tenant=tenant)
                 self._register(job)
                 self._journal_record("queued", job, with_plan=True)
                 to_publish = self._record(job, [JobQueued(
@@ -560,6 +575,42 @@ class SearchService:
         """Handles for every job, in submission order."""
         with self._lock:
             return [JobHandle(self, j) for j in self._jobs.values()]
+
+    def job_by_hash(self, digest: str) -> JobHandle | None:
+        """The hash-addressable job for ``digest``, or ``None``.
+
+        What the front ends use to recognise a dedup-coalescing submit
+        before admission control runs: a resubmission of a plan the
+        service already tracks adds no load, so quota/backpressure
+        gates wave it through.
+        """
+        with self._lock:
+            job = self._by_hash.get(digest)
+            return None if job is None else JobHandle(self, job)
+
+    def tenant_load(self, tenant: str | None) -> dict[str, int]:
+        """One tenant's current ``{"queued": n, "running": n}`` load.
+
+        Read under the service lock; the admission gates in the HTTP
+        front ends compare these counts against the tenant's quotas
+        and feed the queued+running sum into the fair-share priority.
+        """
+        queued = running = 0
+        with self._lock:
+            for job in self._jobs.values():
+                if job.tenant != tenant:
+                    continue
+                if job.state == "queued":
+                    queued += 1
+                elif job.state == "running":
+                    running += 1
+        return {"queued": queued, "running": running}
+
+    def queued_count(self) -> int:
+        """How many jobs are queued right now (backpressure input)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.state == "queued")
 
     def cancel(self, job_id: str) -> str:
         """Cancel a job; returns its state after the request.
@@ -1018,13 +1069,51 @@ class SearchService:
         subscribers can never deadlock the service by calling back in.
         """
         job.events.extend(events)
+        if events:
+            self._notify_job(job.id)
         return list(events)
 
     def _publish(self, job: _Job, event: Event) -> None:
         """Log one event under the lock, then deliver it to the bus."""
         with self._lock:
             job.events.append(event)
+            self._notify_job(job.id)
         self.bus.publish(event)
+
+    def add_job_listener(self, callback: Callable[[str], None]
+                         ) -> Callable[[str], None]:
+        """Register a per-job event-log notifier; returns ``callback``.
+
+        ``callback(job_id)`` fires every time events are appended to
+        that job's log -- lifecycle transitions *and* in-flight shard
+        events, which plain bus subscription cannot attribute to a job.
+        The async gateway's SSE/long-poll fanout hangs off this hook.
+
+        The callback runs on service worker threads, sometimes under
+        the service lock: it must be cheap, must never block, and must
+        never call back into the service (hand off to another thread or
+        an event loop instead, e.g. ``loop.call_soon_threadsafe``).
+        Exceptions it raises are swallowed.
+        """
+        with self._lock:
+            self._job_listeners.append(callback)
+        return callback
+
+    def remove_job_listener(self, callback: Callable[[str], None]) -> None:
+        """Deregister a listener added by :meth:`add_job_listener`."""
+        with self._lock:
+            try:
+                self._job_listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def _notify_job(self, job_id: str) -> None:
+        """Fire job listeners (callers may or may not hold the lock)."""
+        for callback in list(self._job_listeners):
+            try:
+                callback(job_id)
+            except Exception:  # noqa: BLE001 - listeners must not kill workers
+                pass
 
     def _journal_record(
         self, op: str, job: _Job, with_plan: bool = False
@@ -1041,6 +1130,7 @@ class SearchService:
             op, job.plan_hash, job.id,
             priority=job.priority if with_plan else None,
             plan_doc=job.plan.to_dict() if with_plan else None,
+            tenant=job.tenant if with_plan else None,
         )
 
     def _queued_message(self, base: str) -> str:
@@ -1066,7 +1156,8 @@ class SearchService:
                     if item.last_state == "leased" and item.agent:
                         handle = self._restore_lease(plan, item)
                     else:
-                        handle = self.submit(plan, priority=item.priority)
+                        handle = self.submit(plan, priority=item.priority,
+                                             tenant=item.tenant)
                 except (KeyError, ValueError, TypeError) as exc:
                     self.recovery_errors.append(
                         f"journal entry {item.plan_hash[:12]}: "
@@ -1097,7 +1188,7 @@ class SearchService:
         to_publish: list[Event] = []
         with self._lock:
             job = _Job(self._job_id(digest, evaluator=None), plan, digest,
-                       item.priority, None)
+                       item.priority, None, tenant=item.tenant)
             self._register(job)
             job.state = "running"
             job.runs = 1

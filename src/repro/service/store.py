@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -190,6 +191,12 @@ class ResultStore:
         self.directory = None if directory is None else Path(directory)
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
+        #: Lookup counters (served / not-served), behind ``/metrics``.
+        #: Only caller-facing :meth:`get_bytes` lookups count -- the
+        #: existence probe inside :meth:`put` does not.
+        self.hits = 0
+        self.misses = 0
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -203,7 +210,7 @@ class ResultStore:
         the *plan*, so a second identical plan's result is by
         construction the same result).
         """
-        existing = self.get_bytes(key)
+        existing = self._lookup(key)
         if existing is not None:
             return existing
         blob = canonical_payload_bytes(payload)
@@ -226,6 +233,16 @@ class ResultStore:
         ``put`` atomically overwrites the damaged file (first-write-
         wins only applies to entries that validate).
         """
+        blob = self._lookup(key)
+        with self._stats_lock:
+            if blob is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return blob
+
+    def _lookup(self, key: str) -> bytes | None:
+        """The raw lookup behind :meth:`get_bytes`, without stats."""
         blob = self._memory.get(key)
         if blob is not None:
             return blob
@@ -256,8 +273,8 @@ class ResultStore:
         return None if blob is None else json.loads(blob)
 
     def __contains__(self, key: str) -> bool:
-        """Membership by hash (memory or disk)."""
-        return self.get_bytes(key) is not None
+        """Membership by hash (memory or disk; not counted in stats)."""
+        return self._lookup(key) is not None
 
     def __len__(self) -> int:
         """Number of entries (disk entries included when persistent)."""

@@ -1,0 +1,137 @@
+"""Compat pin: the PR-7-era client session against the async gateway.
+
+``_LegacyClient`` below freezes the wire usage of the pre-gateway
+:class:`ServiceClient`: one-shot urllib requests, no API-key header,
+no keep-alive, ``GET /jobs/<id>/events?since=N`` with no ``wait``
+parameter, and a submit -> poll -> result loop.  The test drives that
+exact session against the asyncio gateway and pins the observable
+transcript -- response schemas, event tags, and the stored result
+bytes -- to what a sync-server run of the same plan produces.
+
+If a gateway change breaks an old deployed client, this file is where
+it fails.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan
+from repro.service.gateway import GatewayRunner
+from repro.service.http import make_server
+
+
+def search_plan(seed=0, trials=4):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+class _LegacyClient:
+    """The PR-7 wire surface, frozen.  Do not modernise this class."""
+
+    def __init__(self, base_url):
+        self.base_url = base_url.rstrip("/")
+
+    def _request(self, path, payload=None):
+        url = f"{self.base_url}{path}"
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url, data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return json.loads(resp.read())
+
+    def _request_bytes(self, path):
+        with urllib.request.urlopen(f"{self.base_url}{path}",
+                                    timeout=30) as resp:
+            return resp.read()
+
+    def submit(self, plan, priority=0):
+        return self._request("/jobs", {"plan": plan.to_dict(),
+                                       "priority": priority})
+
+    def status(self, job_id):
+        return self._request(f"/jobs/{job_id}")
+
+    def events(self, job_id, since=0):
+        return self._request(f"/jobs/{job_id}/events?since={since}")
+
+    def result_bytes(self, job_id):
+        return self._request_bytes(f"/jobs/{job_id}/result")
+
+    def run_session(self, plan):
+        """Submit -> poll -> drain events -> fetch result, PR-7 style."""
+        submitted = self.submit(plan)
+        job_id = submitted["job_id"]
+        deadline = time.monotonic() + 120
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+            assert time.monotonic() < deadline, "job never finished"
+            time.sleep(0.05)
+        cursor, tags = 0, []
+        while True:
+            page = self.events(job_id, since=cursor)
+            tags.extend(e["event"] for e in page["events"])
+            if page["next"] == cursor:
+                break
+            cursor = page["next"]
+        return {
+            "submit_keys": sorted(submitted),
+            "final_state": status["state"],
+            "plan_hash": status["plan_hash"],
+            "event_tags": tags,
+            "result": self.result_bytes(job_id),
+        }
+
+
+def test_legacy_session_is_identical_against_gateway_and_sync_server(
+        tmp_path):
+    plan = search_plan(seed=77)
+
+    server = make_server(port=0, workers=1,
+                         store_dir=str(tmp_path / "sync-store"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        sync_run = _LegacyClient(f"http://{host}:{port}").run_session(plan)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.shutdown(wait=True, cancel_running=True)
+        thread.join(timeout=10)
+
+    with GatewayRunner(workers=1,
+                       store_dir=str(tmp_path / "gw-store")) as runner:
+        gateway_run = _LegacyClient(runner.base_url).run_session(plan)
+
+    # The submit response schema, terminal state, plan hash, event-tag
+    # sequence, and the stored result BYTES are all pinned.
+    assert gateway_run["submit_keys"] == sync_run["submit_keys"]
+    assert gateway_run["final_state"] == sync_run["final_state"] == "done"
+    assert gateway_run["plan_hash"] == sync_run["plan_hash"]
+    assert gateway_run["event_tags"] == sync_run["event_tags"]
+    assert gateway_run["result"] == sync_run["result"]
+
+
+def test_legacy_session_schema_snapshot(tmp_path):
+    """The exact field set a PR-7 client sees, pinned literally."""
+    with GatewayRunner(workers=1,
+                       store_dir=str(tmp_path / "store")) as runner:
+        run = _LegacyClient(runner.base_url).run_session(search_plan(seed=78))
+    assert run["submit_keys"] == ["agent", "cached", "deduped", "error",
+                                  "events", "job_id", "plan_hash",
+                                  "priority", "runs", "state", "tenant",
+                                  "workload"]
+    assert run["event_tags"][0] == "job-queued"
+    assert run["event_tags"][-1] == "job-completed"
+    assert run["result"].endswith(b"\n") or run["result"]

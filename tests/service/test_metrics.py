@@ -1,0 +1,145 @@
+"""The metrics registry and the ``/metrics`` endpoint on both front ends."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.plans import RunPlan, ScenarioPlan, SearchPlan, plan_hash
+from repro.service.client import ServiceClient
+from repro.service.http import make_server
+from repro.service.metrics import ANONYMOUS_TENANT, MetricsRegistry
+from repro.service.service import SearchService
+
+
+def search_plan(seed=0, trials=2):
+    return RunPlan(
+        workload="search",
+        search=SearchPlan(seed=seed, trials=trials),
+        scenario=ScenarioPlan(datasets=("mnist",), devices=("pynq-z1",),
+                              specs_ms=(5.0,)),
+    )
+
+
+class TestRegistry:
+    def test_counters_start_at_zero_and_accumulate(self, tmp_path):
+        service = SearchService(workers=1,
+                                checkpoint_dir=str(tmp_path / "ckpt"))
+        try:
+            registry = MetricsRegistry(service)
+            assert registry.counter("submissions") == 0
+            registry.inc("submissions")
+            registry.inc("submissions", 4)
+            assert registry.counter("submissions") == 5
+            assert registry.snapshot()["counters"]["submissions"] == 5
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+
+    def test_gauges_are_read_live_per_snapshot(self, tmp_path):
+        service = SearchService(workers=1,
+                                checkpoint_dir=str(tmp_path / "ckpt"))
+        try:
+            registry = MetricsRegistry(service)
+            level = {"value": 1}
+            registry.gauge("level", lambda: level["value"])
+            assert registry.snapshot()["gauges"]["level"] == 1
+            level["value"] = 7
+            assert registry.snapshot()["gauges"]["level"] == 7
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+
+    def test_uptime_uses_the_injected_clock(self, tmp_path):
+        service = SearchService(workers=1,
+                                checkpoint_dir=str(tmp_path / "ckpt"))
+        try:
+            now = {"t": 100.0}
+            registry = MetricsRegistry(service, clock=lambda: now["t"])
+            now["t"] = 107.5
+            assert registry.snapshot()["uptime_seconds"] == 7.5
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+
+    def test_snapshot_counts_jobs_and_queue_depth_per_tenant(
+            self, tmp_path):
+        service = SearchService(workers=1,
+                                checkpoint_dir=str(tmp_path / "ckpt"))
+        try:
+            registry = MetricsRegistry(service)
+            blocker = service.submit(search_plan(seed=1, trials=60))
+            queued_acme = service.submit(search_plan(seed=2),
+                                         tenant="acme")
+            queued_anon = service.submit(search_plan(seed=3))
+            snapshot = registry.snapshot()
+            total = sum(snapshot["jobs"].values())
+            assert total == 3
+            depth = snapshot["queue_depth"]
+            assert depth["acme"] == 1
+            # The blocker and the anonymous job both land in the
+            # anonymous bucket (whichever of them is running/queued).
+            assert depth[ANONYMOUS_TENANT] == 2
+            for handle in (blocker, queued_acme, queued_anon):
+                service.cancel(handle.job_id)
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+
+    def test_snapshot_reports_store_hits_and_misses(self, tmp_path):
+        service = SearchService(workers=1, store_dir=str(tmp_path / "store"))
+        try:
+            registry = MetricsRegistry(service)
+            plan = search_plan(seed=4)
+            service.submit(plan).wait(timeout=120)
+            assert service.store.get_bytes(plan_hash(plan))  # store hit
+            service.store.get_bytes("0" * 64)  # store miss
+            store = registry.snapshot()["store"]
+            assert store["entries"] >= 1
+            assert store["hits"] >= 1
+            assert store["misses"] >= 1
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+
+    def test_concurrent_incs_do_not_lose_updates(self, tmp_path):
+        service = SearchService(workers=1,
+                                checkpoint_dir=str(tmp_path / "ckpt"))
+        try:
+            registry = MetricsRegistry(service)
+
+            def hammer():
+                for _ in range(1000):
+                    registry.inc("hits")
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert registry.counter("hits") == 4000
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+
+
+class TestSyncMetricsEndpoint:
+    @pytest.fixture()
+    def live_server(self, tmp_path):
+        server = make_server(port=0, workers=1,
+                             store_dir=str(tmp_path / "store"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        server.service.shutdown(wait=True, cancel_running=True)
+        thread.join(timeout=10)
+
+    def test_metrics_route_serves_the_snapshot(self, live_server):
+        client = ServiceClient(live_server)
+        info = client.submit(search_plan(seed=5))
+        client.wait(info["job_id"], timeout=120)
+        with urllib.request.urlopen(f"{live_server}/metrics",
+                                    timeout=10) as resp:
+            snapshot = json.loads(resp.read())
+        assert snapshot["jobs"]["done"] >= 1
+        assert snapshot["counters"]["submissions"] >= 1
+        assert snapshot["store"]["entries"] >= 1
+        assert snapshot["uptime_seconds"] > 0
