@@ -4,14 +4,29 @@ The paper's efficiency argument rests on the analytical model being
 orders of magnitude cheaper than simulation (let alone HLS/RTL flows).
 These benches measure both paths on a MNIST-space architecture and
 check the accuracy relationship (analyzer = tight lower bound).
+
+The memory-hierarchy extension adds a DRAM-bound vs compute-bound
+pair: the same depthwise-separable pipeline on the wide- and
+narrow-DDR catalog variants of one fabric, emitted as
+``BENCH_latency_model.json`` so trajectory tooling can track the
+modeled memory sensitivity across PRs.
 """
+
+import json
+from collections import Counter
+from pathlib import Path
 
 import pytest
 
 from repro.core.architecture import Architecture
-from repro.fpga.device import PYNQ_Z1
+from repro.fpga.device import PYNQ_Z1, XC7Z020_DDR_NARROW, XC7Z020_DDR_WIDE
 from repro.fpga.platform import Platform
+from repro.fpga.tiling import TilingDesigner
+from repro.latency.analyzer import FnasAnalyzer
 from repro.latency.estimator import LatencyEstimator
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_latency_model.json")
 
 
 @pytest.fixture
@@ -55,3 +70,57 @@ def test_analyzer_is_tight_lower_bound(benchmark, arch):
     assert gap >= 0
     # Tightness: within 5% on this stall-free pipeline.
     assert gap <= 0.05 * simulated.cycles
+
+
+def _phase_profile(device):
+    """Analyze one separable pipeline on ``device``; summarize bounds."""
+    arch = Architecture.from_choices(
+        [5, 5], [32, 32], input_size=28, input_channels=3,
+        conv_types=["separable", "separable"],
+    )
+    design = TilingDesigner().design(arch, Platform.single(device))
+    report = FnasAnalyzer().analyze(design)
+    bounds = Counter(layer.bound for layer in report.layers)
+    return {
+        "device": device.name,
+        "effective_bandwidth_gbps": round(
+            device.dram.effective_bandwidth_gbps(device.dram.burst_beats),
+            4),
+        "total_cycles": report.total_cycles,
+        "latency_ms": round(
+            report.total_cycles / (device.clock_mhz * 1e3), 4),
+        "bounds": dict(sorted(bounds.items())),
+    }
+
+
+def test_dram_bound_vs_compute_bound_pair(once, emit):
+    """The same dw pipeline, bandwidth-rich vs bandwidth-starved."""
+
+    def profile_pair():
+        wide = _phase_profile(XC7Z020_DDR_WIDE)
+        narrow = _phase_profile(XC7Z020_DDR_NARROW)
+        return {
+            "compute_bound": wide,
+            "dram_bound": narrow,
+            "memory_slowdown": round(
+                narrow["total_cycles"] / wide["total_cycles"], 2),
+        }
+
+    data = once(profile_pair)
+
+    emit("\n=== Memory hierarchy: dw pipeline, wide vs narrow DDR ===")
+    for label in ("compute_bound", "dram_bound"):
+        row = data[label]
+        emit(f"{row['device']:>22} {row['effective_bandwidth_gbps']:>7.2f} "
+             f"GB/s  {row['total_cycles']:>9} cycles  bounds={row['bounds']}")
+    emit(f"memory slowdown: {data['memory_slowdown']}x")
+
+    OUTPUT_PATH.write_text(json.dumps(
+        {"benchmark": "latency_model", **data}, indent=2
+    ) + "\n")
+    emit(f"wrote {OUTPUT_PATH.name}")
+
+    # The pair is the point: same fabric, opposite regimes.
+    assert set(data["compute_bound"]["bounds"]) == {"compute"}
+    assert data["dram_bound"]["bounds"].get("load", 0) >= 1
+    assert data["memory_slowdown"] > 2.0

@@ -47,8 +47,8 @@ from repro.plans import (
 )
 
 #: Commands that lower to a RunPlan (everything but ``estimate``/``run``).
-PLAN_COMMANDS = ("table1", "figure6", "figure7", "figure8", "ablations",
-                 "report", "sweep")
+PLAN_COMMANDS = ("table1", "figure6", "figure7", "figure8", "figure9",
+                 "ablations", "report", "sweep")
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -127,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure8", help="Figure 8: FNAS-Sched vs fixed "
                                        "scheduling over 16 architectures")
+    _add_dump_plan_flag(p)
+
+    p = sub.add_parser(
+        "figure9",
+        help="Figure 9 (extension): separable vs standard Pareto fronts "
+             "on bandwidth-rich vs bandwidth-starved DDR devices",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for sampling and surrogates (default 0)")
+    p.add_argument("--samples", type=int, default=None,
+                   help="architectures sampled per frontier (default 256)")
+    p.add_argument("--devices", type=_str_list, default=None,
+                   help="comma-separated catalog devices (default "
+                        "xc7z020-ddr-wide,xc7z020-ddr-narrow)")
     _add_dump_plan_flag(p)
 
     p = sub.add_parser("ablations", help="reuse-strategy and early-pruning "
@@ -348,6 +362,13 @@ def plan_from_args(args: argparse.Namespace) -> RunPlan:
     """Lower a parsed command line onto its declarative RunPlan."""
     if args.command == "figure8":
         return RunPlan(workload="figure8")
+    if args.command == "figure9":
+        from repro.experiments.figure9 import FIGURE9_DEVICES, figure9_plan
+
+        devices = (FIGURE9_DEVICES if args.devices is None
+                   else tuple(args.devices))
+        return figure9_plan(samples=args.samples, seed=args.seed,
+                            devices=devices)
     execution = _execution_from_args(args)
     if args.command == "sweep":
         return RunPlan(
@@ -396,7 +417,7 @@ def plan_from_args(args: argparse.Namespace) -> RunPlan:
 def _print_result(plan: RunPlan, result) -> None:
     """Render a workload result exactly as its command always has."""
     workload = plan.workload
-    if workload in ("table1", "figure6", "figure7"):
+    if workload in ("table1", "figure6", "figure7", "figure9"):
         print(result.format())
     elif workload == "figure8":
         print(result.format())

@@ -18,6 +18,7 @@ indexed loosest = TS1 to tightest = TS4.)
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 
 
@@ -72,17 +73,23 @@ class ExperimentConfig:
     num_classes: int
     timing_specs: TimingSpecs
     timing_specs_low: TimingSpecs | None = None
+    conv_types: tuple[str, ...] = ("standard",)
 
     def __post_init__(self) -> None:
         if self.num_layers <= 0 or self.trials <= 0 or self.epochs <= 0:
             raise ValueError("num_layers, trials and epochs must be positive")
         if not self.filter_sizes or not self.filter_counts:
             raise ValueError("filter size/count choice lists cannot be empty")
+        if not self.conv_types:
+            raise ValueError("conv_types cannot be empty")
 
     @property
     def space_size(self) -> int:
         """Number of distinct architectures in the search space."""
-        return (len(self.filter_sizes) * len(self.filter_counts)) ** self.num_layers
+        per_layer = len(self.filter_sizes) * len(self.filter_counts)
+        if len(self.conv_types) > 1:
+            per_layer *= len(self.conv_types)
+        return per_layer ** self.num_layers
 
 
 MNIST_CONFIG = ExperimentConfig(
@@ -131,10 +138,38 @@ IMAGENET_CONFIG = ExperimentConfig(
     timing_specs=TimingSpecs(ts1=10.0, ts2=7.5, ts3=5.0, ts4=2.5),
 )
 
+MOBILENET_CONFIG = ExperimentConfig(
+    dataset="mobilenet",
+    train_size=4_500,
+    val_size=500,
+    epochs=25,
+    num_layers=6,
+    filter_sizes=(3, 5, 7),
+    filter_counts=(16, 32, 64),
+    trials=60,
+    input_size=32,
+    input_channels=3,
+    num_classes=10,
+    timing_specs=TimingSpecs(ts1=10.0, ts2=5.0, ts3=2.5, ts4=1.0),
+    # Cheapest choice first: the surrogate's MAC-bound probe decodes the
+    # all-zeros token sequence as the smallest architecture, and a
+    # separable layer is cheaper than its standard twin at every
+    # (FS, FN) choice this space offers.
+    conv_types=("separable", "standard"),
+)
+"""MobileNet-class extension space: per-layer conv-type choice.
+
+Not a Table 2 row -- this space exists to exercise the memory-hierarchy
+model: depthwise layers have tiny compute per byte moved, so their
+latency ranking flips between bandwidth-rich and bandwidth-starved
+devices (the figure9 experiment).
+"""
+
 CONFIGS: dict[str, ExperimentConfig] = {
     "mnist": MNIST_CONFIG,
     "cifar10": CIFAR_CONFIG,
     "imagenet": IMAGENET_CONFIG,
+    "mobilenet": MOBILENET_CONFIG,
 }
 
 
@@ -144,4 +179,9 @@ def get_config(dataset: str) -> ExperimentConfig:
         return CONFIGS[dataset]
     except KeyError:
         known = ", ".join(sorted(CONFIGS))
-        raise KeyError(f"unknown dataset {dataset!r}; known: {known}")
+        hint = ""
+        if isinstance(dataset, str):
+            close = difflib.get_close_matches(dataset, sorted(CONFIGS), n=1)
+            if close:
+                hint = f" (did you mean {close[0]!r}?)"
+        raise KeyError(f"unknown dataset {dataset!r}{hint}; known: {known}")

@@ -32,7 +32,14 @@ class ConvLayerSpec:
         in_rows/in_cols:   input feature-map spatial size.
         out_rows/out_cols: output feature-map spatial size (``R`` x ``C``).
         stride:       convolution stride.
+        kind:         ``"standard"`` (dense cross-channel conv) or
+            ``"depthwise"`` (one filter per channel; requires
+            ``out_channels == in_channels``).
     """
+
+    STANDARD = "standard"
+    DEPTHWISE = "depthwise"
+    KINDS = (STANDARD, DEPTHWISE)
 
     in_channels: int
     out_channels: int
@@ -40,6 +47,7 @@ class ConvLayerSpec:
     in_rows: int
     in_cols: int
     stride: int = 1
+    kind: str = "standard"
 
     def __post_init__(self) -> None:
         for attr in ("in_channels", "out_channels", "kernel", "in_rows",
@@ -52,6 +60,22 @@ class ConvLayerSpec:
                 f"kernel {self.kernel} exceeds input size "
                 f"{self.in_rows}x{self.in_cols}"
             )
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"kind must be one of {self.KINDS}, got {self.kind!r}"
+            )
+        if self.kind == self.DEPTHWISE and (
+            self.out_channels != self.in_channels
+        ):
+            raise ValueError(
+                f"depthwise layers keep the channel count: in_channels "
+                f"{self.in_channels} != out_channels {self.out_channels}"
+            )
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True for depthwise (per-channel) convolutions."""
+        return self.kind == self.DEPTHWISE
 
     @property
     def out_rows(self) -> int:
@@ -66,12 +90,17 @@ class ConvLayerSpec:
     @property
     def macs(self) -> int:
         """Multiply-accumulate operations for one inference of this layer."""
+        if self.kind == self.DEPTHWISE:
+            return (self.kernel * self.kernel * self.in_channels
+                    * self.out_rows * self.out_cols)
         return (self.kernel * self.kernel * self.in_channels
                 * self.out_channels * self.out_rows * self.out_cols)
 
     @property
     def weight_count(self) -> int:
         """Number of convolution weights (no bias)."""
+        if self.kind == self.DEPTHWISE:
+            return self.kernel * self.kernel * self.in_channels
         return self.kernel * self.kernel * self.in_channels * self.out_channels
 
     @property
@@ -132,6 +161,7 @@ class Architecture:
         input_channels: int = 1,
         num_classes: int = 10,
         strides: list[int] | tuple[int, ...] | None = None,
+        conv_types: list[str] | tuple[str, ...] | None = None,
     ) -> "Architecture":
         """Build an architecture from per-layer hyperparameter choices.
 
@@ -140,6 +170,12 @@ class Architecture:
         current feature map are clamped down to it (the paper's MNIST
         space includes 14x14 kernels which stop fitting after strided
         layers; clamping keeps every controller sample valid).
+
+        ``conv_types[i]`` selects the layer family: ``"standard"``
+        (the default, one dense conv layer) or ``"separable"``, which
+        expands MobileNet-style into a depthwise ``KxK`` conv keeping
+        the channel count (carrying the stride) followed by a ``1x1``
+        pointwise conv projecting to ``filter_counts[i]`` channels.
         """
         if len(filter_sizes) != len(filter_counts):
             raise ValueError(
@@ -153,22 +189,57 @@ class Architecture:
                 f"strides ({len(strides)}) must match layer count "
                 f"({len(filter_sizes)})"
             )
+        if conv_types is None:
+            conv_types = ["standard"] * len(filter_sizes)
+        if len(conv_types) != len(filter_sizes):
+            raise ValueError(
+                f"conv_types ({len(conv_types)}) must match layer count "
+                f"({len(filter_sizes)})"
+            )
         layers = []
         channels = input_channels
         rows = cols = input_size
-        for kernel, count, stride in zip(filter_sizes, filter_counts, strides):
+        for kernel, count, stride, conv_type in zip(
+            filter_sizes, filter_counts, strides, conv_types
+        ):
             kernel = min(kernel, rows, cols)
-            layer = ConvLayerSpec(
-                in_channels=channels,
-                out_channels=count,
-                kernel=kernel,
-                in_rows=rows,
-                in_cols=cols,
-                stride=stride,
-            )
-            layers.append(layer)
-            channels = layer.out_channels
-            rows, cols = layer.out_rows, layer.out_cols
+            if conv_type == "standard":
+                expansion = [ConvLayerSpec(
+                    in_channels=channels,
+                    out_channels=count,
+                    kernel=kernel,
+                    in_rows=rows,
+                    in_cols=cols,
+                    stride=stride,
+                )]
+            elif conv_type == "separable":
+                depthwise = ConvLayerSpec(
+                    in_channels=channels,
+                    out_channels=channels,
+                    kernel=kernel,
+                    in_rows=rows,
+                    in_cols=cols,
+                    stride=stride,
+                    kind=ConvLayerSpec.DEPTHWISE,
+                )
+                pointwise = ConvLayerSpec(
+                    in_channels=channels,
+                    out_channels=count,
+                    kernel=1,
+                    in_rows=depthwise.out_rows,
+                    in_cols=depthwise.out_cols,
+                    stride=1,
+                )
+                expansion = [depthwise, pointwise]
+            else:
+                raise ValueError(
+                    f"unknown conv type {conv_type!r}; "
+                    f"expected 'standard' or 'separable'"
+                )
+            for layer in expansion:
+                layers.append(layer)
+                channels = layer.out_channels
+                rows, cols = layer.out_rows, layer.out_cols
         return cls(
             layers=tuple(layers),
             num_classes=num_classes,
@@ -202,19 +273,29 @@ class Architecture:
         return tuple(layer.out_channels for layer in self.layers)
 
     def describe(self) -> str:
-        """Human-readable one-line summary, e.g. ``5x5/18 -> 7x7/36``."""
-        parts = [f"{l.kernel}x{l.kernel}/{l.out_channels}" for l in self.layers]
+        """Human-readable one-line summary, e.g. ``5x5/18 -> 7x7dw/36``."""
+        parts = [
+            f"{l.kernel}x{l.kernel}{'dw' if l.is_depthwise else ''}"
+            f"/{l.out_channels}"
+            for l in self.layers
+        ]
         return " -> ".join(parts)
 
     def fingerprint(self) -> str:
         """Stable hash key identifying the architecture.
 
         Used by caches and by the accuracy surrogate to derive
-        architecture-specific (but reproducible) noise.
+        architecture-specific (but reproducible) noise.  Standard
+        layers keep the seed's three-part field so existing
+        fingerprints (and everything keyed off them -- shard ids, the
+        surrogate's noise) are unchanged; depthwise layers append a
+        ``dw`` marker.
         """
         fields: list[str] = [str(self.input_size), str(self.input_channels),
                              str(self.num_classes)]
-        fields += [
-            f"{l.kernel}.{l.out_channels}.{l.stride}" for l in self.layers
-        ]
+        for l in self.layers:
+            part = f"{l.kernel}.{l.out_channels}.{l.stride}"
+            if l.is_depthwise:
+                part += ".dw"
+            fields.append(part)
         return "|".join(fields)

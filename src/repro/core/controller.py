@@ -253,11 +253,17 @@ class LstmController:
         }
         self._adam = _AdamState(self._param_list(), lr)
 
-    def _kind_choices(self) -> dict[str, tuple[int, ...]]:
-        return {
-            "filter_size": self.space.filter_sizes,
-            "filter_count": self.space.filter_counts,
-        }
+    def _kind_choices(self) -> dict[str, tuple]:
+        # Derived in per-layer token order: classic spaces yield
+        # filter_size then filter_count (the seed's dict order, which
+        # also fixes the RNG draw order at init), conv-type-searching
+        # spaces prepend conv_type.
+        kinds: dict[str, tuple] = {}
+        for step in range(self.space.decisions_per_layer):
+            kind = self.space.decision_kind(step)
+            if kind not in kinds:
+                kinds[kind] = self.space.choices_at(step)
+        return kinds
 
     def _param_list(self) -> list[np.ndarray]:
         params = [self.start_embedding, self.w_lstm, self.b_lstm]

@@ -19,15 +19,28 @@ import numpy as np
 from repro.core.architecture import Architecture
 from repro.configs import ExperimentConfig
 
-#: Decision kinds, in per-layer order.
+#: Decision kinds, in per-layer order (``CONV_TYPE`` only present in
+#: spaces with more than one conv type).
+CONV_TYPE = "conv_type"
 FILTER_SIZE = "filter_size"
 FILTER_COUNT = "filter_count"
 DECISIONS_PER_LAYER = 2
 
+#: Conv-type choices a space may offer.  Ordered cheapest-first so the
+#: surrogate's MAC-monotonicity probe (all-zeros vs all-max tokens)
+#: stays valid for spaces that include both.
+KNOWN_CONV_TYPES = ("separable", "standard")
+
 
 @dataclass(frozen=True)
 class SearchSpace:
-    """A layered CNN search space with per-layer (FS, FN) choices."""
+    """A layered CNN search space with per-layer (FS, FN) choices.
+
+    MobileNet-class spaces additionally choose each layer's conv *type*
+    (``"standard"`` vs ``"separable"``); the extra decision appears only
+    when ``conv_types`` offers more than one option, so classic
+    two-decision spaces keep their exact token geometry.
+    """
 
     name: str
     num_layers: int
@@ -36,6 +49,7 @@ class SearchSpace:
     input_size: int
     input_channels: int
     num_classes: int
+    conv_types: tuple[str, ...] = ("standard",)
 
     def __post_init__(self) -> None:
         if self.num_layers <= 0:
@@ -46,6 +60,16 @@ class SearchSpace:
             raise ValueError("filter_sizes contains duplicates")
         if len(set(self.filter_counts)) != len(self.filter_counts):
             raise ValueError("filter_counts contains duplicates")
+        if not self.conv_types:
+            raise ValueError("conv_types cannot be empty")
+        if len(set(self.conv_types)) != len(self.conv_types):
+            raise ValueError("conv_types contains duplicates")
+        for conv_type in self.conv_types:
+            if conv_type not in KNOWN_CONV_TYPES:
+                raise ValueError(
+                    f"unknown conv type {conv_type!r}; "
+                    f"known: {', '.join(KNOWN_CONV_TYPES)}"
+                )
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "SearchSpace":
@@ -58,45 +82,80 @@ class SearchSpace:
             input_size=config.input_size,
             input_channels=config.input_channels,
             num_classes=config.num_classes,
+            conv_types=tuple(getattr(config, "conv_types", ("standard",))),
         )
 
     # -- token geometry -----------------------------------------------------
 
     @property
+    def searches_conv_type(self) -> bool:
+        """True when the controller picks each layer's conv type."""
+        return len(self.conv_types) > 1
+
+    @property
+    def decisions_per_layer(self) -> int:
+        """Tokens per layer: 2 classically, 3 with a conv-type choice."""
+        return 3 if self.searches_conv_type else DECISIONS_PER_LAYER
+
+    @property
+    def kinds_per_layer(self) -> tuple[str, ...]:
+        """Decision kinds in per-layer token order."""
+        if self.searches_conv_type:
+            return (CONV_TYPE, FILTER_SIZE, FILTER_COUNT)
+        return (FILTER_SIZE, FILTER_COUNT)
+
+    @property
     def num_decisions(self) -> int:
-        """Length of a full token sequence (2 per layer)."""
-        return self.num_layers * DECISIONS_PER_LAYER
+        """Length of a full token sequence."""
+        return self.num_layers * self.decisions_per_layer
 
     def decision_kind(self, step: int) -> str:
         """Which hyperparameter the ``step``-th token selects."""
         if not 0 <= step < self.num_decisions:
             raise ValueError(f"step {step} out of range [0, {self.num_decisions})")
-        return FILTER_SIZE if step % DECISIONS_PER_LAYER == 0 else FILTER_COUNT
+        return self.kinds_per_layer[step % self.decisions_per_layer]
 
-    def choices_at(self, step: int) -> tuple[int, ...]:
+    def choices(self, kind: str) -> tuple:
+        """The choice list for a decision ``kind``."""
+        table = {
+            CONV_TYPE: self.conv_types,
+            FILTER_SIZE: self.filter_sizes,
+            FILTER_COUNT: self.filter_counts,
+        }
+        try:
+            return table[kind]
+        except KeyError:
+            raise KeyError(f"unknown decision kind {kind!r}") from None
+
+    def choices_at(self, step: int) -> tuple:
         """The choice list the ``step``-th token indexes into."""
-        if self.decision_kind(step) == FILTER_SIZE:
-            return self.filter_sizes
-        return self.filter_counts
+        return self.choices(self.decision_kind(step))
 
     @property
     def size(self) -> int:
         """Number of distinct token sequences."""
-        return (len(self.filter_sizes) * len(self.filter_counts)) ** self.num_layers
+        per_layer = len(self.filter_sizes) * len(self.filter_counts)
+        if self.searches_conv_type:
+            per_layer *= len(self.conv_types)
+        return per_layer ** self.num_layers
 
     # -- encode / decode ------------------------------------------------------
 
     def decode(self, tokens: list[int] | tuple[int, ...]) -> Architecture:
         """Token sequence -> architecture.
 
-        ``tokens[2i]`` indexes ``filter_sizes`` and ``tokens[2i+1]``
-        indexes ``filter_counts`` for layer ``i``.
+        Classically ``tokens[2i]`` indexes ``filter_sizes`` and
+        ``tokens[2i+1]`` indexes ``filter_counts`` for layer ``i``;
+        conv-type-searching spaces prepend a ``conv_types`` token per
+        layer.  A ``"separable"`` choice expands into a depthwise +
+        pointwise layer pair, so the architecture may be deeper than
+        ``num_layers``.
         """
         if len(tokens) != self.num_decisions:
             raise ValueError(
                 f"expected {self.num_decisions} tokens, got {len(tokens)}"
             )
-        sizes, counts = [], []
+        types, sizes, counts = [], [], []
         for step, token in enumerate(tokens):
             choices = self.choices_at(step)
             if not 0 <= token < len(choices):
@@ -104,32 +163,82 @@ class SearchSpace:
                     f"token {token} at step {step} out of range for "
                     f"{len(choices)} choices"
                 )
-            if self.decision_kind(step) == FILTER_SIZE:
+            kind = self.decision_kind(step)
+            if kind == CONV_TYPE:
+                types.append(choices[token])
+            elif kind == FILTER_SIZE:
                 sizes.append(choices[token])
             else:
                 counts.append(choices[token])
+        if not types and self.conv_types != ("standard",):
+            # A single non-standard conv type is fixed, not searched:
+            # no token carries it, but every layer still uses it.
+            types = [self.conv_types[0]] * len(sizes)
         return Architecture.from_choices(
             filter_sizes=sizes,
             filter_counts=counts,
             input_size=self.input_size,
             input_channels=self.input_channels,
             num_classes=self.num_classes,
+            conv_types=types if types else None,
         )
+
+    def _logical_layers(
+        self, architecture: Architecture
+    ) -> list[tuple[str, int, int]]:
+        """Collapse expanded layers back into ``(type, kernel, count)``.
+
+        A depthwise layer immediately followed by its 1x1 pointwise
+        projection reads back as one ``"separable"`` decision; anything
+        else is a ``"standard"`` layer.
+        """
+        logical: list[tuple[str, int, int]] = []
+        layers = architecture.layers
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            if layer.is_depthwise:
+                if i + 1 >= len(layers):
+                    raise ValueError(
+                        "trailing depthwise layer has no pointwise projection"
+                    )
+                pointwise = layers[i + 1]
+                if pointwise.is_depthwise or pointwise.kernel != 1:
+                    raise ValueError(
+                        f"layer {i + 1} is not the 1x1 pointwise projection "
+                        f"of the depthwise layer {i}"
+                    )
+                logical.append(
+                    ("separable", layer.kernel, pointwise.out_channels)
+                )
+                i += 2
+            else:
+                logical.append(("standard", layer.kernel, layer.out_channels))
+                i += 1
+        return logical
 
     def encode(self, architecture: Architecture) -> list[int]:
         """Architecture -> token sequence (inverse of :meth:`decode`).
 
         Kernel sizes clamped by :meth:`Architecture.from_choices` are
         mapped back to the smallest choice >= the clamped kernel.
+        Depthwise + pointwise pairs read back as one ``"separable"``
+        decision.
         """
-        if architecture.depth != self.num_layers:
+        logical = self._logical_layers(architecture)
+        if len(logical) != self.num_layers:
             raise ValueError(
-                f"architecture depth {architecture.depth} != space layers "
+                f"architecture logical depth {len(logical)} != space layers "
                 f"{self.num_layers}"
             )
         tokens: list[int] = []
-        for layer in architecture.layers:
-            kernel = layer.kernel
+        for conv_type, kernel, count in logical:
+            if self.searches_conv_type:
+                tokens.append(self.conv_types.index(conv_type))
+            elif conv_type not in self.conv_types:
+                raise ValueError(
+                    f"conv type {conv_type!r} not in {self.conv_types}"
+                )
             if kernel in self.filter_sizes:
                 fs_idx = self.filter_sizes.index(kernel)
             else:
@@ -139,13 +248,12 @@ class SearchSpace:
                         f"kernel {kernel} not representable in {self.filter_sizes}"
                     )
                 fs_idx = self.filter_sizes.index(min(bigger))
-            if layer.out_channels not in self.filter_counts:
+            if count not in self.filter_counts:
                 raise ValueError(
-                    f"filter count {layer.out_channels} not in "
-                    f"{self.filter_counts}"
+                    f"filter count {count} not in {self.filter_counts}"
                 )
             tokens.append(fs_idx)
-            tokens.append(self.filter_counts.index(layer.out_channels))
+            tokens.append(self.filter_counts.index(count))
         return tokens
 
     # -- sampling / enumeration ----------------------------------------------

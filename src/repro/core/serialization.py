@@ -50,6 +50,9 @@ def architecture_to_dict(architecture: Architecture) -> dict[str, Any]:
                 "kernel": layer.kernel,
                 "out_channels": layer.out_channels,
                 "stride": layer.stride,
+                # Only written for non-standard layers, so pre-existing
+                # ledgers of standard architectures stay byte-identical.
+                **({"kind": layer.kind} if layer.kind != "standard" else {}),
             }
             for layer in architecture.layers
         ],
@@ -63,6 +66,29 @@ def architecture_from_dict(data: dict[str, Any]) -> Architecture:
         raise ValueError(f"unsupported schema version {schema}")
     try:
         layers = data["layers"]
+        if any(l.get("kind", "standard") != "standard" for l in layers):
+            specs = []
+            channels = data["input_channels"]
+            rows = cols = data["input_size"]
+            for l in layers:
+                spec = ConvLayerSpec(
+                    in_channels=channels,
+                    out_channels=l["out_channels"],
+                    kernel=l["kernel"],
+                    in_rows=rows,
+                    in_cols=cols,
+                    stride=l.get("stride", 1),
+                    kind=l.get("kind", "standard"),
+                )
+                specs.append(spec)
+                channels = spec.out_channels
+                rows, cols = spec.out_rows, spec.out_cols
+            return Architecture(
+                layers=tuple(specs),
+                num_classes=data["num_classes"],
+                input_channels=data["input_channels"],
+                input_size=data["input_size"],
+            )
         return Architecture.from_choices(
             filter_sizes=[l["kernel"] for l in layers],
             filter_counts=[l["out_channels"] for l in layers],

@@ -11,6 +11,7 @@ from repro.configs import (
     CONFIGS,
     IMAGENET_CONFIG,
     MNIST_CONFIG,
+    MOBILENET_CONFIG,
     ExperimentConfig,
     TimingSpecs,
     get_config,
@@ -21,6 +22,7 @@ __all__ = [
     "CONFIGS",
     "IMAGENET_CONFIG",
     "MNIST_CONFIG",
+    "MOBILENET_CONFIG",
     "ExperimentConfig",
     "TimingSpecs",
     "get_config",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.fpga.dram import DramModel
 from repro.registry import DEVICES
 
 
@@ -35,6 +36,12 @@ class FpgaDevice:
     """Resource model of a single FPGA (or the PL side of an SoC).
 
     Instances are immutable; derive variants with :meth:`scaled`.
+
+    ``dram`` is optional: devices without it keep the flat
+    ``bandwidth_gbps`` memory model (the seed behavior, pinned
+    byte-identical by the golden ledger); devices with it get
+    burst-level effective bandwidth and load/compute/write phase
+    overlap throughout the latency stack.
     """
 
     name: str
@@ -42,6 +49,7 @@ class FpgaDevice:
     bram_kbytes: int
     bandwidth_gbps: float
     clock_mhz: float
+    dram: DramModel | None = None
 
     def __post_init__(self) -> None:
         if self.dsp_slices <= 0:
@@ -83,21 +91,63 @@ class FpgaDevice:
             raise ValueError(f"ms must be non-negative, got {ms}")
         return ms * self.clock_mhz * 1e3
 
-    def scaled(self, factor: float, name: str | None = None) -> "FpgaDevice":
-        """Return a copy with DSP/BRAM/bandwidth scaled by ``factor``.
+    def scaled(
+        self,
+        factor: float | None = None,
+        name: str | None = None,
+        *,
+        compute: float | None = None,
+        memory: float | None = None,
+    ) -> "FpgaDevice":
+        """Return a copy with explicit resource axes scaled.
+
+        ``factor`` scales *both* axes (the historical uniform behavior);
+        the keyword-only ``compute`` and ``memory`` factors scale one
+        axis each and may be combined:
+
+        * **compute** -- ``dsp_slices`` (PE parallelism);
+        * **memory**  -- ``bram_kbytes`` and the flat ``bandwidth_gbps``.
+
+        The burst-level ``dram`` model is deliberately **never** scaled:
+        its port width, burst length and latency are interface facts, not
+        a capacity dial, and silently multiplying them would distort
+        every derived effective-bandwidth curve.  Derive DRAM variants
+        explicitly with ``dataclasses.replace(device, dram=...)``.
 
         Useful for what-if exploration ("would half a ZU9EG still meet
         the spec?") and for synthesizing device families in tests.
         """
-        if factor <= 0:
-            raise ValueError(f"factor must be positive, got {factor}")
-        return dataclasses.replace(
-            self,
-            name=name if name is not None else f"{self.name}x{factor:g}",
-            dsp_slices=max(1, int(self.dsp_slices * factor)),
-            bram_kbytes=max(1, int(self.bram_kbytes * factor)),
-            bandwidth_gbps=self.bandwidth_gbps * factor,
-        )
+        if factor is not None and (compute is not None or memory is not None):
+            raise ValueError(
+                "pass either the uniform factor or compute=/memory=, not both"
+            )
+        if factor is None and compute is None and memory is None:
+            raise ValueError("scaled() needs a factor (uniform or per-axis)")
+        compute_factor = factor if factor is not None else compute
+        memory_factor = factor if factor is not None else memory
+        for label, value in (("factor", factor), ("compute", compute),
+                             ("memory", memory)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        if name is None:
+            if factor is not None:
+                name = f"{self.name}x{factor:g}"
+            else:
+                parts = []
+                if compute is not None:
+                    parts.append(f"c{compute:g}")
+                if memory is not None:
+                    parts.append(f"m{memory:g}")
+                name = f"{self.name}x" + "".join(parts)
+        changes: dict = {"name": name}
+        if compute_factor is not None:
+            changes["dsp_slices"] = max(1, int(self.dsp_slices * compute_factor))
+        if memory_factor is not None:
+            changes["bram_kbytes"] = max(
+                1, int(self.bram_kbytes * memory_factor)
+            )
+            changes["bandwidth_gbps"] = self.bandwidth_gbps * memory_factor
+        return dataclasses.replace(self, **changes)
 
 
 # --- Device catalog -------------------------------------------------------
@@ -146,13 +196,45 @@ XCZU9EG = FpgaDevice(
 """Zynq UltraScale+ ZU9EG used for the CIFAR-10 / ImageNet experiments."""
 
 
+# --- DRAM-modeled variants -------------------------------------------------
+#
+# Two XC7Z020-class parts that share the compute fabric (DSP/BRAM/clock)
+# but differ only in the memory hierarchy: a wide high-clock DDR port
+# with long bursts vs a narrow low-clock one with short bursts.  The
+# pair is what the figure9 experiment sweeps -- any latency ranking
+# difference between them is purely memory-hierarchy-driven.  Their
+# ``bandwidth_gbps`` is set to the DRAM model's peak so the flat number
+# stays an honest upper bound for code that ignores ``dram``.
+
+XC7Z020_DDR_WIDE = FpgaDevice(
+    name="xc7z020-ddr-wide",
+    dsp_slices=220,
+    bram_kbytes=630,
+    bandwidth_gbps=12.8,  # peak of the 512-bit @ 200 MHz port below
+    clock_mhz=100.0,
+    dram=DramModel(port_width_bits=512, burst_beats=256, frequency_mhz=200.0),
+)
+"""Bandwidth-rich Zynq-7020 variant: wide port, long bursts."""
+
+XC7Z020_DDR_NARROW = FpgaDevice(
+    name="xc7z020-ddr-narrow",
+    dsp_slices=220,
+    bram_kbytes=630,
+    bandwidth_gbps=0.4,  # peak of the 32-bit @ 100 MHz port below
+    clock_mhz=100.0,
+    dram=DramModel(port_width_bits=32, burst_beats=16, frequency_mhz=100.0),
+)
+"""Bandwidth-starved Zynq-7020 variant: narrow port, short bursts."""
+
+
 #: The catalog is the :data:`repro.registry.DEVICES` registry itself (a
 #: read-only mapping of name -> :class:`FpgaDevice`), so third-party
 #: devices registered via ``DEVICES.register(name, device)`` show up in
 #: every lookup, plan validation and CLI flag automatically.
 DEVICE_CATALOG = DEVICES
 
-for _device in (XC7A50T, XC7Z020, PYNQ_Z1, XCZU9EG):
+for _device in (XC7A50T, XC7Z020, PYNQ_Z1, XCZU9EG,
+                XC7Z020_DDR_WIDE, XC7Z020_DDR_NARROW):
     DEVICES.register(_device.name, _device)
 del _device
 

@@ -31,6 +31,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.core.architecture import Architecture, ConvLayerSpec
+from repro.fpga.dram import PhaseLatency
 from repro.fpga.platform import PeAllocation, Platform
 
 #: bytes per fixed-point feature/weight word (the paper uses 16-bit).
@@ -72,8 +73,14 @@ class LayerDesign:
     layer_index: int
     spec: ConvLayerSpec
     tiling: TilingVector
+    phases: PhaseLatency | None = None
 
     def __post_init__(self) -> None:
+        if self.spec.is_depthwise and self.tiling.tm != self.tiling.tn:
+            raise ValueError(
+                f"layer {self.layer_index}: depthwise tiling needs Tm == Tn, "
+                f"got Tm={self.tiling.tm} Tn={self.tiling.tn}"
+            )
         if self.tiling.tm > self.spec.out_channels:
             raise ValueError(
                 f"layer {self.layer_index}: Tm {self.tiling.tm} exceeds "
@@ -124,9 +131,28 @@ class LayerDesign:
 
     @property
     def task_count(self) -> int:
-        """Tasks executed by this PE per inference."""
+        """Tasks executed by this PE per inference.
+
+        Depthwise layers have no channel reduction: each channel tile is
+        both the input and the output of its tasks, so the counts do not
+        multiply.
+        """
+        if self.spec.is_depthwise:
+            return self.n_ofm_channel_tiles * self.n_rc_tiles
         return (self.n_ifm_channel_tiles * self.n_ofm_channel_tiles
                 * self.n_rc_tiles)
+
+    @property
+    def dsps(self) -> int:
+        """DSP slices this PE consumes.
+
+        A standard PE unrolls ``Tm x Tn`` MACs; a depthwise PE has one
+        multiplier lane per channel (``Tm``), there is no cross-channel
+        reduction tree to feed.
+        """
+        if self.spec.is_depthwise:
+            return self.tiling.tm
+        return self.tiling.dsps
 
     # -- timing -------------------------------------------------------------
 
@@ -147,6 +173,25 @@ class LayerDesign:
         """
         return self.execution_time * self.task_count
 
+    @property
+    def effective_execution_time(self) -> int:
+        """Steady-state cycles per task under phase overlap.
+
+        Without a :class:`~repro.fpga.dram.PhaseLatency` attached (the
+        flat-bandwidth memory model) this *is* ``execution_time``, which
+        is what keeps DRAM-less devices byte-identical to the seed; with
+        one, a task costs ``max(load, compute, write)`` because the
+        double-buffered phases of consecutive tasks overlap.
+        """
+        if self.phases is None:
+            return self.execution_time
+        return self.phases.effective_cycles
+
+    @property
+    def effective_processing_time(self) -> int:
+        """Whole-layer cycles under phase overlap."""
+        return self.effective_execution_time * self.task_count
+
     # -- memory -------------------------------------------------------------
 
     @property
@@ -163,7 +208,14 @@ class LayerDesign:
 
     @property
     def weight_buffer_bytes(self) -> int:
-        """On-chip weight buffer for one task's ``Tm x Tn`` filter block."""
+        """On-chip weight buffer for one task's filter block.
+
+        ``Tm x Tn`` filters for a standard conv; one ``KxK`` filter per
+        channel lane (``Tn``) for depthwise.
+        """
+        if self.spec.is_depthwise:
+            return (self.tiling.tn
+                    * self.spec.kernel * self.spec.kernel * WORD_BYTES)
         return (self.tiling.tm * self.tiling.tn
                 * self.spec.kernel * self.spec.kernel * WORD_BYTES)
 
@@ -200,8 +252,8 @@ class PipelineDesign:
 
     @property
     def total_dsps_used(self) -> int:
-        """DSPs consumed by all PEs."""
-        return sum(d.tiling.dsps for d in self.layers)
+        """DSPs consumed by all PEs (kind-aware: depthwise PEs use Tm)."""
+        return sum(d.dsps for d in self.layers)
 
     def layer(self, index: int) -> LayerDesign:
         """The design of layer ``index``."""
@@ -226,6 +278,45 @@ class MemoStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+#: Process-wide tiling-memo counters, keyed by layer-kind bucket plus an
+#: ``"all"`` total.  Every :class:`LayerDesignMemo` bumps these alongside
+#: its own counters, so the service front ends can report estimator
+#: cache behavior in ``/metrics`` without holding references to the
+#: per-job estimators that own the memos.
+PROCESS_MEMO_STATS: dict[str, MemoStats] = {}
+
+_PROCESS_STATS_LOCK = threading.Lock()
+
+
+def process_memo_snapshot() -> dict[str, dict[str, float]]:
+    """JSON-ready view of the process-wide tiling-memo counters."""
+    with _PROCESS_STATS_LOCK:
+        return {
+            kind: {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": round(stats.hit_rate, 4),
+            }
+            for kind, stats in sorted(PROCESS_MEMO_STATS.items())
+        }
+
+
+def reset_process_memo_stats() -> None:
+    """Zero the process-wide counters (test isolation)."""
+    with _PROCESS_STATS_LOCK:
+        PROCESS_MEMO_STATS.clear()
+
+
+def _bump_process_stats(bucket: str, hit: bool) -> None:
+    with _PROCESS_STATS_LOCK:
+        for kind in ("all", bucket):
+            stats = PROCESS_MEMO_STATS.setdefault(kind, MemoStats())
+            if hit:
+                stats.hits += 1
+            else:
+                stats.misses += 1
+
+
 @dataclass
 class LayerDesignMemo:
     """Shared memo of per-layer tiling decisions.
@@ -245,10 +336,25 @@ class LayerDesignMemo:
     """
 
     stats: MemoStats = field(default_factory=MemoStats)
+    kind_stats: dict[str, MemoStats] = field(default_factory=dict)
     _memo: dict[tuple, TilingVector] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    @staticmethod
+    def _kind_bucket(spec: ConvLayerSpec) -> str:
+        """Counter bucket for a layer: standard / pointwise / depthwise.
+
+        Pointwise (1x1 standard) convs are counted apart from general
+        standard convs so the MobileNet dw/pw path is observable in
+        ``/metrics`` without inspecting tilings.
+        """
+        if spec.is_depthwise:
+            return "depthwise"
+        if spec.kernel == 1:
+            return "pointwise"
+        return "standard"
 
     def __len__(self) -> int:
         with self._lock:
@@ -268,13 +374,18 @@ class LayerDesignMemo:
     ) -> TilingVector | None:
         """Return the memoised tiling for this layer shape, if any."""
         key = (spec, dsp_budget, bram_budget_bytes, spatial_strategy)
+        bucket = self._kind_bucket(spec)
         with self._lock:
             tiling = self._memo.get(key)
+            kind = self.kind_stats.setdefault(bucket, MemoStats())
             if tiling is None:
                 self.stats.misses += 1
+                kind.misses += 1
             else:
                 self.stats.hits += 1
-            return tiling
+                kind.hits += 1
+        _bump_process_stats(bucket, hit=tiling is not None)
+        return tiling
 
     def store(
         self,
@@ -326,18 +437,46 @@ class TilingDesigner:
         for allocation, spec in zip(allocations, architecture.layers):
             tiling = self.design_layer(spec, allocation.dsp_budget,
                                        allocation.bram_budget_bytes)
-            layer_designs.append(
-                LayerDesign(
-                    layer_index=allocation.layer_index,
+            design = LayerDesign(
+                layer_index=allocation.layer_index,
+                spec=spec,
+                tiling=tiling,
+            )
+            phases = self._phase_latency(design, allocation.device)
+            if phases is not None:
+                design = LayerDesign(
+                    layer_index=design.layer_index,
                     spec=spec,
                     tiling=tiling,
+                    phases=phases,
                 )
-            )
+            layer_designs.append(design)
         return PipelineDesign(
             architecture=architecture,
             platform=platform,
             layers=tuple(layer_designs),
             allocations=tuple(allocations),
+        )
+
+    @staticmethod
+    def _phase_latency(design: LayerDesign, device) -> PhaseLatency | None:
+        """Per-task load/compute/write phases on a DRAM-modeled device.
+
+        ``None`` (the flat-bandwidth seed behavior) when the device has
+        no :class:`~repro.fpga.dram.DramModel` attached.  The load phase
+        streams one task's IFM window and weight block; the write phase
+        drains its OFM tile; both are rescaled to accelerator-clock
+        cycles by the DRAM model.
+        """
+        dram = getattr(device, "dram", None)
+        if dram is None:
+            return None
+        clock = device.clock_mhz
+        load_bytes = design.ifm_buffer_bytes + design.weight_buffer_bytes
+        return PhaseLatency(
+            load_cycles=dram.transfer_cycles(load_bytes, clock),
+            compute_cycles=design.execution_time,
+            write_cycles=dram.transfer_cycles(design.ofm_buffer_bytes, clock),
         )
 
     def design_layer(
@@ -374,6 +513,10 @@ class TilingDesigner:
         """
         if dsp_budget < 1:
             raise ValueError(f"dsp_budget must be >= 1, got {dsp_budget}")
+        if spec.is_depthwise:
+            return self._choose_depthwise_channel_tiling(
+                spec, dsp_budget, bram_budget_bytes
+            )
         m, n = spec.out_channels, spec.in_channels
         best: tuple[int, int, int, int] | None = None  # (waste, dsps, -tm, tm)
         best_tn = 1
@@ -397,6 +540,33 @@ class TilingDesigner:
                 "(even Tm=Tn=1 overflows)"
             )
         return best[3], best_tn
+
+    def _choose_depthwise_channel_tiling(
+        self, spec: ConvLayerSpec, dsp_budget: int, bram_budget_bytes: int
+    ) -> tuple[int, int]:
+        """Depthwise channel tiling: one tied ``Tm == Tn == T`` knob.
+
+        There is no channel reduction, so a depthwise PE is ``T``
+        independent single-channel lanes costing ``T`` DSPs (not
+        ``T x T``).  Minimise ``ceil(C / T)`` channel tiles under the
+        DSP and (1x1-spatial) BRAM limits; ties prefer fewer lanes.
+        """
+        c = spec.in_channels
+        best: tuple[int, int] | None = None  # (tiles, t)
+        for t in range(1, min(c, dsp_budget) + 1):
+            if self._bram_usage(spec, t, t, 1, 1) > bram_budget_bytes:
+                break
+            tiles = -(-c // t)
+            key = (tiles, t)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise ValueError(
+                f"no channel tiling fits BRAM budget {bram_budget_bytes}B for "
+                f"depthwise layer {spec.kernel}x{spec.kernel}/"
+                f"{spec.out_channels} (even T=1 overflows)"
+            )
+        return best[1], best[1]
 
     def _choose_spatial_tiling(
         self, spec: ConvLayerSpec, tm: int, tn: int, bram_budget_bytes: int
@@ -447,7 +617,10 @@ class TilingDesigner:
         window_cols = tc * spec.stride + spec.kernel - 1
         ifm = tn * window_rows * window_cols * WORD_BYTES
         ofm = tm * tr * tc * WORD_BYTES
-        wei = tm * tn * spec.kernel * spec.kernel * WORD_BYTES
+        if spec.is_depthwise:
+            wei = tn * spec.kernel * spec.kernel * WORD_BYTES
+        else:
+            wei = tm * tn * spec.kernel * spec.kernel * WORD_BYTES
         return DOUBLE_BUFFER * (ifm + ofm + wei)
 
 

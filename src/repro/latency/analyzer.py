@@ -47,6 +47,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.fpga.dram import PhaseLatency
 from repro.fpga.tiling import LayerDesign, PipelineDesign
 from repro.scheduling.base import IFM_REUSE, OFM_REUSE
 from repro.scheduling.fnas_sched import alternating_strategies
@@ -55,7 +56,15 @@ from repro.taskgraph.graph import rc_dependencies, resolve_rc_mapping
 
 @dataclass(frozen=True)
 class LayerLatency:
-    """Per-layer timing terms of the closed-form model."""
+    """Per-layer timing terms of the closed-form model.
+
+    ``execution_time`` / ``processing_time`` are the *effective* values
+    the pipeline math uses: on DRAM-modeled devices a task costs
+    ``max(load, compute, write)`` under double-buffered phase overlap
+    (the per-phase breakdown is in ``phases``); on flat-bandwidth
+    devices they equal the seed's pure-compute numbers and ``phases``
+    is ``None``.
+    """
 
     layer_index: int
     reuse: str
@@ -63,11 +72,19 @@ class LayerLatency:
     processing_time: int
     start_delta: int
     start_time: int
+    phases: PhaseLatency | None = None
 
     @property
     def finish_bound(self) -> int:
-        """Lower bound on this PE's finish: start + pure compute."""
+        """Lower bound on this PE's finish: start + effective work."""
         return self.start_time + self.processing_time
+
+    @property
+    def bound(self) -> str:
+        """Dominating phase (``"compute"`` on flat-bandwidth devices)."""
+        if self.phases is None:
+            return "compute"
+        return self.phases.bound
 
 
 @dataclass(frozen=True)
@@ -131,10 +148,11 @@ class FnasAnalyzer:
                 LayerLatency(
                     layer_index=idx,
                     reuse=strategies[idx],
-                    execution_time=layer.execution_time,
-                    processing_time=layer.processing_time,
+                    execution_time=layer.effective_execution_time,
+                    processing_time=layer.effective_processing_time,
                     start_delta=delta,
                     start_time=start,
+                    phases=layer.phases,
                 )
             )
         # Eq. (5): start-time accumulation plus the last PE's processing
@@ -168,10 +186,20 @@ class FnasAnalyzer:
         n_ofm_up = upstream.n_ofm_channel_tiles
         ofm_tiles_needed = math.ceil(downstream.tiling.tn / upstream.tiling.tm)
         ofm_tiles_needed = min(ofm_tiles_needed, n_ofm_up)
-        et_up = upstream.execution_time
-        rc_prefix = FnasAnalyzer._last_rc_tile_needed(
+        et_up = upstream.effective_execution_time
+        last_rc = FnasAnalyzer._last_rc_tile_needed(
             upstream, downstream, rc_mapping
-        ) * n_ifm_up * n_ofm_up
+        )
+        if upstream.spec.is_depthwise:
+            # No channel reduction upstream: within a row/col sweep the
+            # k-th OFM tile completes after exactly k+1 tasks (one task
+            # per channel tile), and both reuse orderings coincide on
+            # the diagonal task set.
+            rc_prefix = last_rc * n_ofm_up
+            if upstream_reuse in (OFM_REUSE, IFM_REUSE):
+                return (rc_prefix + ofm_tiles_needed) * et_up
+            raise ValueError(f"unknown reuse strategy {upstream_reuse!r}")
+        rc_prefix = last_rc * n_ifm_up * n_ofm_up
         if upstream_reuse == OFM_REUSE:
             return (rc_prefix + n_ifm_up * ofm_tiles_needed) * et_up
         if upstream_reuse == IFM_REUSE:

@@ -17,6 +17,7 @@ from repro.nn.layers import (
     BatchNorm2D,
     Conv2D,
     Dense,
+    DepthwiseConv2D,
     Dropout,
     Flatten,
     GlobalAvgPool,
@@ -54,15 +55,25 @@ def build_network(
     rng = rng if rng is not None else np.random.default_rng(0)
     layers: list = []
     for spec in architecture.layers:
-        layers.append(
-            Conv2D(
-                in_channels=spec.in_channels,
-                out_channels=spec.out_channels,
-                kernel=spec.kernel,
-                stride=spec.stride,
-                rng=rng,
+        if spec.is_depthwise:
+            layers.append(
+                DepthwiseConv2D(
+                    channels=spec.in_channels,
+                    kernel=spec.kernel,
+                    stride=spec.stride,
+                    rng=rng,
+                )
             )
-        )
+        else:
+            layers.append(
+                Conv2D(
+                    in_channels=spec.in_channels,
+                    out_channels=spec.out_channels,
+                    kernel=spec.kernel,
+                    stride=spec.stride,
+                    rng=rng,
+                )
+            )
         if batch_norm:
             layers.append(BatchNorm2D(spec.out_channels))
         layers.append(ReLU())

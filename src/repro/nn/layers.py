@@ -241,6 +241,106 @@ class Conv2D(Layer):
         return [self.d_weight, self.d_bias]
 
 
+class DepthwiseConv2D(Layer):
+    """Same-padding depthwise convolution (NCHW): one KxK filter per channel.
+
+    The MobileNet building block's first half (the 1x1 pointwise half is
+    a plain :class:`Conv2D`).  Channel count is preserved, matching the
+    ``depthwise`` :class:`~repro.core.architecture.ConvLayerSpec` kind.
+
+    Implementation: one strided slice-multiply-accumulate per kernel
+    offset (K*K passes).  There is no cross-channel contraction to hand
+    to BLAS, so the im2col detour would only cost memory; the slice loop
+    keeps the working set at one feature map.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        dtype: np.dtype = np.float32,
+    ):
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        if kernel <= 0 or stride <= 0:
+            raise ValueError("kernel and stride must be positive")
+        self.channels = channels
+        self.kernel = kernel
+        self.stride = stride
+        self.dtype = np.dtype(dtype)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = kernel * kernel
+        self.weight = he_normal(
+            rng, (channels, kernel, kernel), fan_in
+        ).astype(self.dtype)
+        self.bias = zeros((channels,)).astype(self.dtype)
+        self.d_weight = np.zeros_like(self.weight)
+        self.d_bias = np.zeros_like(self.bias)
+        self._cache: tuple | None = None
+
+    def _padding(self, in_h: int, in_w: int) -> tuple[int, int, int, int]:
+        """TensorFlow-style SAME padding amounts (top, bottom, left, right)."""
+        out_h = -(-in_h // self.stride)
+        out_w = -(-in_w // self.stride)
+        pad_h = max(0, (out_h - 1) * self.stride + self.kernel - in_h)
+        pad_w = max(0, (out_w - 1) * self.stride + self.kernel - in_w)
+        return pad_h // 2, pad_h - pad_h // 2, pad_w // 2, pad_w - pad_w // 2
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Per-channel SAME-padded strided convolution."""
+        n, c, h, w = x.shape
+        if c != self.channels:
+            raise ValueError(f"expected {self.channels} input channels, got {c}")
+        x = x.astype(self.dtype, copy=False)
+        top, bottom, left, right = self._padding(h, w)
+        xp = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+        out_h = -(-h // self.stride)
+        out_w = -(-w // self.stride)
+        out = np.broadcast_to(
+            self.bias[None, :, None, None], (n, c, out_h, out_w)
+        ).astype(self.dtype, copy=True)
+        for ki in range(self.kernel):
+            for kj in range(self.kernel):
+                block = xp[
+                    :, :,
+                    ki:ki + self.stride * out_h:self.stride,
+                    kj:kj + self.stride * out_w:self.stride,
+                ]
+                out += block * self.weight[None, :, ki, kj, None, None]
+        self._cache = (x.shape, xp, (top, left), (out_h, out_w))
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias grads and return the input grad."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, xp, (top, left), (out_h, out_w) = self._cache
+        grad = grad.astype(self.dtype, copy=False)
+        self.d_bias[...] = grad.sum(axis=(0, 2, 3))
+        d_xp = np.zeros_like(xp)
+        for ki in range(self.kernel):
+            for kj in range(self.kernel):
+                sl = (
+                    slice(None), slice(None),
+                    slice(ki, ki + self.stride * out_h, self.stride),
+                    slice(kj, kj + self.stride * out_w, self.stride),
+                )
+                self.d_weight[:, ki, kj] = (grad * xp[sl]).sum(axis=(0, 2, 3))
+                d_xp[sl] += grad * self.weight[None, :, ki, kj, None, None]
+        h, w = x_shape[2], x_shape[3]
+        return d_xp[:, :, top:top + h, left:left + w]
+
+    def params(self) -> list[np.ndarray]:
+        """Learnable tensors: per-channel kernels and bias."""
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`params`."""
+        return [self.d_weight, self.d_bias]
+
+
 class ReLU(Layer):
     """Elementwise rectifier."""
 

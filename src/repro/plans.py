@@ -48,6 +48,7 @@ WORKLOADS = (
     "figure6",
     "figure7",
     "figure8",
+    "figure9",
     "ablations",
     "report",
     "sweep",

@@ -41,6 +41,7 @@ Registry        Factory signature
 
 from __future__ import annotations
 
+import difflib
 import importlib
 from collections.abc import Mapping
 from typing import Any, Callable, Iterator
@@ -148,8 +149,14 @@ class Registry(Mapping):
             importlib.import_module(module)
 
     def _miss_message(self, name: str) -> str:
-        known = ", ".join(self.names())
-        return f"unknown {self._kind} {name!r}; known: {known}"
+        names = self.names()
+        known = ", ".join(names)
+        hint = ""
+        if isinstance(name, str):
+            close = difflib.get_close_matches(name, names, n=1)
+            if close:
+                hint = f" (did you mean {close[0]!r}?)"
+        return f"unknown {self._kind} {name!r}{hint}; known: {known}"
 
 
 #: Controller factories: ``factory(space, seed) -> Controller``.
@@ -168,6 +175,7 @@ DATASETS = Registry(
         "repro.datasets.synthetic_mnist",
         "repro.datasets.synthetic_cifar",
         "repro.datasets.synthetic_imagenet",
+        "repro.datasets.synthetic_mobilenet",
     ),
 )
 

@@ -60,7 +60,7 @@ class CommunicationModel:
     def duration(self, schedule: Schedule, task: Task, prev: Task | None) -> int:
         """Effective cycles for ``task`` given the previous task on its PE."""
         design = schedule.graph.design.layers[task.layer]
-        et = design.execution_time
+        et = design.effective_execution_time
         bytes_needed = design.weight_buffer_bytes
         if prev is None or prev.input_tile != task.input_tile:
             bytes_needed += design.ifm_buffer_bytes
@@ -265,7 +265,13 @@ class PipelineSimulator:
                 schedule, task, prev_task[layer_idx]
             )
         else:
-            duration = schedule.graph.design.layers[layer_idx].execution_time
+            # Effective = max(load, compute, write) on DRAM-modeled
+            # devices, pure compute ET on flat-bandwidth ones -- the
+            # same quantity the closed-form analyzer uses, so the two
+            # stay exact mirrors of each other on both memory models.
+            duration = (
+                schedule.graph.design.layers[layer_idx].effective_execution_time
+            )
         end = start + duration
 
         done[layer_idx][seq] = True

@@ -80,7 +80,8 @@ def execute_plan(
 
     Result types by workload: ``table1`` -> ``Table1Result``,
     ``figure6`` -> ``Figure6Result``, ``figure7`` -> ``Figure7Result``,
-    ``figure8`` -> ``Figure8Result``, ``ablations`` ->
+    ``figure8`` -> ``Figure8Result``, ``figure9`` -> ``Figure9Result``,
+    ``ablations`` ->
     ``(ReuseAblationResult, PruningAblationResult)``, ``report`` -> the
     markdown text (also written to ``plan.output`` when set), ``sweep``
     -> ``CampaignResult`` (artifact written to ``plan.output`` when
@@ -145,6 +146,14 @@ def _run_figure8(plan, publish, legacy, evaluator, should_stop,
     from repro.experiments.figure8 import run_figure8
 
     return run_figure8()
+
+
+def _run_figure9(plan, publish, legacy, evaluator, should_stop,
+                 fallback_dir, store):
+    """Figure 9 workload body (conv-type Pareto fronts, DRAM devices)."""
+    from repro.experiments.figure9 import run_figure9_plan
+
+    return run_figure9_plan(plan, emit=legacy, should_stop=should_stop)
 
 
 def _run_ablations(plan, publish, legacy, evaluator, should_stop,
@@ -246,6 +255,7 @@ _WORKLOAD_RUNNERS = {
     "figure6": _run_figure6,
     "figure7": _run_figure7,
     "figure8": _run_figure8,
+    "figure9": _run_figure9,
     "ablations": _run_ablations,
     "report": _run_report,
     "sweep": _run_sweep,

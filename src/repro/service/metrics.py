@@ -10,6 +10,10 @@ counters and gauges, cheap enough to poll:
 * ``queue_depth`` -- queued jobs per tenant (anonymous submissions
   count under :data:`ANONYMOUS_TENANT`);
 * ``store`` -- result-store entries plus hit/miss counters;
+* ``estimator`` -- process-wide latency-estimator cache counters: the
+  tiling-memo hit/miss rates per layer-kind bucket (``depthwise`` /
+  ``pointwise`` / ``standard`` and the ``all`` total), so the dw/pw
+  tiling path of MobileNet-class jobs is observable;
 * ``counters`` -- front-end counters (requests served, SSE streams
   opened, events fanned out, 429/503 rejections, ...), registered by
   whoever owns the front end via :meth:`MetricsRegistry.inc`;
@@ -68,6 +72,9 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """The ``/metrics`` JSON document, assembled fresh per call."""
+        # Lazy import: metrics stays importable without the FPGA stack.
+        from repro.fpga.tiling import process_memo_snapshot
+
         jobs: dict[str, int] = {}
         queue_depth: dict[str, int] = {}
         for handle in self._service.jobs():
@@ -90,6 +97,7 @@ class MetricsRegistry:
                 "hits": store.hits,
                 "misses": store.misses,
             },
+            "estimator": {"tiling_memo": process_memo_snapshot()},
             "counters": counters,
             "gauges": gauges,
         }

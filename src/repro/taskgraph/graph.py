@@ -161,7 +161,18 @@ class TaskGraphGenerator:
 
     @staticmethod
     def _layer_tasks(layer_idx: int, layer: LayerDesign) -> list[Task]:
-        """All ``v_{i,j,k,m}`` of one layer in canonical index order."""
+        """All ``v_{i,j,k,m}`` of one layer in canonical index order.
+
+        Depthwise layers have no channel reduction: channel tile ``j``
+        produces channel tile ``j`` directly, so only the diagonal
+        ``(j, j)`` tasks exist.
+        """
+        if layer.spec.is_depthwise:
+            return [
+                Task(layer=layer_idx, ifm_tile=j, ofm_tile=j, rc_tile=m)
+                for m in range(layer.n_rc_tiles)
+                for j in range(layer.n_ifm_channel_tiles)
+            ]
         return [
             Task(layer=layer_idx, ifm_tile=j, ofm_tile=k, rc_tile=m)
             for m in range(layer.n_rc_tiles)

@@ -24,8 +24,9 @@ from repro.plans import (
     spec_key,
 )
 
-DATASET_NAMES = ("mnist", "cifar10", "imagenet")
-DEVICE_NAMES = ("pynq-z1", "xc7a50t", "xc7z020", "xczu9eg")
+DATASET_NAMES = ("mnist", "cifar10", "imagenet", "mobilenet")
+DEVICE_NAMES = ("pynq-z1", "xc7a50t", "xc7z020", "xczu9eg",
+                "xc7z020-ddr-wide", "xc7z020-ddr-narrow")
 
 search_plans = st.builds(
     SearchPlan,
@@ -131,7 +132,7 @@ class TestRoundTrip:
 class TestValidation:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ValueError, match="workload"):
-            RunPlan(workload="figure9")
+            RunPlan(workload="figure99")
 
     def test_unknown_controller_rejected(self):
         with pytest.raises(KeyError, match="controller"):

@@ -34,6 +34,20 @@ class TestBuiltins:
         with pytest.raises(KeyError, match="lstm"):
             CONTROLLERS["gru"]
 
+    def test_miss_suggests_the_closest_name(self):
+        with pytest.raises(KeyError, match="did you mean 'lstm'"):
+            CONTROLLERS["lsmt"]
+        with pytest.raises(KeyError, match="did you mean 'pynq-z1'"):
+            DEVICES["pynq-z2"]
+        with pytest.raises(KeyError,
+                           match="did you mean 'xc7z020-ddr-wide'"):
+            DEVICES["xc7z020-ddr-wid"]
+
+    def test_miss_with_no_close_name_has_no_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            CONTROLLERS["qqqqqqqqqq"]
+        assert "did you mean" not in str(excinfo.value)
+
 
 class TestMappingProtocol:
     def test_len_iter_contains(self):

@@ -10,12 +10,14 @@ from repro.datasets import (
     make_cifar,
     make_imagenet,
     make_mnist,
+    make_mobilenet,
 )
 
 
 class TestRegistry:
     def test_names(self):
-        assert dataset_names() == ["cifar10", "imagenet", "mnist"]
+        assert dataset_names() == ["cifar10", "imagenet", "mnist",
+                                   "mobilenet"]
 
     def test_load_by_name(self):
         ds = load_dataset("mnist", train_size=50, val_size=20)
@@ -30,6 +32,7 @@ class TestRegistry:
     (make_mnist, 1, 28, 10),
     (make_cifar, 3, 32, 10),
     (make_imagenet, 3, 32, 20),
+    (make_mobilenet, 3, 32, 10),
 ])
 class TestGenerators:
     def test_shapes_and_ranges(self, maker, channels, size, classes):
@@ -79,6 +82,12 @@ class TestLearnability:
         # Pairwise distances between class color means are not tiny.
         dists = np.linalg.norm(means[:, None] - means[None, :], axis=-1)
         assert dists[np.triu_indices(len(means), 1)].mean() > 0.05
+
+    def test_mobilenet_shares_style_not_images_with_cifar(self):
+        """Same renderer, independent class-parameter draw."""
+        cifar = make_cifar(train_size=20, val_size=10, seed=0)
+        mobile = make_mobilenet(train_size=20, val_size=10, seed=0)
+        assert not np.array_equal(cifar.train_x, mobile.train_x)
 
     def test_mnist_digit_masks_differ(self):
         ds = make_mnist(train_size=300, val_size=30, seed=0)

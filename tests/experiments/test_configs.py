@@ -7,6 +7,7 @@ from repro.configs import (
     CONFIGS,
     IMAGENET_CONFIG,
     MNIST_CONFIG,
+    MOBILENET_CONFIG,
     TimingSpecs,
     get_config,
 )
@@ -48,17 +49,44 @@ class TestTable2Values:
             2.5, 5, 7.5, 10)
 
     def test_all_datasets_registered(self):
-        assert set(CONFIGS) == {"mnist", "cifar10", "imagenet"}
+        assert set(CONFIGS) == {"mnist", "cifar10", "imagenet", "mobilenet"}
 
     def test_get_config(self):
         assert get_config("mnist") is MNIST_CONFIG
         with pytest.raises(KeyError):
             get_config("coco")
 
+    def test_get_config_suggests_close_names(self):
+        with pytest.raises(KeyError, match="did you mean 'mnist'"):
+            get_config("mnsit")
+        with pytest.raises(KeyError, match="did you mean 'mobilenet'"):
+            get_config("mobilnet")
+
     def test_space_sizes(self):
         assert MNIST_CONFIG.space_size == 9**4
         assert CIFAR_CONFIG.space_size == 16**10
         assert IMAGENET_CONFIG.space_size == 16**15
+
+    def test_mobilenet_extension_row(self):
+        """The MobileNet-class space is an extension, not a Table 2 row."""
+        c = MOBILENET_CONFIG
+        assert c.num_layers == 6
+        assert c.filter_sizes == (3, 5, 7)
+        assert c.filter_counts == (16, 32, 64)
+        # Cheapest conv type first (surrogate MAC-probe monotonicity).
+        assert c.conv_types == ("separable", "standard")
+        # The conv-type choice multiplies the per-layer fan-out.
+        assert c.space_size == (3 * 3 * 2) ** 6
+
+    def test_single_conv_type_does_not_inflate_space(self):
+        assert MNIST_CONFIG.conv_types == ("standard",)
+        assert MNIST_CONFIG.space_size == 9**4
+
+    def test_empty_conv_types_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="conv_types"):
+            dataclasses.replace(MNIST_CONFIG, conv_types=())
 
 
 class TestTimingSpecs:

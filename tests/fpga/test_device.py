@@ -15,9 +15,14 @@ from repro.fpga.device import (
 
 class TestCatalog:
     def test_contains_all_paper_devices(self):
-        assert set(DEVICE_CATALOG) == {
-            "xc7a50t", "xc7z020", "pynq-z1", "xczu9eg"
-        }
+        assert {"xc7a50t", "xc7z020", "pynq-z1", "xczu9eg"} <= set(
+            DEVICE_CATALOG
+        )
+
+    def test_contains_ddr_variant_pair(self):
+        assert {"xc7z020-ddr-wide", "xc7z020-ddr-narrow"} <= set(
+            DEVICE_CATALOG
+        )
 
     def test_get_device(self):
         assert get_device("pynq-z1") is PYNQ_Z1
@@ -97,3 +102,46 @@ class TestScaled:
     def test_scaled_rejects_non_positive(self):
         with pytest.raises(ValueError):
             XC7Z020.scaled(0)
+
+    def test_compute_axis_scales_only_dsps(self):
+        doubled = XC7Z020.scaled(compute=2)
+        assert doubled.dsp_slices == 2 * XC7Z020.dsp_slices
+        assert doubled.bram_kbytes == XC7Z020.bram_kbytes
+        assert doubled.bandwidth_gbps == XC7Z020.bandwidth_gbps
+        assert doubled.clock_mhz == XC7Z020.clock_mhz
+        assert doubled.name == "xc7z020xc2"
+
+    def test_memory_axis_scales_bram_and_bandwidth(self):
+        halved = XC7Z020.scaled(memory=0.5)
+        assert halved.dsp_slices == XC7Z020.dsp_slices
+        assert halved.bram_kbytes == XC7Z020.bram_kbytes // 2
+        assert halved.bandwidth_gbps == pytest.approx(
+            XC7Z020.bandwidth_gbps / 2
+        )
+        assert halved.name == "xc7z020xm0.5"
+
+    def test_axes_combine(self):
+        both = XC7Z020.scaled(compute=2, memory=0.5)
+        assert both.dsp_slices == 2 * XC7Z020.dsp_slices
+        assert both.bram_kbytes == XC7Z020.bram_kbytes // 2
+        assert both.name == "xc7z020xc2m0.5"
+
+    def test_uniform_factor_and_axes_are_exclusive(self):
+        with pytest.raises(ValueError):
+            XC7Z020.scaled(2, compute=2)
+        with pytest.raises(ValueError):
+            XC7Z020.scaled()
+
+    def test_dram_is_never_scaled(self):
+        """Pinned: scaling must not touch the burst-level DRAM model."""
+        from repro.fpga.device import XC7Z020_DDR_NARROW, XC7Z020_DDR_WIDE
+
+        for device in (XC7Z020_DDR_WIDE, XC7Z020_DDR_NARROW):
+            for variant in (device.scaled(2), device.scaled(compute=4),
+                            device.scaled(memory=0.25)):
+                assert variant.dram is device.dram
+
+    def test_paper_devices_have_no_dram(self):
+        """Pinned: the seed catalog stays on the flat memory model."""
+        for device in (XC7A50T, XC7Z020, PYNQ_Z1, XCZU9EG):
+            assert device.dram is None

@@ -1,0 +1,119 @@
+"""Tests for the burst-level DRAM model and the phase-latency triple."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.dram import (
+    COMPUTE_PHASE,
+    DEFAULT_DRAM_LATENCY_CYCLES,
+    LOAD_PHASE,
+    WRITE_PHASE,
+    DramModel,
+    PhaseLatency,
+)
+
+WIDE = DramModel(port_width_bits=512, burst_beats=256, frequency_mhz=200.0)
+NARROW = DramModel(port_width_bits=32, burst_beats=16, frequency_mhz=100.0)
+
+
+class TestDramModel:
+    def test_peak_bandwidth(self):
+        # 512 bit * 200 MHz / 8 = 12.8 GB/s; 32 bit * 100 MHz / 8 = 0.4.
+        assert WIDE.peak_bandwidth_gbps == pytest.approx(12.8)
+        assert NARROW.peak_bandwidth_gbps == pytest.approx(0.4)
+
+    def test_effective_bandwidth_formula_verbatim(self):
+        # port_width*burst/8 / ((latency+burst)/(fre*1e6)) / 1e9.
+        bw = WIDE.effective_bandwidth_gbps(256)
+        assert bw == pytest.approx(
+            512 * 256 / 8 / ((120 + 256) / (200.0 * 1e6)) / 1e9
+        )
+
+    def test_effective_bandwidth_below_peak(self):
+        for burst in (1, 16, 256, 4096):
+            assert WIDE.effective_bandwidth_gbps(burst) < WIDE.peak_bandwidth_gbps
+
+    def test_effective_bandwidth_monotone_in_burst_length(self):
+        values = [NARROW.effective_bandwidth_gbps(b) for b in (1, 4, 16, 64)]
+        assert values == sorted(values)
+
+    def test_effective_port_width_consistent(self):
+        # eff_width = eff_bw expressed in bits per memory cycle.
+        width = WIDE.effective_port_width_bits(256)
+        assert width == pytest.approx(512 * 256 / (120 + 256))
+
+    def test_transfer_mem_cycles_exact(self):
+        # 4096 bytes on the wide port: 64 beats -> 1 burst.
+        assert WIDE.transfer_mem_cycles(4096) == 1 * 120 + 64
+        # 4096 bytes on the narrow port: 1024 beats -> 64 bursts.
+        assert NARROW.transfer_mem_cycles(4096) == 64 * 120 + 1024
+
+    def test_transfer_mem_cycles_rounds_partial_beats_and_bursts(self):
+        # 1 byte still needs a whole beat and a whole burst's latency.
+        assert WIDE.transfer_mem_cycles(1) == 120 + 1
+        assert WIDE.transfer_mem_cycles(0) == 0
+
+    def test_transfer_cycles_rescales_by_clock_ratio(self):
+        # Accelerator at 100 MHz vs memory at 200 MHz: half the cycles,
+        # ceil-rounded.
+        mem = WIDE.transfer_mem_cycles(4096)
+        assert WIDE.transfer_cycles(4096, 100.0) == -(-mem // 2)
+        assert WIDE.transfer_cycles(4096, 200.0) == mem
+
+    @settings(deadline=None, max_examples=50)
+    @given(n=st.integers(min_value=0, max_value=10**7))
+    def test_transfer_cycles_nonnegative_and_monotone(self, n):
+        assert NARROW.transfer_mem_cycles(n) >= 0
+        assert (NARROW.transfer_mem_cycles(n + 512)
+                >= NARROW.transfer_mem_cycles(n))
+
+    def test_default_latency(self):
+        assert WIDE.latency_cycles == DEFAULT_DRAM_LATENCY_CYCLES == 120
+
+    @pytest.mark.parametrize("kwargs", [
+        {"port_width_bits": 0},
+        {"port_width_bits": -8},
+        {"port_width_bits": 12},   # not a multiple of 8
+        {"burst_beats": 0},
+        {"frequency_mhz": 0.0},
+        {"latency_cycles": -1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(port_width_bits=64, burst_beats=8, frequency_mhz=100.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            DramModel(**base)
+
+    def test_invalid_transfer_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            WIDE.transfer_mem_cycles(-1)
+        with pytest.raises(ValueError):
+            WIDE.transfer_cycles(16, 0.0)
+        with pytest.raises(ValueError):
+            WIDE.effective_bandwidth_gbps(0)
+
+
+class TestPhaseLatency:
+    def test_effective_is_max(self):
+        assert PhaseLatency(10, 20, 5).effective_cycles == 20
+        assert PhaseLatency(30, 20, 5).effective_cycles == 30
+        assert PhaseLatency(10, 20, 50).effective_cycles == 50
+
+    def test_bound_names_the_dominant_phase(self):
+        assert PhaseLatency(30, 20, 5).bound == LOAD_PHASE
+        assert PhaseLatency(10, 20, 5).bound == COMPUTE_PHASE
+        assert PhaseLatency(10, 20, 50).bound == WRITE_PHASE
+
+    def test_bound_ties_resolve_in_phase_order(self):
+        assert PhaseLatency(20, 20, 20).bound == LOAD_PHASE
+        assert PhaseLatency(10, 20, 20).bound == COMPUTE_PHASE
+
+    def test_compute_bound_flag(self):
+        assert PhaseLatency(10, 20, 5).compute_bound
+        assert PhaseLatency(20, 20, 5).compute_bound  # tie counts
+        assert not PhaseLatency(30, 20, 5).compute_bound
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseLatency(-1, 0, 0)

@@ -1,0 +1,57 @@
+"""Byte-identity wall: flat-bandwidth devices vs the frozen seed ledger.
+
+``golden_ledger.json`` was generated (see ``golden_ledger_gen.py``)
+before the DRAM subsystem existed.  Devices without DRAM fields must
+keep producing exactly those numbers -- cycle counts, ``repr``-exact
+milliseconds, and per-layer tiling vectors -- whatever the memory-
+hierarchy model grows into.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.architecture import Architecture
+from repro.fpga.device import get_device
+from repro.fpga.platform import Platform
+from repro.latency.estimator import LatencyEstimator
+
+FIXTURE = Path(__file__).resolve().parent / "golden_ledger.json"
+LEDGER = json.loads(FIXTURE.read_text())
+
+
+def _cases():
+    for key, expected in sorted(LEDGER["entries"].items()):
+        yield pytest.param(key, expected, id=key)
+
+
+def _parse(key: str):
+    device, method, arch = key.split("|", 2)
+    fs_part, fn_part = arch.split("|")
+    sizes = [int(x) for x in fs_part.removeprefix("fs=").split(",")]
+    counts = [int(x) for x in fn_part.removeprefix("fn=").split(",")]
+    return device, method, sizes, counts
+
+
+class TestGoldenLedger:
+    def test_dram_less_catalog_devices(self):
+        """Every pinned device still has no DRAM model attached."""
+        for name in LEDGER["devices"]:
+            assert getattr(get_device(name), "dram", None) is None
+
+    @pytest.mark.parametrize("key,expected", _cases())
+    def test_byte_identical(self, key, expected):
+        device_name, method, sizes, counts = _parse(key)
+        platform = Platform.single(get_device(device_name))
+        arch = Architecture.from_choices(sizes, counts, input_size=28)
+        est = LatencyEstimator(platform, method=method).estimate(arch)
+        assert est.cycles == expected["cycles"]
+        assert repr(est.ms) == expected["ms"]
+        tilings = [
+            [l.tiling.tm, l.tiling.tn, l.tiling.tr, l.tiling.tc]
+            for l in est.design.layers
+        ]
+        assert tilings == expected["tilings"]

@@ -6,6 +6,7 @@ import pytest
 from repro.nn.layers import (
     Conv2D,
     Dense,
+    DepthwiseConv2D,
     Flatten,
     GlobalAvgPool,
     MaxPool2D,
@@ -125,6 +126,80 @@ class TestConv2D:
             Conv2D(0, 1, 3)
         with pytest.raises(ValueError):
             Conv2D(1, 1, 0)
+
+    def test_depthwise_output_shape_same_padding(self):
+        dw = DepthwiseConv2D(3, kernel=5, dtype=F64)
+        out = dw.forward(np.zeros((2, 3, 12, 12)))
+        assert out.shape == (2, 3, 12, 12)
+
+    def test_depthwise_output_shape_strided(self):
+        dw = DepthwiseConv2D(2, kernel=3, stride=2, dtype=F64)
+        out = dw.forward(np.zeros((1, 2, 9, 9)))
+        assert out.shape == (1, 2, 5, 5)
+
+    def test_depthwise_matches_direct_convolution(self):
+        """Cross-check the slice loop against a naive per-channel conv."""
+        rng = np.random.default_rng(5)
+        dw = DepthwiseConv2D(2, kernel=3, rng=rng, dtype=F64)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = dw.forward(x)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for ch in range(2):
+            for r in range(5):
+                for c in range(5):
+                    window = xp[0, ch, r:r + 3, c:c + 3]
+                    expected = (window * dw.weight[ch]).sum() + dw.bias[ch]
+                    assert out[0, ch, r, c] == pytest.approx(expected)
+
+    def test_depthwise_matches_grouped_conv2d(self):
+        """A depthwise layer is a Conv2D with cross-channel taps zeroed."""
+        rng = np.random.default_rng(6)
+        dw = DepthwiseConv2D(3, kernel=3, rng=rng, dtype=F64)
+        full = Conv2D(3, 3, kernel=3, dtype=F64)
+        full.weight[:] = 0.0
+        for ch in range(3):
+            full.weight[ch, ch] = dw.weight[ch]
+        full.bias[:] = dw.bias
+        x = rng.normal(size=(2, 3, 6, 6))
+        np.testing.assert_allclose(dw.forward(x), full.forward(x),
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_depthwise_weight_gradients(self):
+        rng = np.random.default_rng(7)
+        dw = DepthwiseConv2D(2, kernel=3, rng=rng, dtype=F64)
+        net = Sequential([dw, GlobalAvgPool(), Dense(2, 4, rng=rng, dtype=F64)])
+        x = rng.normal(size=(4, 2, 7, 7))
+        y = rng.integers(0, 4, size=4)
+        check_param_grads(net, x, y, dw)
+
+    def test_depthwise_weight_gradients_strided(self):
+        rng = np.random.default_rng(8)
+        dw = DepthwiseConv2D(2, kernel=3, stride=2, rng=rng, dtype=F64)
+        net = Sequential([dw, GlobalAvgPool(), Dense(2, 4, rng=rng, dtype=F64)])
+        x = rng.normal(size=(3, 2, 9, 9))
+        y = rng.integers(0, 4, size=3)
+        check_param_grads(net, x, y, dw)
+
+    def test_depthwise_input_gradients(self):
+        rng = np.random.default_rng(9)
+        dw = DepthwiseConv2D(2, kernel=3, rng=rng, dtype=F64)
+        x = rng.normal(size=(2, 2, 6, 6))
+        check_input_grad(dw, x)
+
+    def test_depthwise_rejects_wrong_channels(self):
+        dw = DepthwiseConv2D(3, kernel=3)
+        with pytest.raises(ValueError, match="channels"):
+            dw.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_depthwise_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            DepthwiseConv2D(1, kernel=1).backward(np.zeros((1, 1, 4, 4)))
+
+    def test_depthwise_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DepthwiseConv2D(0, kernel=3)
+        with pytest.raises(ValueError):
+            DepthwiseConv2D(1, kernel=0)
 
     def test_chunked_path_matches_full_path(self, monkeypatch):
         """Sub-batch processing must be numerically identical."""

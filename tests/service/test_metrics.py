@@ -83,6 +83,38 @@ class TestRegistry:
         finally:
             service.shutdown(wait=True, cancel_running=True)
 
+    def test_snapshot_reports_estimator_tiling_memo_by_kind(self, tmp_path):
+        """The estimator section exposes the dw/pw tiling path."""
+        from repro.core.architecture import Architecture
+        from repro.fpga.device import PYNQ_Z1
+        from repro.fpga.platform import Platform
+        from repro.fpga.tiling import (
+            LayerDesignMemo,
+            TilingDesigner,
+            reset_process_memo_stats,
+        )
+
+        reset_process_memo_stats()
+        service = SearchService(workers=1,
+                                checkpoint_dir=str(tmp_path / "ckpt"))
+        try:
+            registry = MetricsRegistry(service)
+            designer = TilingDesigner(memo=LayerDesignMemo())
+            arch = Architecture.from_choices(
+                [3, 3], [8, 8], input_size=8, input_channels=3,
+                conv_types=["separable", "standard"],
+            )
+            designer.design(arch, Platform.single(PYNQ_Z1))
+            designer.design(arch, Platform.single(PYNQ_Z1))  # memo hits
+            memo = registry.snapshot()["estimator"]["tiling_memo"]
+            for bucket in ("all", "depthwise", "pointwise", "standard"):
+                assert memo[bucket]["misses"] >= 1
+                assert 0.0 <= memo[bucket]["hit_rate"] <= 1.0
+            assert memo["all"]["hits"] >= 1
+        finally:
+            service.shutdown(wait=True, cancel_running=True)
+            reset_process_memo_stats()
+
     def test_snapshot_reports_store_hits_and_misses(self, tmp_path):
         service = SearchService(workers=1, store_dir=str(tmp_path / "store"))
         try:

@@ -158,7 +158,7 @@ class TestPlanFlow:
 
     def test_run_invalid_plan_errors_cleanly(self, capsys, tmp_path):
         bad = tmp_path / "bad.json"
-        bad.write_text('{"workload": "figure9"}')
+        bad.write_text('{"workload": "figure99"}')
         assert main(["run", str(bad)]) == 2
         assert "error" in capsys.readouterr().err
 
