@@ -1,15 +1,18 @@
 """Campaign shard scaling: serial vs pooled shard execution.
 
 Runs the same (seed x spec) FNAS shard grid (MNIST space, PYNQ-Z1)
-serially and across process pools of increasing size, asserting
+serially and across worker pools of increasing size, asserting
 
 * correctness -- every worker count merges to the identical campaign
   frontier and per-shard ledgers, and
-* scaling -- on a multi-core host, the pooled campaign completes
-  faster than serial (generous bar: CI runners are noisy and pool
-  startup is amortised over a short run).  On a single core the
-  scaling assertion is vacuous and skipped; the correctness one is
-  not.
+* scaling -- on a >= 4 core host the best pooled campaign clears
+  >= 2x serial throughput.  The pool is the persistent
+  :class:`~repro.service.pool.WorkerPool` (workers are reused across
+  shards, the tiling memo's disk tier is shared), so pool startup no
+  longer eats the win the way the old per-run executor did.  Below
+  4 cores the pooled campaign cannot physically run enough shards at
+  once, so the scaling assertion skips loudly; the correctness one
+  never does.
 
 Emits the measurements as ``BENCH_campaign.json`` next to the repo root
 so trajectory tooling can track shard scaling across PRs.
@@ -21,6 +24,8 @@ import json
 import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
+
+import pytest
 
 from repro.orchestration import run_campaign, shard_grid
 
@@ -90,7 +95,9 @@ def test_campaign_scaling(once, emit):
     best_pooled = max(points[1:], key=lambda p: p.trials_per_second)
     speedup = best_pooled.trials_per_second / serial.trials_per_second
 
+    cores = os.cpu_count() or 1
     emit("\n=== Campaign shard scaling (FNAS, MNIST/PYNQ) ===")
+    emit(f"host cpu_count: {cores}")
     emit(f"{'workers':>7} {'shards':>6} {'trials':>6} {'wall(s)':>8} "
          f"{'trials/s':>9}")
     for p in points:
@@ -98,14 +105,15 @@ def test_campaign_scaling(once, emit):
              f"{p.wall_seconds:>8.3f} {p.trials_per_second:>9.1f}")
     emit(f"best pooled vs serial: {speedup:.2f}x")
 
-    cores = os.cpu_count() or 1
     OUTPUT_PATH.write_text(json.dumps(
         {
             "benchmark": "campaign_scaling",
+            # cpu_count leads: the scaling numbers below are
+            # meaningless without knowing the host's parallelism.
+            "cpu_count": cores,
             "seeds": list(SEEDS),
             "specs_ms": list(SPECS_MS),
             "trials_per_shard": TRIALS,
-            "cpu_count": cores,
             "points": [asdict(p) for p in points],
             "pooled_speedup_vs_serial": speedup,
         },
@@ -117,14 +125,17 @@ def test_campaign_scaling(once, emit):
     assert all(f == fingerprints[0] for f in fingerprints[1:]), (
         "pooled campaigns merged to a different result than serial"
     )
-    # Scaling bar: with 8 independent shards and >1 core, some pool size
-    # must beat serial.  1.2x is deliberately conservative -- pool
-    # startup and result pickling eat into short CI runs -- and the bar
-    # is vacuous on a single core, where pooling cannot win.
-    if cores >= 2:
-        assert speedup >= 1.2, (
-            f"pooled campaign only {speedup:.2f}x over serial shard "
-            f"execution on {cores} cores"
+    # Scaling bar: 8 independent shards on persistent, reused workers
+    # must clear 2x serial once 4 shards genuinely run at a time.
+    # Below 4 cores the pool cannot physically do that, so skip loudly
+    # (a green check on a 2-core runner would be a lie).
+    if cores < 4:
+        pytest.skip(
+            f"scaling bar needs >= 4 cores, host has {cores}; "
+            f"measured {speedup:.2f}x (correctness already asserted, "
+            f"{OUTPUT_PATH.name} written)"
         )
-    else:
-        emit(f"(single core: scaling bar skipped, measured {speedup:.2f}x)")
+    assert speedup >= 2.0, (
+        f"pooled campaign only {speedup:.2f}x over serial shard "
+        f"execution on {cores} cores"
+    )

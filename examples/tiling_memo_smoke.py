@@ -1,0 +1,90 @@
+"""Two pool workers share the on-disk tiling memo.
+
+The execution-runtime smoke the CI ``campaign-scaling`` job runs:
+
+1. a fresh :class:`~repro.service.WorkerPool` worker executes one FNAS
+   shard with its tiling memo's disk tier pointed at a shared cache
+   directory -- every layer design is a disk **miss** (cold cache) and
+   is written through;
+2. a *second, brand-new* worker process (fresh pool, so nothing is
+   inherited in memory) executes the same shard -- its in-process memo
+   is cold, so lookups fall through to the disk tier, and its
+   disk-tier **hit rate must be positive**: worker 1's layer designs
+   warmed worker 2 across the process boundary.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python examples/tiling_memo_smoke.py
+
+Exit code 0 means every assertion held.
+"""
+
+import functools
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.fpga.tiling import configure_disk_cache  # noqa: E402
+from repro.service.pool import WorkerPool  # noqa: E402
+
+TRIALS = 30
+
+
+def run_shard_and_snapshot_memo(seed: int) -> dict:
+    """Worker-side body: run one shard, return this process's memo stats."""
+    from repro.fpga.tiling import process_memo_snapshot
+    from repro.orchestration import run_shard, shard_grid
+
+    shards = shard_grid(["mnist"], ["pynq-z1"], seeds=[seed],
+                        specs_ms=[5.0], trials=TRIALS)
+    run_shard(shards[0])
+    return process_memo_snapshot().get("disk", {"hits": 0, "misses": 0})
+
+
+def run_in_fresh_worker(tiling_dir: str, seed: int) -> dict:
+    """One task on a one-worker pool torn down afterwards: the next
+    call gets a genuinely fresh process with a cold in-memory memo."""
+    results = {}
+    with WorkerPool(1, name="tiling-smoke") as pool:
+        handle = pool.submit(
+            run_shard_and_snapshot_memo, [(seed,)],
+            on_item=results.__setitem__,
+            setup=functools.partial(configure_disk_cache, tiling_dir),
+        )
+        while not handle.finished:
+            pool.wait([handle], timeout=0.5)
+        if handle.error is not None:
+            raise handle.error
+    return results[0]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-tiling-smoke-") as tmp:
+        tiling_dir = str(Path(tmp) / "tiling")
+
+        first = run_in_fresh_worker(tiling_dir, seed=0)
+        entries = len(list(Path(tiling_dir).glob("*.json")))
+        print(f"worker 1 (cold cache): disk tier {first}, "
+              f"{entries} entries written through")
+        assert first["misses"] > 0, "worker 1 never consulted the disk tier"
+        assert first["hits"] == 0, "a cold cache cannot hit"
+        assert entries > 0, "worker 1 wrote no tiling entries"
+
+        second = run_in_fresh_worker(tiling_dir, seed=0)
+        total = second["hits"] + second["misses"]
+        rate = second["hits"] / total if total else 0.0
+        print(f"worker 2 (fresh process, warm cache): disk tier {second}, "
+              f"hit rate {rate:.2%}")
+        assert second["hits"] > 0, (
+            "worker 2's disk tier never hit: the on-disk tiling memo is "
+            "not shared across worker processes"
+        )
+
+    print("OK: two pool workers shared the on-disk tiling memo")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,8 +67,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         help=argparse.SUPPRESS)  # deprecated: --eval-workers
     parser.add_argument("--shard-workers", type=int, default=1,
-                        help="process-pool workers for whole search shards "
+                        help="worker-pool processes for whole search shards "
                              "in campaign mode (default 1 = serial)")
+    parser.add_argument("--shard-batch-trials", type=int, default=None,
+                        help="batch shards smaller than this many trials "
+                             "together per worker dispatch (default: no "
+                             "batching); execution-only, never changes "
+                             "results")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="snapshot searches under this directory; "
                              "re-running with the same directory resumes "
@@ -222,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot jobs whose plans name no checkpoint "
                         "directory under this root (per plan hash), making "
                         "cancel-then-resubmit and crash recovery resume")
+    p.add_argument("--tiling-cache-dir", default=None,
+                   help="shared on-disk tiling-memo directory pool workers "
+                        "read/write through (default: <store-dir>/tiling "
+                        "when --store-dir is set); one worker's layer "
+                        "designs then warm every other worker")
     p.add_argument("--lease-seconds", type=float, default=None,
                    help="lease term for jobs claimed by `repro agent` "
                         "workers; a lease not renewed by heartbeat within "
@@ -316,8 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = p.add_subparsers(dest="store_command", required=True)
     g = store_sub.add_parser(
         "gc",
-        help="garbage-collect dead whole-plan and shard entries; entries "
-             "referenced by non-terminal journal jobs are never removed",
+        help="garbage-collect dead whole-plan and shard entries plus "
+             "tiling-memo cache files; entries referenced by non-terminal "
+             "journal jobs are never removed",
     )
     g.add_argument("--store-dir", required=True,
                    help="the persistent store directory to collect")
@@ -353,6 +364,7 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         batch_size=getattr(args, "batch_size", 1),
         eval_workers=1 if eval_workers is None else eval_workers,
         shard_workers=getattr(args, "shard_workers", 1),
+        shard_batch_trials=getattr(args, "shard_batch_trials", None),
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=getattr(args, "checkpoint_every", None),
     )
@@ -492,6 +504,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "store_dir": args.store_dir,
         "checkpoint_dir": args.checkpoint_dir,
         "backend": args.backend,
+        "tiling_cache_dir": args.tiling_cache_dir,
     }
     if args.lease_seconds is not None:
         service_kwargs["lease_seconds"] = args.lease_seconds

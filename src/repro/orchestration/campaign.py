@@ -3,15 +3,22 @@
 A :class:`Campaign` takes a grid of :class:`~repro.orchestration.shards.ShardSpec`
 shards and runs them to completion:
 
-* **fan-out** -- shards execute across a process pool (``max_workers``),
-  each worker rebuilding its search from the spec alone;
+* **fan-out** -- shards execute across a
+  :class:`~repro.service.pool.WorkerPool` of **long-lived** worker
+  processes (``max_workers``), each worker rebuilding its search from
+  the spec alone.  The pool is the same runtime the service's process
+  backend and the federation agents run jobs on: workers stay warm
+  across shards (imports, tiling memo), and small shards batch
+  together per worker submission (``batch_trials``) so dispatch
+  overhead amortizes;
 * **durability** -- with a ``checkpoint_dir``, every shard snapshots
   atomically as it runs, and a shard re-queued after a worker death
   *resumes* from its last snapshot instead of restarting;
-* **recovery** -- a broken pool (worker OOM-killed, interpreter crash)
-  is rebuilt up to ``max_pool_restarts`` times; shards that still have
-  no result then fall back to in-process execution, so a campaign
-  always terminates with a complete result set;
+* **recovery** -- a worker death (OOM kill, interpreter crash)
+  re-queues exactly the shards that died with it, individually, up to
+  ``max_pool_restarts`` deaths; shards that still have no result then
+  fall back to in-process execution, so a campaign always terminates
+  with a complete result set;
 * **merging** -- finished shards merge deterministically in grid order
   into a :class:`CampaignResult`: per-shard ledgers plus the
   campaign-level accuracy-latency Pareto frontier
@@ -28,9 +35,8 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Any, Callable
 
@@ -246,6 +252,17 @@ class Campaign:
             shard's plan, the merged result is byte-identical whether
             shards ran or were cached.  ``None`` (the default)
             disables memoization.
+        batch_trials: batch small shards -- those whose resolved trial
+            count is below this threshold -- together per worker
+            submission, packing consecutive small shards until their
+            cumulative trials would exceed it.  Amortizes per-dispatch
+            overhead on grids of many tiny shards.  ``None`` (the
+            default) dispatches every shard individually.
+        pool: a :class:`~repro.service.pool.WorkerPool` to dispatch
+            pooled shards on (it is *not* closed by the campaign).
+            ``None`` (the default) stands up a transient pool per
+            pooled run -- workers are still reused across that run's
+            shards.
     """
 
     def __init__(
@@ -256,6 +273,8 @@ class Campaign:
         max_pool_restarts: int = 2,
         progress: ProgressCallback | None = None,
         store: Any = None,
+        batch_trials: int | None = None,
+        pool: Any = None,
     ):
         if not shards:
             raise ValueError("a campaign needs at least one shard")
@@ -271,6 +290,10 @@ class Campaign:
                 "checkpoint_every without a checkpoint_dir would snapshot "
                 "nowhere; pass both"
             )
+        if batch_trials is not None and batch_trials < 1:
+            raise ValueError(
+                f"batch_trials must be >= 1, got {batch_trials}"
+            )
         self.shards = list(shards)
         self.checkpoint_dir = (
             None if checkpoint_dir is None else str(checkpoint_dir)
@@ -279,6 +302,8 @@ class Campaign:
         self.max_pool_restarts = max_pool_restarts
         self.progress = progress
         self.store = store
+        self.batch_trials = batch_trials
+        self.pool = pool
 
     def run(self, max_workers: int = 1, should_stop=None) -> CampaignResult:
         """Execute every shard and merge the results.
@@ -412,91 +437,266 @@ class Campaign:
         max_workers: int,
         should_stop=None,
     ) -> None:
-        """Drain ``pending`` through process pools, rebuilding on death.
+        """Drain ``pending`` through a :class:`WorkerPool`.
 
-        Shards whose results arrive are moved to ``outcomes``; anything
-        still pending when the restart budget runs out is left for the
-        caller's serial fallback.  Exceptions raised *by a shard itself*
-        (bad spec reaching a worker, evaluator bugs) propagate -- only
-        pool infrastructure failure triggers re-queuing.
+        Uses the injected ``self.pool`` when one was provided (shared
+        with the service runtime), else a transient pool sized to the
+        work -- either way the workers are long-lived across shards,
+        which is what the old per-run ``ProcessPoolExecutor`` never
+        gave us.  Shards whose results arrive are moved to
+        ``outcomes``; anything still pending when the death budget
+        runs out is left for the caller's serial fallback.  Exceptions
+        raised *by a shard itself* (bad spec reaching a worker,
+        evaluator bugs) propagate -- only worker death triggers
+        re-queuing.
         """
-        restarts = 0
-        while pending:
-            try:
-                self._drain_one_pool(pending, outcomes, requeues, max_workers,
-                                     should_stop=should_stop)
-                return
-            except BrokenProcessPool:
-                restarts += 1
-                if restarts > self.max_pool_restarts:
-                    self._publish(PoolFallback(
-                        "",
-                        f"pool died {restarts} times; running the "
-                        f"remaining {len(pending)} shard(s) in-process",
-                    ))
-                    return
-                for shard_id in pending:
-                    requeues[shard_id] += 1
-                    self._publish(ShardRequeued(
-                        shard_id,
-                        "worker died; re-queuing from last checkpoint"
-                        if self.checkpoint_dir is not None
-                        else "worker died; re-queuing from scratch",
-                    ))
+        # Deferred import: orchestration must stay importable without
+        # dragging the whole service package in at module-import time.
+        from repro.service.pool import WorkerPool
 
-    def _drain_one_pool(
+        workers = min(max_workers, len(pending))
+        pool = self.pool
+        transient = pool is None
+        if transient:
+            pool = WorkerPool(workers, name="repro-campaign")
+        try:
+            self._dispatch_pooled(pool, pending, outcomes, requeues,
+                                  workers, should_stop=should_stop)
+        finally:
+            if transient:
+                pool.close()
+
+    def _dispatch_units(
+        self, pending: dict[str, ShardSpec]
+    ) -> list[list[ShardSpec]]:
+        """Chunk pending shards into per-worker submission units.
+
+        Grid order throughout.  Without ``batch_trials`` every shard
+        is its own unit; with it, consecutive *small* shards (resolved
+        trials below the threshold) pack together until their
+        cumulative trials would exceed it, so a grid of tiny shards
+        costs one dispatch per batch instead of one per shard.  Large
+        shards always travel alone.  Batching never affects results:
+        each shard in a unit still runs, checkpoints and reports
+        individually.
+        """
+        units: list[list[ShardSpec]] = []
+        batch: list[ShardSpec] = []
+        batched_trials = 0
+        for spec in self.shards:
+            if spec.shard_id not in pending:
+                continue
+            trials = spec.resolved_trials
+            if self.batch_trials is None or trials >= self.batch_trials:
+                units.append([spec])
+                continue
+            if batch and batched_trials + trials > self.batch_trials:
+                units.append(batch)
+                batch, batched_trials = [], 0
+            batch.append(spec)
+            batched_trials += trials
+        if batch:
+            units.append(batch)
+        return units
+
+    def _tiling_cache_dir(self) -> str | None:
+        """Where pool workers point their tiling memo's disk tier.
+
+        Anchored to the result store's directory (``<store>/tiling``)
+        when the campaign memoizes through a persistent store -- the
+        same placement the service's process backend uses, so campaign
+        workers and service jobs warm each other.  None (no shared
+        tier) without a persistent store.
+        """
+        directory = getattr(self.store, "directory", None)
+        if directory is None:
+            return None
+        return str(Path(directory) / "tiling")
+
+    def _dispatch_pooled(
         self,
+        pool: Any,
         pending: dict[str, ShardSpec],
         outcomes: dict[str, ShardOutcome],
         requeues: dict[str, int],
-        max_workers: int,
+        workers: int,
         should_stop=None,
     ) -> None:
-        """Run all pending shards on one pool; raises BrokenProcessPool.
+        """Pump dispatch units through the pool until drained.
 
-        A stop request cancels the not-yet-started shards, lets the
-        in-flight ones finish (pool workers cannot be interrupted
-        mid-shard; their cadence checkpoints preserve progress) and
-        raises :class:`~repro.core.search.SearchCancelled`.
+        A worker death re-queues exactly its unit's unfinished shards,
+        **individually** (their checkpoints make the re-run a resume);
+        once deaths exceed ``max_pool_restarts`` no new units are
+        dispatched and the leftovers fall to the serial path
+        (``PoolFallback``).  A stop request cancels the in-flight
+        units cooperatively -- batch boundaries plus each shard's own
+        cadence checkpoints preserve progress -- and raises
+        :class:`~repro.core.search.SearchCancelled`.
         """
-        workers = min(max_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for shard_id, spec in pending.items():
-                futures[pool.submit(
-                    run_shard, spec, self.checkpoint_dir,
-                    self.checkpoint_every,
-                )] = shard_id
-                self._publish(SearchStarted(
-                    shard_id, f"submitted to {workers}-worker pool"
-                ))
-            not_done = set(futures)
-            while not_done:
+        tiling_dir = self._tiling_cache_dir()
+        setup = (None if tiling_dir is None
+                 else partial(_configure_worker_tiling, tiling_dir))
+        queue = self._dispatch_units(pending)
+        inflight: dict[Any, list[ShardSpec]] = {}
+        deaths = 0
+        try:
+            while queue or inflight:
                 if should_stop is not None and should_stop():
-                    for future in not_done:
-                        future.cancel()
+                    self._drain_cancelled(pool, inflight)
                     raise SearchCancelled(len(outcomes))
-                done, not_done = wait(not_done, timeout=0.5,
-                                      return_when=FIRST_COMPLETED)
-                for future in done:
-                    shard_id = futures[future]
-                    payload = future.result()  # raises BrokenProcessPool
-                    self._store_payload(pending[shard_id], payload)
-                    outcomes[shard_id] = ShardOutcome.from_payload(
-                        payload, requeues=requeues[shard_id]
+                while queue and deaths <= self.max_pool_restarts:
+                    # Never block on a checkout while holding in-flight
+                    # handles: their workers free up only when *we*
+                    # pump the pipes below (a blocking submit would
+                    # deadlock a fully-dispatched pool).
+                    if inflight and pool.available() <= 0:
+                        break
+                    unit = queue.pop(0)
+                    handle = pool.submit(
+                        # Late-bound module global: monkeypatched
+                        # run_shard doubles dispatch like the real one.
+                        run_shard,
+                        [(spec, self.checkpoint_dir, self.checkpoint_every)
+                         for spec in unit],
+                        on_item=self._on_shard_done(
+                            unit, pending, outcomes, requeues
+                        ),
+                        setup=setup,
+                        should_stop=partial(_submit_should_give_up,
+                                            inflight, should_stop),
                     )
-                    del pending[shard_id]
-                    self._publish(SearchFinished(
-                        shard_id,
-                        f"{len(outcomes[shard_id].result.trials)} trials"
-                        + (" (resumed)" if outcomes[shard_id].resumed_from
-                           else ""),
-                    ))
+                    if handle is None:  # checkout yielded to stop/pump
+                        queue.insert(0, unit)
+                        break
+                    inflight[handle] = unit
+                    for spec in unit:
+                        self._publish(SearchStarted(
+                            spec.shard_id,
+                            f"submitted to {workers}-worker pool",
+                        ))
+                if not inflight:
+                    if deaths > self.max_pool_restarts:
+                        break
+                    continue
+                for handle in pool.wait(list(inflight), timeout=0.5):
+                    deaths += self._finish_handle(
+                        handle, inflight.pop(handle), requeues, queue
+                    )
+        except SearchCancelled:
+            raise
+        except BaseException:
+            # A failing shard (or callback) must not leave orphaned
+            # tasks writing into unread handles on a shared pool.
+            self._drain_cancelled(pool, inflight)
+            raise
+        if deaths > self.max_pool_restarts and pending:
+            self._publish(PoolFallback(
+                "",
+                f"pool died {deaths} times; running the "
+                f"remaining {len(pending)} shard(s) in-process",
+            ))
+
+    def _on_shard_done(
+        self,
+        unit: list[ShardSpec],
+        pending: dict[str, ShardSpec],
+        outcomes: dict[str, ShardOutcome],
+        requeues: dict[str, int],
+    ):
+        """Per-unit completion callback: one call per finished shard."""
+        def on_item(index: int, payload: dict) -> None:
+            spec = unit[index]
+            self._store_payload(spec, payload)
+            outcome = ShardOutcome.from_payload(
+                payload, requeues=requeues[spec.shard_id]
+            )
+            outcomes[spec.shard_id] = outcome
+            del pending[spec.shard_id]
+            self._publish(SearchFinished(
+                spec.shard_id,
+                f"{len(outcome.result.trials)} trials"
+                + (" (resumed)" if outcome.resumed_from else ""),
+            ))
+        return on_item
+
+    def _finish_handle(
+        self,
+        handle: Any,
+        unit: list[ShardSpec],
+        requeues: dict[str, int],
+        queue: list[list[ShardSpec]],
+    ) -> int:
+        """Settle one finished unit; returns the worker deaths (0/1).
+
+        On death, each shard of the unit that produced no result is
+        re-queued as its *own* unit -- a batch never dies as a block,
+        and the re-run resumes from the shard's last checkpoint.
+        """
+        if handle.error is not None:
+            for index in handle.lost_indices:
+                spec = unit[index]
+                requeues[spec.shard_id] += 1
+                self._publish(ShardRequeued(
+                    spec.shard_id,
+                    "worker died; re-queuing from last checkpoint"
+                    if self.checkpoint_dir is not None
+                    else "worker died; re-queuing from scratch",
+                ))
+                queue.append([spec])
+            return 1
+        tag = handle.outcome[0]
+        if tag == "failed":
+            message, original = handle.outcome[2], handle.outcome[3]
+            if original is not None:
+                raise original
+            raise RuntimeError(message)
+        # "done": every item already landed via on_item.  "cancelled"
+        # only occurs during a drain, where leftovers stay pending.
+        return 0
+
+    def _drain_cancelled(self, pool: Any, inflight: dict) -> None:
+        """Cancel and settle every in-flight unit (results dropped).
+
+        Mirrors the old executor semantics: in-flight work runs to its
+        next poll boundary, its results are discarded (callbacks
+        disabled), and the pool comes back with every worker idle --
+        mandatory when the pool is shared with the service runtime.
+        """
+        for handle in inflight:
+            handle.on_item = None
+            pool.cancel(handle)
+        remaining = [h for h in inflight if not h.finished]
+        while remaining:
+            pool.wait(remaining, timeout=0.5)
+            remaining = [h for h in remaining if not h.finished]
+        inflight.clear()
 
     def _publish(self, event: Event) -> None:
         """Hand one typed event to the progress callback (if any)."""
         if self.progress is not None:
             self.progress(event)
+
+
+def _configure_worker_tiling(directory: str) -> None:
+    """Worker-side setup: point the tiling memo at the shared disk tier.
+
+    Module-level (not a lambda/closure) so it crosses the worker pipe
+    by reference; runs once per dispatch unit in the child.
+    """
+    from repro.fpga.tiling import configure_disk_cache
+
+    configure_disk_cache(directory)
+
+
+def _submit_should_give_up(inflight: dict, should_stop) -> bool:
+    """Checkout guard for :meth:`Campaign._dispatch_pooled`'s submits.
+
+    Gives the checkout up (submit returns None) when a stop was
+    requested, or the moment we hold in-flight handles -- their
+    workers only free up when the dispatch loop pumps the pipes, so
+    waiting inside submit could deadlock a fully-dispatched pool.
+    """
+    return bool(inflight) or (should_stop is not None and should_stop())
 
 
 def run_campaign(
@@ -506,6 +706,8 @@ def run_campaign(
     checkpoint_every: int | None = None,
     progress: ProgressCallback | None = None,
     store: Any = None,
+    batch_trials: int | None = None,
+    pool: Any = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`Campaign`."""
     return Campaign(
@@ -514,4 +716,6 @@ def run_campaign(
         checkpoint_every=checkpoint_every,
         progress=progress,
         store=store,
+        batch_trials=batch_trials,
+        pool=pool,
     ).run(max_workers=max_workers)

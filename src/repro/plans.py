@@ -130,6 +130,12 @@ class ExecutionPolicy:
             a search (1 = in-process).
         shard_workers: how many whole searches run concurrently in
             campaign mode (1 = serial).
+        shard_batch_trials: batch small campaign shards -- those whose
+            resolved trial count falls below this threshold -- together
+            per worker-pool submission, so grids of tiny shards
+            amortize dispatch overhead (``None``: every shard
+            dispatches individually).  Execution-only: batching never
+            changes any shard's ledger.
         checkpoint_dir: snapshot searches under this directory and
             resume them from existing snapshots; ``None`` disables
             durability.
@@ -157,6 +163,7 @@ class ExecutionPolicy:
     batch_size: int = 1
     eval_workers: int = 1
     shard_workers: int = 1
+    shard_batch_trials: int | None = None
     checkpoint_dir: str | None = None
     checkpoint_every: int | None = None
     backend: str | None = None
@@ -168,6 +175,13 @@ class ExecutionPolicy:
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
                 raise ValueError(f"{name} must be a positive int, got {value!r}")
+        if self.shard_batch_trials is not None and (
+                not isinstance(self.shard_batch_trials, int)
+                or self.shard_batch_trials <= 0):
+            raise ValueError(
+                f"shard_batch_trials must be a positive int or None, "
+                f"got {self.shard_batch_trials!r}"
+            )
         if self.backend is not None and self.backend not in EXECUTION_BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of "

@@ -17,9 +17,13 @@ service:
 * :class:`JobJournal` -- an append-only, crash-consistent JSONL log of
   job transitions; a restarted service replays it and re-queues every
   unfinished job, which then resumes from its per-hash checkpoints;
-* :mod:`~repro.service.workers` -- the ``process`` execution backend:
-  one subprocess per running job, streaming typed events back over a
-  pipe, so GIL-bound searches scale with cores;
+* :class:`WorkerPool` (:mod:`~repro.service.pool`) -- the one process
+  runtime every parallel surface shares: long-lived worker processes
+  with typed event-pipe framing, cooperative cancellation and
+  parent-death detection.  Campaign shard fan-out, the ``process``
+  execution backend (:mod:`~repro.service.workers`) and the
+  federation agents all dispatch onto it, so GIL-bound searches scale
+  with cores without paying one process spawn per unit of work;
 * :func:`serve <repro.service.http.serve>` / :class:`ServiceClient` --
   a stdlib-only HTTP JSON endpoint (``repro serve``) and its client
   (``repro submit``);
@@ -44,6 +48,7 @@ from repro.service.executor import execute_plan
 from repro.service.gateway import Gateway, GatewayRunner, run_gateway
 from repro.service.journal import JobJournal, PendingJob
 from repro.service.metrics import ANONYMOUS_TENANT, MetricsRegistry
+from repro.service.pool import WorkerDied, WorkerPool
 from repro.service.tenants import (
     QuotaExceededError,
     Tenant,
@@ -90,6 +95,8 @@ __all__ = [
     "UnknownAgentError",
     "UnknownJobError",
     "WorkerAgent",
+    "WorkerDied",
+    "WorkerPool",
     "execute_plan",
     "fair_share_priority",
     "is_cacheable",

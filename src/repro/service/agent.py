@@ -102,6 +102,10 @@ class WorkerAgent:
         #: Jobs this agent finished (any outcome), for tests/benches.
         self.jobs_done = 0
         self._stop = threading.Event()
+        #: Lazily-built one-worker pool jobs execute on.  Persistent
+        #: across claims: the 40th job of a long-lived agent runs on a
+        #: warm worker instead of paying a fresh spawn.
+        self._pool: Any = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -156,6 +160,9 @@ class WorkerAgent:
             crash_point("agent.claimed")
             self._run_job(claim)
             self.jobs_done += 1
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         self._leave()
         return self.jobs_done
 
@@ -204,15 +211,23 @@ class WorkerAgent:
     def _execute(self, plan: RunPlan, claim: dict[str, Any],
                  events: queue.Queue, lost: threading.Event,
                  cancel: threading.Event) -> tuple[str, Any]:
-        """Run the plan in a subprocess; returns a ``(tag, value)``.
+        """Run the plan on the agent's pool worker; returns ``(tag, value)``.
 
         ``("done", (result, payload))`` on success, ``("cancelled",
         completed_count)`` on cooperative stop (which the *lost* path
         also takes -- the child checkpoints either way), ``("failed",
-        message)`` otherwise.
+        message)`` otherwise.  The worker process persists across
+        claims (see :class:`~repro.service.pool.WorkerPool`); its
+        parent-death watch doubles as the dead-man switch -- a
+        SIGKILLed agent orphans the worker, whose next poll checkpoints
+        and exits.
         """
         from repro.core.search import SearchCancelled
+        from repro.service.pool import WorkerPool
         from repro.service.workers import run_job_in_process
+
+        if self._pool is None:
+            self._pool = WorkerPool(1, name=f"agent-{self.name}")
 
         def emit(event: Any) -> None:
             crash_point("agent.event")
@@ -226,6 +241,7 @@ class WorkerAgent:
                                           or self._stop.is_set()),
                 fallback_checkpoint_dir=claim.get("checkpoint_dir"),
                 store_dir=claim.get("store_dir"),
+                pool=self._pool,
             )
         except SearchCancelled as exc:
             return ("cancelled", exc.completed)

@@ -205,6 +205,7 @@ def _run_sweep(plan, publish, legacy, evaluator, should_stop,
         checkpoint_every=plan.execution.checkpoint_every,
         progress=publish,
         store=store,
+        batch_trials=plan.execution.shard_batch_trials,
     ).run(max_workers=plan.execution.shard_workers, should_stop=should_stop)
     if plan.output is not None:
         save_campaign_result(result, plan.output)

@@ -13,7 +13,13 @@ counters and gauges, cheap enough to poll:
 * ``estimator`` -- process-wide latency-estimator cache counters: the
   tiling-memo hit/miss rates per layer-kind bucket (``depthwise`` /
   ``pointwise`` / ``standard`` and the ``all`` total), so the dw/pw
-  tiling path of MobileNet-class jobs is observable;
+  tiling path of MobileNet-class jobs is observable; when a shared
+  on-disk tiling tier is configured, a ``disk`` bucket reports its
+  hit rate (how often another worker's designs answered a lookup);
+* ``pool`` -- the service's :class:`~repro.service.pool.WorkerPool`
+  counters (``pool.dispatch``, ``worker.reuse``, ``worker.spawn``,
+  ``worker.death``, ``workers.alive``), all zero until the first
+  process-backend job builds the pool;
 * ``counters`` -- front-end counters (requests served, SSE streams
   opened, events fanned out, 429/503 rejections, ...), registered by
   whoever owns the front end via :meth:`MetricsRegistry.inc`;
@@ -98,6 +104,7 @@ class MetricsRegistry:
                 "misses": store.misses,
             },
             "estimator": {"tiling_memo": process_memo_snapshot()},
+            "pool": self._service.pool_stats(),
             "counters": counters,
             "gauges": gauges,
         }

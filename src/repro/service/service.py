@@ -341,9 +341,11 @@ class SearchService:
             not its event volume.
         backend: default execution back-end for jobs whose plans do
             not choose one -- ``"thread"`` runs the job on its worker
-            thread (the exactness-first default), ``"process"`` in a
-            dedicated subprocess (see :mod:`repro.service.workers`),
-            which is what makes GIL-bound searches scale with cores.
+            thread (the exactness-first default), ``"process"`` on a
+            long-lived worker process drawn from the service's shared
+            :class:`~repro.service.pool.WorkerPool` (see
+            :mod:`repro.service.workers`), which is what makes
+            GIL-bound searches scale with cores.
             Jobs with a live evaluator override always run on the
             thread backend (the object cannot cross a process
             boundary).
@@ -375,6 +377,13 @@ class SearchService:
             dead and deregistered.
         heartbeat_seconds: heartbeat interval advertised to agents
             (default: ``lease_seconds / HEARTBEATS_PER_LEASE``).
+        tiling_cache_dir: directory of the shared on-disk tiling-memo
+            tier (see :func:`repro.fpga.tiling.configure_disk_cache`).
+            Defaults to ``<store>/tiling`` when the store is
+            persistent and caching is on; both in-process estimation
+            and every pool worker then read/write the same tier, so
+            one job's layer designs warm the next job's workers.
+            ``None`` with an in-memory store leaves the disk tier off.
     """
 
     def __init__(
@@ -390,6 +399,7 @@ class SearchService:
         recover: bool = True,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         heartbeat_seconds: float | None = None,
+        tiling_cache_dir: str | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -413,6 +423,26 @@ class SearchService:
         self.checkpoint_dir = checkpoint_dir
         self.cache_results = cache_results
         self.backend = backend
+        explicit_tiling_dir = tiling_cache_dir is not None
+        if (tiling_cache_dir is None and cache_results
+                and self.store.directory is not None):
+            tiling_cache_dir = str(self.store.directory / "tiling")
+        self.tiling_cache_dir = tiling_cache_dir
+        if explicit_tiling_dir:
+            # Only an *explicit* directory reconfigures this process's
+            # own tiling memo (thread-backend jobs estimate in-process;
+            # the global must not change under other services in the
+            # same process).  Pool workers always get
+            # self.tiling_cache_dir, derived or explicit.
+            from repro.fpga.tiling import configure_disk_cache
+
+            configure_disk_cache(tiling_cache_dir)
+        #: One persistent WorkerPool for every process-backend job this
+        #: service runs, created lazily on the first such job so
+        #: thread-only deployments never fork anything.
+        self._pool: Any = None
+        self._pool_size = workers
+        self._pool_lock = threading.Lock()
         self.lease_seconds = float(lease_seconds)
         self.heartbeat_seconds = (
             float(heartbeat_seconds) if heartbeat_seconds is not None
@@ -1032,6 +1062,12 @@ class SearchService:
             # open for the still-running workers).
             if self._journal is not None:
                 self._journal.close()
+            # Every worker thread has drained its in-flight job, so
+            # the process pool (if one was ever built) is idle.
+            with self._pool_lock:
+                pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.close()
         self.bus.close()
 
     def __enter__(self) -> "SearchService":
@@ -1321,6 +1357,8 @@ class SearchService:
                     cancel_requested=job.cancel_event.is_set,
                     fallback_checkpoint_dir=self._job_checkpoint_dir(job),
                     store_dir=self._shared_store_dir(),
+                    pool=self._get_pool(),
+                    tiling_dir=self.tiling_cache_dir,
                 )
             else:
                 result = execute_plan(
@@ -1458,3 +1496,32 @@ class SearchService:
         if not self.cache_results or self.store.directory is None:
             return None
         return str(self.store.directory)
+
+    def _get_pool(self) -> Any:
+        """The service's persistent :class:`WorkerPool` (lazily built).
+
+        Sized to the service's worker-thread count: each thread runs
+        at most one process-backend job at a time, so ``workers``
+        pool slots can never starve a thread.
+        """
+        from repro.service.pool import WorkerPool
+
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self._pool_size,
+                                        name="search-service")
+            return self._pool
+
+    def pool_stats(self) -> dict[str, int]:
+        """Worker-pool counters for ``/metrics`` (zeros before first use)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return {
+                "pool.dispatch": 0,
+                "worker.reuse": 0,
+                "worker.spawn": 0,
+                "worker.death": 0,
+                "workers.alive": 0,
+            }
+        return pool.stats()

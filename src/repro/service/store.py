@@ -255,8 +255,13 @@ class ResultStore:
 
     def _read_disk(self, key: str) -> bytes | None:
         """One validated disk read: bytes, or None for missing/corrupt."""
+        return self._validate_file(self._path(key))
+
+    @staticmethod
+    def _validate_file(path: Path) -> bytes | None:
+        """A file's bytes if they parse as a JSON object, else None."""
         try:
-            blob = self._path(key).read_bytes()
+            blob = path.read_bytes()
         except OSError:
             return None
         try:
@@ -312,6 +317,13 @@ class ResultStore:
         Removed keys are also dropped from the in-memory cache.
         Raises :class:`ValueError` on in-memory-only stores (nothing
         durable to collect).
+
+        The shared tiling-memo cache (``<store>/tiling/*.json``, see
+        :class:`repro.fpga.tiling.TilingDiskCache`) is swept in the
+        same pass, reported under ``tiling/<hash>`` pseudo-keys.
+        Those entries are *always* dead -- each is a recomputable
+        pure-function value no journal can pin -- so they age out and
+        budget-evict like any unreferenced result entry.
         """
         if self.directory is None:
             raise ValueError(
@@ -324,18 +336,25 @@ class ResultStore:
         over_budget: list[str] = []
         #: key -> (age_seconds, size_bytes) of dead-but-valid entries.
         dead: dict[str, tuple[float, int]] = {}
+        paths: dict[str, Path] = {
+            path.stem: path
+            for path in sorted(self.directory.glob("*.json"))
+        }
+        paths.update({
+            f"tiling/{path.stem}": path
+            for path in sorted((self.directory / "tiling").glob("*.json"))
+        })
         live_bytes = 0
         kept_live = 0
         reclaimed = 0
         examined = 0
-        for path in sorted(self.directory.glob("*.json")):
-            key = path.stem
+        for key, path in paths.items():
             try:
                 stat = path.stat()
             except OSError:
                 continue  # vanished under us
             examined += 1
-            if self._read_disk(key) is None:
+            if self._validate_file(path) is None:
                 corrupt.append(key)
                 reclaimed += stat.st_size
                 continue
@@ -365,7 +384,7 @@ class ResultStore:
         if not dry_run:
             for key in removed:
                 try:
-                    self._path(key).unlink()
+                    paths[key].unlink()
                 except OSError:
                     pass  # already gone; the report still counts it
                 self._memory.pop(key, None)

@@ -1,53 +1,45 @@
-"""The process execution backend: one subprocess per running job.
+"""The process execution backend, now a thin shim over the WorkerPool.
 
-The thread backend runs :func:`~repro.service.executor.execute_plan`
-directly on a service worker thread, which is exact but GIL-bound --
-4 serve workers buy almost no throughput on the pure-python searches
-the paper's experiments run.  :func:`run_job_in_process` is the
-alternative the ``--backend process`` knob selects: the worker thread
-spawns a subprocess, hands it the **canonical plan JSON** (the only
-thing that crosses the boundary downward), and the child executes the
-plan through the very same ``execute_plan`` dispatcher while streaming
-typed events back over a pipe, framed one JSON line per event via
-:func:`repro.events.event_to_json`.  The parent republishes each event
-as it arrives, so :class:`~repro.events.EventBus` subscribers, the
+Historically this module owned its own subprocess runtime: one spawn
+per job, a typed event pipe, cooperative cancellation, orphan
+detection.  That machinery now lives in
+:class:`repro.service.pool.WorkerPool` -- a pool of **long-lived**
+worker processes shared by the campaign's shard dispatch, the
+service's ``--backend process`` jobs and the federation agent -- and
+this module keeps only the job-level vocabulary on top of it:
+:func:`run_job_in_process` (the call the service and agent make per
+job) and :class:`ProcessWorkerError` (how a dead or unpicklably-failed
+job surfaces to callers).
+
+The observable contract is unchanged from the spawn-per-job days: the
+child executes the plan through the same
+:func:`~repro.service.executor.execute_plan` dispatcher while
+streaming typed events back over a pipe, the parent republishes each
+event in order (so :class:`~repro.events.EventBus` subscribers, the
 HTTP ``/jobs/<id>/events`` endpoint and the golden event-stream tests
-observe the identical sequence whichever backend ran the job.
-
-Cancellation stays cooperative: the parent forwards the job's cancel
-flag through a :class:`multiprocessing.Event`, the child's
-``should_stop`` polls it between trials, and checkpoints are written
-before :class:`~repro.core.search.SearchCancelled` propagates -- the
-exception then crosses the pipe as a typed terminal message, so
-cancel/resubmit/resume semantics are backend-independent.  The child
-also watches its parent pid: a SIGKILLed service orphans the child,
-whose next ``should_stop`` poll then snapshots and exits instead of
-computing into the void (the crash-recovery path picks the checkpoint
-up on restart).
-
-Result transport preserves the store's byte-identity guarantee:
-cacheable workloads are encoded to their canonical payload *in the
-child* and cross the pipe as plain JSON; only workloads without a
-result codec fall back to pickling the result object.
+observe the identical sequence whichever backend ran the job),
+cancellation stays cooperative with checkpoints written before
+:class:`~repro.core.search.SearchCancelled` propagates, and cacheable
+results cross the pipe as their canonical store payload so the
+store's byte-identity guarantee holds.  What changed is the cost
+model: with a persistent ``pool``, the 40th job runs on a worker
+whose imports and tiling memo are already warm instead of paying a
+fresh spawn.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from typing import Any, Callable
 
-from repro.events import Event, event_from_json, event_to_json
-from repro.plans import RunPlan, canonical_plan_json
-
-#: Seconds between parent-side polls of the pipe and the cancel flag.
-_POLL_SECONDS = 0.05
+from repro.events import Event
+from repro.plans import RunPlan
+from repro.service.pool import WorkerDied, WorkerPool, WorkerTaskError
 
 
 class ProcessWorkerError(RuntimeError):
     """A job's subprocess failed in a way the plan's code didn't raise.
 
-    Covers two cases: the child died without a terminal message (OOM
+    Covers two cases: the worker died without a terminal message (OOM
     kill, hard crash -- ``exitcode`` then says how), and a child-side
     exception whose object could not be pickled back (the original
     type and message are preserved in the error text).
@@ -58,107 +50,16 @@ class ProcessWorkerError(RuntimeError):
         self.exitcode = exitcode
 
 
-def _context() -> multiprocessing.context.BaseContext:
-    """The multiprocessing context jobs spawn under.
-
-    ``fork`` keeps the parent's registry state (third-party controllers
-    or evaluators registered in-process stay resolvable in the child);
-    platforms without it fall back to the default start method, where
-    only entry-point-importable components survive the boundary.
-    """
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        return multiprocessing.get_context()
-
-
-def _child_main(
-    conn,
-    cancel_event,
-    plan_json: str,
-    fallback_checkpoint_dir: str | None,
-    parent_pid: int,
-    store_dir: str | None,
-) -> None:
-    """Subprocess body: execute the plan, stream events, report once.
-
-    Every message through ``conn`` is a ``(tag, payload)`` tuple with a
-    JSON-compatible payload, except the ``done-object`` fallback for
-    codec-less workloads (which must pickle).  Exactly one terminal
-    message (``done-payload`` / ``done-object`` / ``cancelled`` /
-    ``failed``) is sent.
-    """
-    from repro.core.search import SearchCancelled
-    from repro.service import store as store_mod
-    from repro.service.executor import execute_plan
-
-    plan = RunPlan.from_json(plan_json)
-    # The parent's in-memory store cannot cross the process boundary;
-    # a *persistent* store can -- the child rebuilds it on the shared
-    # directory, so shard read/write-through memoization works (and is
-    # crash-safe: entries land via atomic renames).
-    store = None if store_dir is None else store_mod.ResultStore(store_dir)
-
-    def emit(event: Event) -> None:
-        conn.send(("event", event_to_json(event)))
-
-    def should_stop() -> bool:
-        # A changed parent pid means the service died: stop (and
-        # checkpoint) instead of computing for a reader that is gone.
-        return cancel_event.is_set() or os.getppid() != parent_pid
-
-    try:
-        try:
-            result = execute_plan(
-                plan,
-                emit=emit,
-                should_stop=should_stop,
-                fallback_checkpoint_dir=fallback_checkpoint_dir,
-                store=store,
-            )
-        except SearchCancelled as exc:
-            conn.send(("cancelled", exc.completed))
-        except BaseException as exc:  # noqa: BLE001 - must cross the pipe
-            conn.send(("failed", _exception_message(exc), _picklable(exc)))
-        else:
-            if store_mod.is_cacheable(plan):
-                conn.send(("done-payload",
-                           store_mod.encode_result(plan, result)))
-            else:
-                try:
-                    conn.send(("done-object", result))
-                except Exception as exc:  # unpicklable result object
-                    conn.send(("failed",
-                               f"result of workload {plan.workload!r} "
-                               f"could not cross the process boundary: "
-                               f"{_exception_message(exc)}", None))
-    finally:
-        conn.close()
-
-
-def _exception_message(exc: BaseException) -> str:
-    return f"{type(exc).__name__}: {exc}"
-
-
-def _picklable(exc: BaseException) -> BaseException | None:
-    """The exception itself when it survives pickling, else None."""
-    import pickle
-
-    try:
-        pickle.loads(pickle.dumps(exc))
-        return exc
-    except Exception:
-        return None
-
-
 def run_job_in_process(
     plan: RunPlan,
     emit: Callable[[Event], None],
     cancel_requested: Callable[[], bool],
     fallback_checkpoint_dir: str | None = None,
     store_dir: str | None = None,
+    pool: WorkerPool | None = None,
+    tiling_dir: str | None = None,
 ) -> tuple[Any, dict[str, Any] | None]:
-    """Execute one plan in a dedicated subprocess (blocking).
+    """Execute one plan on a pool worker process (blocking).
 
     Streams every child event through ``emit`` in order, forwards a
     pending cancel request (``cancel_requested`` polled alongside the
@@ -168,69 +69,48 @@ def run_job_in_process(
     lazily or :func:`repro.service.store.decode_result` eagerly),
     codec-less workloads as the live result object.
 
+    ``pool`` is the :class:`~repro.service.pool.WorkerPool` to run on;
+    passing a persistent pool (the service and agent both keep one) is
+    what makes worker reuse happen.  When None, a transient one-worker
+    pool is stood up and torn down around the job -- the old
+    spawn-per-job behavior, kept for direct callers.
+
     ``store_dir`` names a *persistent*
     :class:`~repro.service.store.ResultStore` directory the child
     rebuilds and memoizes campaign shards through (read-through before
     running each shard, write-through after) -- the process-backend
     spelling of the thread backend's live store handle, and a
     shared-filesystem contract exactly like the checkpoint directory.
+    It also anchors the cross-process tiling memo: workers point their
+    disk tier at ``<store_dir>/tiling`` (or an explicit ``tiling_dir``
+    when given), so one job's layer designs warm every later job on
+    the same store.
 
     Raises whatever the plan's execution raised --
     :class:`~repro.core.search.SearchCancelled` included -- or
-    :class:`ProcessWorkerError` when the child died without reporting.
+    :class:`ProcessWorkerError` when the child died without reporting
+    (or failed with an exception that could not be pickled back).
     """
-    ctx = _context()
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    cancel_event = ctx.Event()
-    # Not a daemon: sweep plans may fan out shard process pools of
-    # their own, which daemonic processes are forbidden to do.
-    process = ctx.Process(
-        target=_child_main,
-        args=(child_conn, cancel_event, canonical_plan_json(plan),
-              fallback_checkpoint_dir, os.getpid(), store_dir),
-        name="search-service-job",
-    )
-    process.start()
-    child_conn.close()
-    outcome: tuple | None = None
+    transient = pool is None
+    if transient:
+        pool = WorkerPool(1, name="repro-job")
     try:
-        while outcome is None:
-            if cancel_requested() and not cancel_event.is_set():
-                cancel_event.set()
-            if parent_conn.poll(_POLL_SECONDS):
-                try:
-                    message = parent_conn.recv()
-                except EOFError:
-                    break  # child died mid-stream
-                if message[0] == "event":
-                    emit(event_from_json(message[1]))
-                else:
-                    outcome = message
-            elif not process.is_alive() and not parent_conn.poll():
-                break  # child died between polls without a message
-        process.join()
-    finally:
-        parent_conn.close()
-        if process.is_alive():  # pragma: no cover - defensive teardown
-            process.terminate()
-            process.join()
-    if outcome is None:
+        return pool.run_plan(
+            plan,
+            emit=emit,
+            cancel_requested=cancel_requested,
+            fallback_checkpoint_dir=fallback_checkpoint_dir,
+            store_dir=store_dir,
+            tiling_dir=tiling_dir,
+        )
+    except WorkerDied as exc:
         raise ProcessWorkerError(
             f"job subprocess died without reporting a result "
-            f"(exit code {process.exitcode})",
-            exitcode=process.exitcode,
-        )
-    tag = outcome[0]
-    if tag == "done-payload":
-        return None, outcome[1]
-    if tag == "done-object":
-        return outcome[1], None
-    if tag == "cancelled":
-        from repro.core.search import SearchCancelled
-
-        raise SearchCancelled(outcome[1])
-    assert tag == "failed", f"unknown pipe message {tag!r}"
-    message, original = outcome[1], outcome[2]
-    if original is not None:
-        raise original
-    raise ProcessWorkerError(message)
+            f"(exit code {exc.exitcode})",
+            exitcode=exc.exitcode,
+        ) from exc
+    except WorkerTaskError as exc:
+        raise ProcessWorkerError(str(exc)) from exc
+    finally:
+        if transient:
+            pool.close()
